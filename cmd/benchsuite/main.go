@@ -1,0 +1,201 @@
+// Benchsuite regenerates every table and figure of the paper's evaluation
+// section (§V) from the calibrated machine, network and kernel models:
+//
+//	fig8     — optimization-stage ablation on Sunway TaihuLight
+//	fig11    — GPU-node optimization ablation
+//	fig13    — weak scaling on Sunway TaihuLight (headline: 11245 GLUPS)
+//	fig14    — strong scaling on TaihuLight (cylinder / Suboff / urban)
+//	fig15    — weak scaling on the new Sunway (headline: 6583 GLUPS)
+//	fig16    — strong scaling on the new Sunway (3 cases)
+//	fig17    — GPU-cluster strong scaling
+//	roofline — the §V-A roofline/bandwidth-utilization arithmetic
+//	all      — everything above
+//
+// Each experiment prints the modelled series next to the paper's reported
+// values so the reproduction quality is visible at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sunwaylb/internal/gpu"
+	"sunwaylb/internal/network"
+	"sunwaylb/internal/perf"
+	"sunwaylb/internal/scaling"
+	"sunwaylb/internal/sunway"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8|fig11|fig13|fig14|fig15|fig16|fig17|roofline|ablation|all")
+	flag.Parse()
+
+	runners := map[string]func(){
+		"fig8":     fig8,
+		"fig11":    fig11,
+		"fig13":    fig13,
+		"fig14":    fig14,
+		"fig15":    fig15,
+		"fig16":    fig16,
+		"fig17":    fig17,
+		"roofline": roofline,
+		"ablation": ablation,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"roofline", "fig8", "fig11", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation"} {
+			runners[name]()
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run()
+}
+
+func header(title string) {
+	fmt.Println("================================================================")
+	fmt.Println(title)
+	fmt.Println("================================================================")
+}
+
+func roofline() {
+	header("Roofline arithmetic (§V-A)")
+	perCG := perf.TaihuLight.Roofline()
+	fmt.Printf("SW26010 CG:      %.1f GB/s ÷ %.0f B/LUP = %.1f MLUPS (paper: 90.4)\n",
+		perf.TaihuLight.CGBandwidth/1e9, perf.BytesPerLUP, perCG.MLUPS())
+	fmt.Printf("160000 CGs ceiling: %.0f GLUPS (paper: 14464)\n", perCG.GLUPS()*160000)
+	fmt.Printf("measured 11245 GLUPS → utilization %.1f%% (paper: 77%%)\n",
+		perf.BandwidthUtilization(perf.LUPS(11245e9/160000), perf.TaihuLight.CGBandwidth)*100)
+	proCG := perf.NewSunway.Roofline()
+	fmt.Printf("SW26010-Pro CG:  %.1f GB/s ÷ %.0f B/LUP = %.1f MLUPS\n",
+		perf.NewSunway.CGBandwidth/1e9, perf.BytesPerLUP, proCG.MLUPS())
+	fmt.Printf("measured 6583 GLUPS over 60000 CGs → utilization %.1f%% (paper: 81.4%%)\n",
+		perf.BandwidthUtilization(perf.LUPS(6583e9/60000), perf.NewSunway.CGBandwidth)*100)
+}
+
+func fig8() {
+	header("Fig. 8 — optimization ablation, Sunway TaihuLight (one CG, 500×700×100)")
+	stages := scaling.Fig8Ablation(sunway.SW26010)
+	fmt.Printf("%-34s %12s %10s\n", "stage", "step time", "speedup")
+	for _, s := range stages {
+		fmt.Printf("%-34s %10.3f s %9.1f×\n", s.Name, s.StepTime, s.Speedup)
+	}
+	fmt.Printf("paper: 73.6 s → 0.426 s, 172× total\n")
+}
+
+func fig11() {
+	header("Fig. 11 — GPU-node optimization ablation (1400×2800×100, 8×RTX 3090)")
+	stages := gpu.Fig11Ablation(gpu.RTX3090Cluster)
+	fmt.Printf("%-22s %12s %10s\n", "stage", "step time", "speedup")
+	for _, s := range stages {
+		fmt.Printf("%-22s %10.4f s %9.1f×\n", s.Name, s.StepTime, s.Speedup)
+	}
+	speedup, util := gpu.RTX3090Cluster.Headline()
+	fmt.Printf("modelled: %.0f× node speedup, %.1f%% kernel bandwidth utilization\n", speedup, util*100)
+	fmt.Printf("paper:    191× and 83.8%%; 1 GPU vs 1 core: modelled %.0f× (paper ≈200×)\n",
+		gpu.RTX3090Cluster.SpeedupOneGPUvsOneCore())
+}
+
+func printPoints(pts []scaling.Point) {
+	fmt.Printf("%10s %12s %14s %12s %10s %8s %8s\n",
+		"CGs", "cores", "cells", "step time", "GLUPS", "eff", "BW util")
+	for _, p := range pts {
+		fmt.Printf("%10d %12d %14.3e %10.1f ms %10.2f %7.1f%% %7.1f%%\n",
+			p.CGs, p.Cores, float64(p.Cells), p.StepTime*1e3,
+			p.Rate.GLUPS(), p.Efficiency*100, p.BWUtil*100)
+	}
+}
+
+func fig13() {
+	header("Fig. 13 — weak scaling, Sunway TaihuLight (500×700×100 per CG)")
+	m := scaling.TaihuLightModel()
+	pts := m.WeakScaling(scaling.Fig13Block[0], scaling.Fig13Block[1], scaling.Fig13Block[2], scaling.Fig13Grids)
+	printPoints(pts)
+	last := pts[len(pts)-1]
+	fmt.Printf("endpoint: %.0f GLUPS, %.2f PFlops (paper: 11245 GLUPS, 4.7 PFlops, 77%% BW, ≥94%% eff)\n",
+		last.Rate.GLUPS(), last.PFlops)
+}
+
+func fig14() {
+	header("Fig. 14 — strong scaling, Sunway TaihuLight (16384 → 160000 CGs)")
+	m := scaling.TaihuLightModel()
+	for _, c := range scaling.Fig14Cases {
+		fmt.Printf("\n-- %s (%d×%d×%d), paper endpoint efficiency %.1f%% --\n",
+			c.Name, c.GNX, c.GNY, c.GNZ, c.PaperEff*100)
+		printPoints(m.StrongScaling(c.GNX, c.GNY, c.GNZ, scaling.Fig14Grids))
+	}
+}
+
+func fig15() {
+	header("Fig. 15 — weak scaling, new Sunway (1000×700×100 per CG)")
+	m := scaling.NewSunwayModel()
+	pts := m.WeakScaling(scaling.Fig15Block[0], scaling.Fig15Block[1], scaling.Fig15Block[2], scaling.Fig15Grids)
+	printPoints(pts)
+	last := pts[len(pts)-1]
+	fmt.Printf("endpoint: %.0f GLUPS, %.2f PFlops (paper: 6583 GLUPS, 2.76 PFlops, 81.4%% BW)\n",
+		last.Rate.GLUPS(), last.PFlops)
+}
+
+func fig16() {
+	header("Fig. 16 — strong scaling, new Sunway (three cases)")
+	m := scaling.NewSunwayModel()
+	for _, c := range scaling.Fig16Cases {
+		note := ""
+		if c.PaperEff > 0 {
+			note = fmt.Sprintf(", paper endpoint efficiency %.1f%%", c.PaperEff*100)
+		}
+		fmt.Printf("\n-- %s (%d×%d×%d)%s --\n", c.Name, c.GNX, c.GNY, c.GNZ, note)
+		printPoints(m.StrongScaling(c.GNX, c.GNY, c.GNZ, c.Grids))
+	}
+}
+
+func fig17() {
+	header("Fig. 17 — GPU-cluster strong scaling (1400×2800×100, 1 → 8 nodes)")
+	pts := gpu.RTX3090Cluster.StrongScaling(1400, 2800, 100, []int{1, 2, 4, 8}, network.GPUClusterNet)
+	fmt.Printf("%8s %6s %12s %10s %8s %8s\n", "nodes", "GPUs", "step time", "GLUPS", "eff", "BW util")
+	for _, p := range pts {
+		fmt.Printf("%8d %6d %10.2f ms %10.1f %7.1f%% %7.1f%%\n",
+			p.Nodes, p.GPUs, p.StepTime*1e3, p.Rate.GLUPS(), p.Efficiency*100, p.BWUtil*100)
+	}
+	fmt.Printf("paper: 86.3%% strong-scaling efficiency at 8 nodes\n")
+}
+
+func ablation() {
+	header("Design-choice ablations (§IV-C, quantifying the paper's prose)")
+	m := scaling.TaihuLightModel()
+
+	fmt.Println("\n-- decomposition (Fig. 13 mesh, 160000 ranks) --")
+	fmt.Printf("%-18s %10s %14s %8s %12s\n", "scheme", "grid", "halo cells", "z-run", "step time")
+	for _, p := range m.DecompositionAblation(500*400, 700*400, 100, 160000) {
+		if !p.Feasible {
+			fmt.Printf("%-18s infeasible: %s\n", p.Name, p.Reason)
+			continue
+		}
+		fmt.Printf("%-18s %4d×%d×%d %14d %8d %10.3f s\n",
+			p.Name, p.PX, p.PY, p.PZ, p.HaloCells, p.RunLen, p.StepTime)
+	}
+
+	fmt.Println("\n-- z-run length (the 64×3×70 blocking of §IV-C-2) --")
+	fmt.Printf("%6s %12s %10s %12s\n", "bz", "MLUPS/CG", "BW util", "fits 64KB?")
+	for _, p := range m.BlockLengthSweep([]int{4, 8, 16, 35, 70, 140, 512}) {
+		fmt.Printf("%6d %12.1f %9.1f%% %12v\n", p.BZ, p.Rate.MLUPS(), p.BWUtil*100, p.LDMFitsSW26010)
+	}
+
+	fmt.Println("\n-- SoA vs AoS population layout (§IV-A) --")
+	soa, aos, ratio := scaling.AoSPenalty(sunway.SW26010)
+	fmt.Printf("SoA: %.1f MLUPS/CG   AoS: %.1f MLUPS/CG   penalty: %.1f×\n",
+		soa.MLUPS(), aos.MLUPS(), ratio)
+
+	fmt.Println("\n-- on-the-fly halo exchange gain vs block size (400×400 ranks) --")
+	fmt.Printf("%12s %14s %14s %8s\n", "block", "sequential", "on-the-fly", "gain")
+	for _, p := range m.OnTheFlySweep([][2]int{{500, 700}, {125, 175}, {64, 64}, {32, 32}}, 100, 400, 400) {
+		fmt.Printf("%5d×%-6d %12.2f ms %12.2f ms %7.1f%%\n",
+			p.BlockX, p.BlockY, p.Sequential*1e3, p.OnTheFly*1e3, p.Gain*100)
+	}
+}

@@ -1,0 +1,168 @@
+// Meshgen is SunwayLB's mesh generator front end (§IV-B): it accepts the
+// three geometry input paths of the paper — CAD geometry as STL, synthetic
+// terrain, and built-in outlines — voxelizes them onto a lattice grid, and
+// reports the solid-cell statistics the solver will see. It can also emit
+// the built-in shapes as STL for use with external tools.
+//
+// Usage:
+//
+//	meshgen -shape cylinder|sphere|suboff|city|hills [-nx ...] [-preview h.ppm] [-stl-out shape.stl]
+//	meshgen -stl model.stl [-nx ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sunwaylb/internal/geometry"
+	"sunwaylb/internal/vis"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		shape   = flag.String("shape", "", "built-in shape: cylinder|sphere|suboff|city|hills")
+		stlIn   = flag.String("stl", "", "STL file to voxelize (ASCII or binary)")
+		nx      = flag.Int("nx", 96, "grid cells in x")
+		ny      = flag.Int("ny", 96, "grid cells in y")
+		nz      = flag.Int("nz", 32, "grid cells in z")
+		preview = flag.String("preview", "", "write a solid-height preview PPM")
+		stlOut  = flag.String("stl-out", "", "write the built-in shape as binary STL (mesh shapes only)")
+		seed    = flag.Uint64("seed", 42, "seed for synthetic shapes")
+	)
+	flag.Parse()
+
+	var solid geometry.Shape
+	var mesh *geometry.TriMesh
+	switch {
+	case *stlIn != "":
+		f, err := os.Open(*stlIn)
+		if err != nil {
+			log.Fatalf("meshgen: %v", err)
+		}
+		m, err := geometry.ReadSTL(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("meshgen: %v", err)
+		}
+		fmt.Printf("read %d facets from %s\n", len(m.Tris), *stlIn)
+		solid, mesh = m, m
+	case *shape != "":
+		var err error
+		solid, mesh, err = builtin(*shape, *nx, *ny, *nz, *seed)
+		if err != nil {
+			log.Fatalf("meshgen: %v", err)
+		}
+	default:
+		log.Fatal("meshgen: need -shape or -stl")
+	}
+
+	// Fit the grid to the shape bounds with a 10% margin.
+	b := solid.Bounds()
+	size := b.Size()
+	h := maxf(size.X/float64(*nx), size.Y/float64(*ny), size.Z/float64(*nz)) * 1.1
+	if h == 0 {
+		log.Fatal("meshgen: degenerate shape bounds")
+	}
+	origin := geometry.Vec3{
+		X: b.Min.X - (float64(*nx)*h-size.X)/2,
+		Y: b.Min.Y - (float64(*ny)*h-size.Y)/2,
+		Z: b.Min.Z - (float64(*nz)*h-size.Z)/2,
+	}
+	grid := geometry.VoxelGrid{NX: *nx, NY: *ny, NZ: *nz, Origin: origin, H: h}
+	mask := geometry.Voxelize(solid, grid)
+	frac := geometry.SolidFraction(mask)
+	fmt.Printf("voxelized onto %d×%d×%d (h=%.4g): %.2f%% solid (%d cells)\n",
+		*nx, *ny, *nz, h, frac*100, int(frac*float64(*nx**ny**nz)))
+
+	if *preview != "" {
+		if err := writeHeightPreview(*preview, mask, *nx, *ny, *nz); err != nil {
+			log.Fatalf("meshgen: %v", err)
+		}
+		fmt.Printf("wrote height preview to %s\n", *preview)
+	}
+	if *stlOut != "" {
+		if mesh == nil {
+			log.Fatal("meshgen: -stl-out requires a mesh shape (city) or -stl input")
+		}
+		f, err := os.Create(*stlOut)
+		if err != nil {
+			log.Fatalf("meshgen: %v", err)
+		}
+		defer f.Close()
+		if err := mesh.WriteBinarySTL(f); err != nil {
+			log.Fatalf("meshgen: %v", err)
+		}
+		fmt.Printf("wrote %d facets to %s\n", len(mesh.Tris), *stlOut)
+	}
+}
+
+func builtin(name string, nx, ny, nz int, seed uint64) (geometry.Shape, *geometry.TriMesh, error) {
+	switch name {
+	case "cylinder":
+		return geometry.CylinderZ{CX: float64(nx) / 2, CY: float64(ny) / 2,
+			Radius: float64(min2(nx, ny)) / 6, ZMin: 0, ZMax: float64(nz)}, nil, nil
+	case "sphere":
+		return geometry.Sphere{Center: geometry.Vec3{X: float64(nx) / 2, Y: float64(ny) / 2, Z: float64(nz) / 2},
+			Radius: float64(min2(min2(nx, ny), nz)) / 4}, nil, nil
+	case "suboff":
+		return geometry.Suboff(float64(nx)/8, float64(ny)/2, float64(nz)/2,
+			0.75*float64(nx), float64(min2(ny, nz))/8), nil, nil
+	case "city":
+		p := geometry.DefaultUrbanParams()
+		p.SizeX, p.SizeY = float64(nx), float64(ny)
+		p.MaxHeight = 0.7 * float64(nz)
+		p.Seed = seed
+		city := geometry.City(p)
+		// Assemble the buildings into one mesh for STL export.
+		var tris []geometry.Triangle
+		for _, bld := range city {
+			tris = append(tris, geometry.BoxMesh(bld.Bounds()).Tris...)
+		}
+		return city, geometry.NewTriMesh(tris), nil
+	case "hills":
+		return geometry.RollingHills(float64(nx), float64(ny), 0.3*float64(nz), 0.2*float64(nz), seed), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown shape %q", name)
+}
+
+// writeHeightPreview renders the solid height of each column as an image.
+func writeHeightPreview(path string, mask []bool, nx, ny, nz int) error {
+	s := &vis.Slice{W: nx, H: ny, Data: make([]float64, nx*ny)}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			top := 0
+			for z := 0; z < nz; z++ {
+				if mask[(y*nx+x)*nz+z] {
+					top = z + 1
+				}
+			}
+			s.Data[y*nx+x] = float64(top)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return vis.WritePPM(f, s, 0, float64(nz))
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

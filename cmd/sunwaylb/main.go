@@ -1,0 +1,452 @@
+// Sunwaylb is the SunwayLB-Go solver front end: it assembles the
+// pre-processing (geometry + boundary conditions), the D3Q19 LBM solver
+// (serial/goroutine-parallel, or distributed over simulated MPI ranks) and
+// the post-processing (PPM slices, checkpoints) into one command — the
+// holistic framework of Fig. 4.
+//
+// Usage:
+//
+//	sunwaylb -preset cavity|channel|cylinder|urban|suboff [flags]
+//	sunwaylb -case case.json [flags]
+//
+// Examples:
+//
+//	sunwaylb -preset cylinder -steps 4000 -out cyl
+//	sunwaylb -preset channel -decomp 2x2 -steps 500
+//	sunwaylb -preset cavity -checkpoint-every 500 -checkpoint state.cpk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"sunwaylb/internal/boundary"
+	"sunwaylb/internal/config"
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/geometry"
+	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/perf"
+	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/sunway"
+	"sunwaylb/internal/swio"
+	"sunwaylb/internal/swlb"
+	"sunwaylb/internal/vis"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		preset     = flag.String("preset", "", "built-in case: cavity|channel|cylinder|urban|suboff")
+		caseFile   = flag.String("case", "", "JSON case file (dimensions, tau/Re, steps)")
+		nx         = flag.Int("nx", 0, "override x cells")
+		ny         = flag.Int("ny", 0, "override y cells")
+		nz         = flag.Int("nz", 0, "override z cells")
+		steps      = flag.Int("steps", 0, "override time steps")
+		decomp     = flag.String("decomp", "", "run distributed as PXxPY simulated MPI ranks (e.g. 2x2)")
+		useSunway  = flag.Bool("sunway", false, "with -decomp: run each rank's kernel on a simulated SW26010 core group")
+		out        = flag.String("out", "", "output prefix for PPM slices")
+		cpPath     = flag.String("checkpoint", "", "checkpoint file path")
+		cpEvery    = flag.Int("checkpoint-every", 0, "checkpoint interval in steps")
+		restore    = flag.String("restore", "", "resume from a checkpoint file")
+		reportSecs = flag.Float64("report", 2, "progress report interval in seconds")
+	)
+	flag.Parse()
+
+	cs, err := buildCase(*preset, *caseFile)
+	if err != nil {
+		log.Fatalf("sunwaylb: %v", err)
+	}
+	if *nx > 0 {
+		cs.cfg.NX = *nx
+	}
+	if *ny > 0 {
+		cs.cfg.NY = *ny
+	}
+	if *nz > 0 {
+		cs.cfg.NZ = *nz
+	}
+	if *steps > 0 {
+		cs.cfg.Steps = *steps
+	}
+	if err := cs.cfg.Validate(); err != nil {
+		log.Fatalf("sunwaylb: %v", err)
+	}
+
+	if *decomp != "" {
+		if *restore != "" || *cpPath != "" {
+			log.Fatal("sunwaylb: checkpointing is supported in single-process mode only")
+		}
+		if err := runDistributed(cs, *decomp, *out, *useSunway); err != nil {
+			log.Fatalf("sunwaylb: %v", err)
+		}
+		return
+	}
+	if err := runLocal(cs, *out, *cpPath, *cpEvery, *restore, *reportSecs); err != nil {
+		log.Fatalf("sunwaylb: %v", err)
+	}
+}
+
+// caseSetup bundles everything a preset defines.
+type caseSetup struct {
+	cfg   config.Case
+	walls func(x, y, z int) bool
+	init  func(x, y, z int) (rho, ux, uy, uz float64)
+	bcs   func() *boundary.Set
+	// faceBC mirrors bcs for the distributed runner.
+	faceBC    map[core.Face]boundary.Condition
+	periodicY bool
+	periodicZ bool
+	smag      float64
+}
+
+func buildCase(preset, caseFile string) (*caseSetup, error) {
+	if preset == "" && caseFile == "" {
+		return nil, fmt.Errorf("need -preset or -case (try -preset cavity)")
+	}
+	var cs *caseSetup
+	if preset != "" {
+		var err error
+		cs, err = builtinPreset(preset)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if caseFile != "" {
+		f, err := os.Open(caseFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		c, err := config.Read(f)
+		if err != nil {
+			return nil, err
+		}
+		if cs == nil {
+			// A bare case file: periodic box with the given
+			// parameters.
+			cs = periodicBox()
+		}
+		cs.cfg = *c
+	}
+	return cs, nil
+}
+
+func periodicBox() *caseSetup {
+	return &caseSetup{
+		cfg: config.Case{Name: "periodic-box", NX: 32, NY: 32, NZ: 32, Tau: 0.8, Steps: 100},
+		bcs: func() *boundary.Set {
+			var s boundary.Set
+			s.Add(&boundary.Periodic{Axis: 0}, &boundary.Periodic{Axis: 1}, &boundary.Periodic{Axis: 2})
+			return &s
+		},
+		periodicY: true, periodicZ: true,
+	}
+}
+
+func builtinPreset(name string) (*caseSetup, error) {
+	switch name {
+	case "cavity":
+		return &caseSetup{
+			cfg: config.Case{Name: "lid-driven cavity", NX: 32, NY: 32, NZ: 32, Tau: 0.56, Steps: 2000},
+			bcs: func() *boundary.Set {
+				var s boundary.Set
+				s.Add(
+					&boundary.NoSlip{Face: core.FaceXMin}, &boundary.NoSlip{Face: core.FaceXMax},
+					&boundary.NoSlip{Face: core.FaceZMin}, &boundary.NoSlip{Face: core.FaceZMax},
+					&boundary.NoSlip{Face: core.FaceYMin},
+					&boundary.MovingNoSlip{Face: core.FaceYMax, U: [3]float64{0.1, 0, 0}},
+				)
+				return &s
+			},
+			faceBC: map[core.Face]boundary.Condition{
+				core.FaceXMin: &boundary.NoSlip{Face: core.FaceXMin},
+				core.FaceXMax: &boundary.NoSlip{Face: core.FaceXMax},
+				core.FaceZMin: &boundary.NoSlip{Face: core.FaceZMin},
+				core.FaceZMax: &boundary.NoSlip{Face: core.FaceZMax},
+				core.FaceYMin: &boundary.NoSlip{Face: core.FaceYMin},
+				core.FaceYMax: &boundary.MovingNoSlip{Face: core.FaceYMax, U: [3]float64{0.1, 0, 0}},
+			},
+		}, nil
+	case "channel":
+		u := 0.05
+		return &caseSetup{
+			cfg: config.Case{Name: "channel flow", NX: 64, NY: 24, NZ: 16, Tau: 0.7, Steps: 1000},
+			bcs: func() *boundary.Set {
+				var s boundary.Set
+				s.Add(
+					&boundary.Periodic{Axis: 1}, &boundary.Periodic{Axis: 2},
+					&boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{u, 0, 0}},
+					&boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+				)
+				return &s
+			},
+			faceBC: map[core.Face]boundary.Condition{
+				core.FaceXMin: &boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{u, 0, 0}},
+				core.FaceXMax: &boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+			},
+			periodicY: true, periodicZ: true,
+			init: func(x, y, z int) (float64, float64, float64, float64) {
+				return 1, u, 0, 0
+			},
+		}, nil
+	case "cylinder":
+		u := 0.08
+		d := 12.0
+		walls := func(x, y, z int) bool {
+			dx, dy := float64(x)+0.5-40, float64(y)+0.5-32.5
+			return dx*dx+dy*dy <= (d/2)*(d/2)
+		}
+		return &caseSetup{
+			cfg:   config.Case{Name: "flow past cylinder", NX: 160, NY: 64, NZ: 1, Re: 100, U: u, L: d, Steps: 4000},
+			walls: walls,
+			bcs: func() *boundary.Set {
+				var s boundary.Set
+				s.Add(
+					&boundary.Periodic{Axis: 2},
+					&boundary.FreeSlip{Face: core.FaceYMin}, &boundary.FreeSlip{Face: core.FaceYMax},
+					&boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{u, 0, 0}},
+					&boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+				)
+				return &s
+			},
+			faceBC: map[core.Face]boundary.Condition{
+				core.FaceYMin: &boundary.FreeSlip{Face: core.FaceYMin},
+				core.FaceYMax: &boundary.FreeSlip{Face: core.FaceYMax},
+				core.FaceXMin: &boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{u, 0, 0}},
+				core.FaceXMax: &boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+			},
+			periodicZ: true,
+			init: func(x, y, z int) (float64, float64, float64, float64) {
+				uy := 0.0
+				if x > 40 && x < 60 && y > 32 {
+					uy = 0.01 // shedding trigger
+				}
+				return 1, u, uy, 0
+			},
+		}, nil
+	case "urban":
+		u := 0.08
+		params := geometry.DefaultUrbanParams()
+		params.SizeX, params.SizeY = 96, 96
+		params.BlocksX, params.BlocksY = 6, 6
+		params.MinHeight, params.MaxHeight = 4, 16
+		city := geometry.City(params)
+		g := geometry.VoxelGrid{NX: 96, NY: 96, NZ: 24, H: 1}
+		mask := geometry.Voxelize(city, g)
+		walls := func(x, y, z int) bool { return mask[(y*96+x)*24+z] }
+		profile := func(x, y, z int) [3]float64 {
+			return [3]float64{u * float64(z+1) / 24.0, 0, 0}
+		}
+		return &caseSetup{
+			cfg:   config.Case{Name: "urban wind", NX: 96, NY: 96, NZ: 24, Tau: 0.52, Steps: 600},
+			smag:  0.17,
+			walls: walls,
+			bcs: func() *boundary.Set {
+				var s boundary.Set
+				s.Add(
+					&boundary.Periodic{Axis: 1},
+					&boundary.VelocityInlet{Face: core.FaceXMin, Profile: profile},
+					&boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+					&boundary.FreeSlip{Face: core.FaceZMax},
+					&boundary.NoSlip{Face: core.FaceZMin},
+				)
+				return &s
+			},
+			faceBC: map[core.Face]boundary.Condition{
+				core.FaceXMin: &boundary.VelocityInlet{Face: core.FaceXMin, Profile: profile},
+				core.FaceXMax: &boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+				core.FaceZMax: &boundary.FreeSlip{Face: core.FaceZMax},
+				core.FaceZMin: &boundary.NoSlip{Face: core.FaceZMin},
+			},
+			periodicY: true,
+			init: func(x, y, z int) (float64, float64, float64, float64) {
+				p := profile(x, y, z)
+				return 1, p[0], p[1], p[2]
+			},
+		}, nil
+	case "suboff":
+		u := 0.06
+		hull := geometry.Suboff(30, 24, 24, 90, 6)
+		g := geometry.VoxelGrid{NX: 180, NY: 48, NZ: 48, H: 1}
+		mask := geometry.Voxelize(hull, g)
+		walls := func(x, y, z int) bool { return mask[(y*180+x)*48+z] }
+		return &caseSetup{
+			cfg:   config.Case{Name: "DARPA Suboff", NX: 180, NY: 48, NZ: 48, Tau: 0.53, Steps: 1200},
+			smag:  0.17,
+			walls: walls,
+			bcs: func() *boundary.Set {
+				var s boundary.Set
+				s.Add(
+					&boundary.FreeSlip{Face: core.FaceYMin}, &boundary.FreeSlip{Face: core.FaceYMax},
+					&boundary.FreeSlip{Face: core.FaceZMin}, &boundary.FreeSlip{Face: core.FaceZMax},
+					&boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{u, 0, 0}},
+					&boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+				)
+				return &s
+			},
+			faceBC: map[core.Face]boundary.Condition{
+				core.FaceYMin: &boundary.FreeSlip{Face: core.FaceYMin},
+				core.FaceYMax: &boundary.FreeSlip{Face: core.FaceYMax},
+				core.FaceZMin: &boundary.FreeSlip{Face: core.FaceZMin},
+				core.FaceZMax: &boundary.FreeSlip{Face: core.FaceZMax},
+				core.FaceXMin: &boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{u, 0, 0}},
+				core.FaceXMax: &boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+			},
+			init: func(x, y, z int) (float64, float64, float64, float64) {
+				return 1, u, 0, 0
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown preset %q (cavity|channel|cylinder|urban|suboff)", name)
+}
+
+func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, reportSecs float64) error {
+	var lat *core.Lattice
+	var err error
+	startStep := 0
+	if restore != "" {
+		lat, err = swio.Restart(restore)
+		if err != nil {
+			return err
+		}
+		startStep = lat.Step()
+		fmt.Printf("restored %q at step %d\n", restore, startStep)
+	} else {
+		lat, err = core.NewLattice(&lattice.D3Q19, cs.cfg.NX, cs.cfg.NY, cs.cfg.NZ, cs.cfg.Tau)
+		if err != nil {
+			return err
+		}
+		lat.Smagorinsky = cs.smag
+		if cs.cfg.Smagorinsky > 0 {
+			lat.Smagorinsky = cs.cfg.Smagorinsky
+		}
+		if cs.walls != nil {
+			for y := 0; y < lat.NY; y++ {
+				for x := 0; x < lat.NX; x++ {
+					for z := 0; z < lat.NZ; z++ {
+						if cs.walls(x, y, z) {
+							lat.SetWall(x, y, z)
+						}
+					}
+				}
+			}
+		}
+		if cs.init != nil {
+			for y := 0; y < lat.NY; y++ {
+				for x := 0; x < lat.NX; x++ {
+					for z := 0; z < lat.NZ; z++ {
+						if lat.CellTypeAt(x, y, z) == core.Fluid {
+							rho, ux, uy, uz := cs.init(x, y, z)
+							lat.SetCell(x, y, z, rho, ux, uy, uz)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	bcs := cs.bcs()
+	fmt.Printf("%s: %d×%d×%d cells, tau=%.4f, %d steps, %d fluid cells\n",
+		cs.cfg.Name, lat.NX, lat.NY, lat.NZ, lat.Tau, cs.cfg.Steps, lat.FluidCells())
+
+	cells := int64(lat.FluidCells())
+	mon := perf.NewMonitor(cells)
+	lastReport := time.Now()
+	for s := startStep + 1; s <= cs.cfg.Steps; s++ {
+		bcs.Apply(lat)
+		mon.StepStart()
+		lat.StepFusedParallel(0)
+		mon.StepEnd()
+		if cpEvery > 0 && cpPath != "" && s%cpEvery == 0 {
+			if err := swio.Checkpoint(cpPath, lat); err != nil {
+				return err
+			}
+		}
+		if now := time.Now(); now.Sub(lastReport).Seconds() >= reportSecs {
+			fmt.Printf("  step %6d/%d  %s  max|u|=%.4f\n",
+				s, cs.cfg.Steps, mon.Rate(), lat.MaxVelocity())
+			lastReport = now
+		}
+	}
+	if mon.Steps() > 0 {
+		fmt.Printf("completed: %s\n", mon.Summary())
+	}
+	if cpPath != "" {
+		if err := swio.Checkpoint(cpPath, lat); err != nil {
+			return err
+		}
+		fmt.Printf("wrote checkpoint %s\n", cpPath)
+	}
+	if out != "" {
+		if err := writeImages(lat.ComputeMacro(), out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runDistributed(cs *caseSetup, decomp, out string, useSunway bool) error {
+	var px, py int
+	if _, err := fmt.Sscanf(strings.ToLower(decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
+		return fmt.Errorf("bad -decomp %q, want e.g. 2x2", decomp)
+	}
+	opts := psolve.Options{
+		GNX: cs.cfg.NX, GNY: cs.cfg.NY, GNZ: cs.cfg.NZ,
+		PX: px, PY: py,
+		Tau:         cs.cfg.Tau,
+		Smagorinsky: cs.smag,
+		FaceBC:      cs.faceBC,
+		PeriodicY:   cs.periodicY,
+		PeriodicZ:   cs.periodicZ,
+		Walls:       cs.walls,
+		Init:        cs.init,
+		OnTheFly:    true,
+	}
+	if useSunway {
+		opts.OnTheFly = false
+		opts.Stepper = func(lat *core.Lattice) (psolve.Stepper, error) {
+			return swlb.New(lat, sunway.SW26010, swlb.DefaultOptions())
+		}
+		fmt.Printf("%s: %d×%d×%d cells over %d×%d ranks × simulated SW26010 CGs, %d steps\n",
+			cs.cfg.Name, cs.cfg.NX, cs.cfg.NY, cs.cfg.NZ, px, py, cs.cfg.Steps)
+	} else {
+		fmt.Printf("%s: %d×%d×%d cells over %d×%d simulated MPI ranks, %d steps\n",
+			cs.cfg.Name, cs.cfg.NX, cs.cfg.NY, cs.cfg.NZ, px, py, cs.cfg.Steps)
+	}
+	start := time.Now()
+	m, err := psolve.Run(opts, cs.cfg.Steps)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+	cells := int64(cs.cfg.NX) * int64(cs.cfg.NY) * int64(cs.cfg.NZ)
+	fmt.Printf("completed %d steps in %.2f s: %s aggregate\n",
+		cs.cfg.Steps, elapsed, perf.Rate(cells*int64(cs.cfg.Steps), elapsed))
+	if out != "" {
+		return writeImages(m, out)
+	}
+	return nil
+}
+
+func writeImages(m *core.MacroField, prefix string) error {
+	write := func(name string, s *vis.Slice) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := vis.WritePPM(f, s, 0, 0); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", name)
+		return nil
+	}
+	if err := write(prefix+"_speed_z.ppm", vis.SpeedSlice(m, vis.AxisZ, m.NZ/2)); err != nil {
+		return err
+	}
+	return write(prefix+"_speed_y.ppm", vis.SpeedSlice(m, vis.AxisY, m.NY/2))
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command once per test binary.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sunwaylb")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "state.cpk")
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Local run with checkpoint.
+	out := run("-preset", "cavity", "-nx", "12", "-ny", "12", "-nz", "12",
+		"-steps", "20", "-checkpoint", cp)
+	if !strings.Contains(out, "completed") {
+		t.Errorf("no completion line:\n%s", out)
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+
+	// Restore and continue.
+	out = run("-preset", "cavity", "-nx", "12", "-ny", "12", "-nz", "12",
+		"-steps", "30", "-restore", cp)
+	if !strings.Contains(out, "restored") {
+		t.Errorf("no restore line:\n%s", out)
+	}
+
+	// Distributed run with images.
+	prefix := filepath.Join(dir, "chan")
+	out = run("-preset", "channel", "-nx", "24", "-ny", "8", "-nz", "8",
+		"-steps", "10", "-decomp", "2x1", "-out", prefix)
+	if !strings.Contains(out, "aggregate") {
+		t.Errorf("no distributed summary:\n%s", out)
+	}
+	if _, err := os.Stat(prefix + "_speed_z.ppm"); err != nil {
+		t.Errorf("missing image: %v", err)
+	}
+
+	// Bad flags fail cleanly.
+	if _, err := exec.Command(bin, "-preset", "nope").CombinedOutput(); err == nil {
+		t.Error("unknown preset must exit non-zero")
+	}
+	if _, err := exec.Command(bin, "-preset", "cavity", "-decomp", "9z9").CombinedOutput(); err == nil {
+		t.Error("malformed -decomp must exit non-zero")
+	}
+}

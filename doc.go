@@ -1,0 +1,24 @@
+// Package sunwaylb is a comprehensive Go reproduction of "SunwayLB:
+// Enabling Extreme-Scale Lattice Boltzmann Method Based Computing Fluid
+// Dynamics Simulations on Sunway TaihuLight" (Liu et al., IPDPS 2019 /
+// TPDS 2024).
+//
+// The module implements the paper's complete software framework — the
+// D3Q19 LBM solver with the fused pull-scheme kernel, mesh generation and
+// boundary conditions, 2-D domain decomposition with on-the-fly halo
+// exchange, Smagorinsky LES, parallel I/O with checkpoint/restart, and
+// post-processing — together with functional and performance models of the
+// hardware the paper evaluates (SW26010/SW26010-Pro processors, the
+// TaihuLight supernode network, an RTX-3090 GPU cluster), so every table
+// and figure of the paper's evaluation can be regenerated on a laptop.
+//
+// Entry points:
+//
+//   - internal/core — the solver library (see examples/ for usage)
+//   - cmd/sunwaylb — the solver CLI with built-in cases
+//   - cmd/benchsuite — regenerates every paper figure
+//   - bench_test.go — the testing.B harness (one benchmark per figure)
+//
+// See README.md for the architecture, DESIGN.md for the hardware
+// substitution rationale and EXPERIMENTS.md for paper-vs-modelled numbers.
+package sunwaylb

@@ -1,0 +1,3 @@
+module sunwaylb
+
+go 1.22

@@ -1,0 +1,70 @@
+// Package athread mirrors the programming model of the Sunway Athread
+// library (§IV-A: "a specialized lightweight thread library designed
+// specifically for Sunway Supercomputers"): the MPE-side code initialises
+// the CPE cluster, spawns a kernel on all CPEs, continues with its own
+// work, and joins. On top of internal/sunway it gives SunwayLB kernels the
+// same spawn/join structure as the original code.
+package athread
+
+import (
+	"fmt"
+	"sync"
+
+	"sunwaylb/internal/sunway"
+)
+
+// Env is the MPE-side handle on a CPE cluster, the analogue of the
+// athread_init/athread_halt lifetime.
+type Env struct {
+	cg     *sunway.CoreGroup
+	mu     sync.Mutex
+	active chan float64
+}
+
+// Init prepares the CPE cluster of one core group for kernel spawning.
+func Init(spec sunway.ChipSpec) *Env {
+	return &Env{cg: sunway.NewCoreGroup(spec)}
+}
+
+// CoreGroup exposes the underlying simulator (for counters and clocks).
+func (e *Env) CoreGroup() *sunway.CoreGroup { return e.cg }
+
+// Spawn launches the kernel asynchronously on all CPEs (athread_spawn).
+// The MPE keeps executing — that concurrency is what the on-the-fly halo
+// exchange (Fig. 6(2)) and MPE/CPE collaboration (Fig. 9(2)) exploit.
+// Spawn returns an error if a kernel is already in flight.
+func (e *Env) Spawn(kernel func(p *sunway.CPE)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.active != nil {
+		return fmt.Errorf("athread: kernel already spawned; join it first")
+	}
+	done := make(chan float64, 1)
+	e.active = done
+	go func() {
+		done <- e.cg.Run(kernel)
+	}()
+	return nil
+}
+
+// Join waits for the spawned kernel (athread_join) and returns its
+// simulated elapsed time on the CPE cluster.
+func (e *Env) Join() (float64, error) {
+	e.mu.Lock()
+	done := e.active
+	e.mu.Unlock()
+	if done == nil {
+		return 0, fmt.Errorf("athread: no kernel in flight")
+	}
+	elapsed := <-done
+	e.mu.Lock()
+	e.active = nil
+	e.mu.Unlock()
+	return elapsed, nil
+}
+
+// RunSync is the common spawn-then-join pattern.
+func (e *Env) RunSync(kernel func(p *sunway.CPE)) float64 {
+	t := e.cg.Run(kernel)
+	return t
+}

@@ -1,0 +1,99 @@
+package athread
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sunwaylb/internal/sunway"
+)
+
+func TestSpawnJoin(t *testing.T) {
+	e := Init(sunway.TestChip(4, 64*1024))
+	var n atomic.Int64
+	if err := e.Spawn(func(p *sunway.CPE) {
+		n.Add(1)
+		p.Compute(1e4, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := e.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 4 {
+		t.Errorf("kernel ran on %d CPEs, want 4", n.Load())
+	}
+	if elapsed <= 0 {
+		t.Errorf("elapsed = %v, want > 0", elapsed)
+	}
+}
+
+func TestDoubleSpawnRejected(t *testing.T) {
+	e := Init(sunway.TestChip(2, 1024))
+	block := make(chan struct{})
+	if err := e.Spawn(func(p *sunway.CPE) { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Spawn(func(p *sunway.CPE) {}); err == nil {
+		t.Error("second Spawn must fail while a kernel is in flight")
+	}
+	close(block)
+	if _, err := e.Join(); err != nil {
+		t.Fatal(err)
+	}
+	// After join, spawning works again.
+	if err := e.Spawn(func(p *sunway.CPE) {}); err != nil {
+		t.Fatalf("spawn after join: %v", err)
+	}
+	if _, err := e.Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinWithoutSpawn(t *testing.T) {
+	e := Init(sunway.TestChip(1, 1024))
+	if _, err := e.Join(); err == nil {
+		t.Error("Join without Spawn must fail")
+	}
+}
+
+// TestMPEOverlapsCPE: the MPE-side goroutine really runs concurrently with
+// the spawned kernel — the mechanism behind the on-the-fly halo exchange.
+func TestMPEOverlapsCPE(t *testing.T) {
+	e := Init(sunway.TestChip(2, 1024))
+	cpeStarted := make(chan struct{})
+	mpeDone := make(chan struct{})
+	var once sync0
+	if err := e.Spawn(func(p *sunway.CPE) {
+		once.Do(func() { close(cpeStarted) })
+		<-mpeDone // CPEs wait for the MPE's "communication"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-cpeStarted
+	// MPE work happens here while the kernel is live.
+	close(mpeDone)
+	if _, err := e.Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sync0 is a tiny once-guard without importing sync for a single use.
+type sync0 struct{ done atomic.Bool }
+
+func (s *sync0) Do(f func()) {
+	if s.done.CompareAndSwap(false, true) {
+		f()
+	}
+}
+
+func TestRunSync(t *testing.T) {
+	e := Init(sunway.TestChip(2, 64*1024))
+	elapsed := e.RunSync(func(p *sunway.CPE) { p.Compute(1e5, 1) })
+	if elapsed <= 0 {
+		t.Errorf("elapsed = %v", elapsed)
+	}
+	if e.CoreGroup().Counters.Flops != 2e5 {
+		t.Errorf("flops = %d, want 2e5", e.CoreGroup().Counters.Flops)
+	}
+}

@@ -1,0 +1,105 @@
+package boundary
+
+import (
+	"math"
+	"testing"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/lattice"
+)
+
+func TestNEEInletUniformFixedPoint(t *testing.T) {
+	l := newLat(t, 10, 6, 6)
+	l.InitEquilibrium(1.0, 0.05, 0, 0)
+	var s Set
+	s.Add(
+		&NEEInlet{Face: core.FaceXMin, U: [3]float64{0.05, 0, 0}},
+		&PressureOutlet{Face: core.FaceXMax, Rho: 1},
+		&Periodic{Axis: 1}, &Periodic{Axis: 2},
+	)
+	for i := 0; i < 300; i++ {
+		s.Apply(l)
+		l.StepFused()
+	}
+	m := l.MacroAt(5, 3, 3)
+	if math.Abs(m.Ux-0.05) > 1e-4 || math.Abs(m.Rho-1) > 1e-4 {
+		t.Errorf("uniform flow drifted: %+v", m)
+	}
+}
+
+// poiseuilleError drives a channel with a body force while imposing the
+// analytic parabolic profile at the inlet with the given condition, and
+// returns the max relative error of the developed profile.
+func poiseuilleError(t *testing.T, mkInlet func(profile func(x, y, z int) [3]float64) Condition) float64 {
+	t.Helper()
+	const h = 12
+	l, err := core.NewLattice(&lattice.D3Q19, 20, h, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := 5e-6
+	l.Force = [3]float64{g, 0, 0}
+	nu := lattice.Viscosity(l.Tau)
+	analytic := func(y int) float64 {
+		yy := float64(y) + 0.5
+		return g / (2 * nu) * yy * (float64(h) - yy)
+	}
+	profile := func(x, y, z int) [3]float64 { return [3]float64{analytic(y), 0, 0} }
+	var s Set
+	s.Add(
+		&Periodic{Axis: 2},
+		mkInlet(profile),
+		&Outflow{Face: core.FaceXMax},
+		&NoSlip{Face: core.FaceYMin}, &NoSlip{Face: core.FaceYMax},
+	)
+	for y := 0; y < h; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				l.SetCell(x, y, z, 1, analytic(y), 0, 0)
+			}
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		s.Apply(l)
+		l.StepFused()
+	}
+	worst := 0.0
+	for y := 0; y < h; y++ {
+		got := l.MacroAt(2, y, 2).Ux // near the inlet, where the BC order matters
+		want := analytic(y)
+		if rel := math.Abs(got-want) / want; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// TestNEEInletBeatsEquilibriumInlet: with the analytic Poiseuille profile
+// imposed at the inlet, the non-equilibrium-extrapolation ghost preserves
+// the solution visibly better than the plain equilibrium ghost, which
+// zeroes the boundary stress.
+func TestNEEInletBeatsEquilibriumInlet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long physics test")
+	}
+	eqErr := poiseuilleError(t, func(p func(x, y, z int) [3]float64) Condition {
+		return &VelocityInlet{Face: core.FaceXMin, Profile: p}
+	})
+	neeErr := poiseuilleError(t, func(p func(x, y, z int) [3]float64) Condition {
+		return &NEEInlet{Face: core.FaceXMin, Profile: p}
+	})
+	if neeErr >= eqErr {
+		t.Errorf("NEE inlet error %.4f should beat equilibrium inlet error %.4f", neeErr, eqErr)
+	}
+	if neeErr > 0.05 {
+		t.Errorf("NEE inlet error %.4f too large", neeErr)
+	}
+	t.Logf("near-inlet Poiseuille error: equilibrium ghost %.4f, NEE ghost %.4f", eqErr, neeErr)
+}
+
+func TestNEEInletName(t *testing.T) {
+	c := &NEEInlet{Face: core.FaceXMin}
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+}

@@ -1,0 +1,136 @@
+// Package config defines SunwayLB's case configuration (the "outline
+// described directly inside SunwayLB" input path of the pre-processing
+// module, §IV-B) and the unit conversion between physical and lattice
+// quantities that every CFD setup needs.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sunwaylb/internal/lattice"
+)
+
+// Units converts between physical (SI) and lattice units. A lattice is
+// fixed by the cell size Dx [m] and time step Dt [s]; velocities scale by
+// Dx/Dt and kinematic viscosities by Dx²/Dt.
+type Units struct {
+	// Dx is the lattice spacing in metres.
+	Dx float64
+	// Dt is the time-step length in seconds.
+	Dt float64
+}
+
+// VelocityToLattice converts a physical velocity [m/s] to lattice units.
+func (u Units) VelocityToLattice(v float64) float64 { return v * u.Dt / u.Dx }
+
+// VelocityToPhysical converts a lattice velocity to m/s.
+func (u Units) VelocityToPhysical(v float64) float64 { return v * u.Dx / u.Dt }
+
+// ViscosityToLattice converts a kinematic viscosity [m²/s] to lattice
+// units.
+func (u Units) ViscosityToLattice(nu float64) float64 { return nu * u.Dt / (u.Dx * u.Dx) }
+
+// TimeToPhysical converts a step count to seconds.
+func (u Units) TimeToPhysical(steps int) float64 { return float64(steps) * u.Dt }
+
+// Reynolds returns the Reynolds number for characteristic velocity U
+// and length L given in lattice units with lattice viscosity nu.
+func Reynolds(uLat, lLat, nuLat float64) float64 {
+	if nuLat == 0 {
+		return 0
+	}
+	return uLat * lLat / nuLat
+}
+
+// TauForReynolds returns the LBGK relaxation time that realises the target
+// Reynolds number with characteristic lattice velocity uLat and length
+// lLat (in cells): τ = 3·(u·L/Re) + ½.
+func TauForReynolds(re, uLat, lLat float64) (float64, error) {
+	if re <= 0 || uLat <= 0 || lLat <= 0 {
+		return 0, fmt.Errorf("config: invalid Reynolds setup Re=%v u=%v L=%v", re, uLat, lLat)
+	}
+	nu := uLat * lLat / re
+	tau := lattice.Tau(nu)
+	if tau <= 0.5 {
+		return 0, fmt.Errorf("config: Re=%v with u=%v L=%v needs tau=%v ≤ 0.5 (unstable); refine the mesh", re, uLat, lLat, tau)
+	}
+	return tau, nil
+}
+
+// Case is a complete simulation description, serialisable as JSON.
+type Case struct {
+	// Name labels outputs.
+	Name string `json:"name"`
+	// NX, NY, NZ are the lattice dimensions.
+	NX int `json:"nx"`
+	NY int `json:"ny"`
+	NZ int `json:"nz"`
+	// Tau is the relaxation time; if zero it is derived from Re, U and L.
+	Tau float64 `json:"tau,omitempty"`
+	// Re, U, L specify the flow when Tau is not given directly: Reynolds
+	// number, inlet velocity (lattice units) and characteristic length
+	// (cells).
+	Re float64 `json:"re,omitempty"`
+	U  float64 `json:"u,omitempty"`
+	L  float64 `json:"l,omitempty"`
+	// Smagorinsky enables LES with the given constant.
+	Smagorinsky float64 `json:"smagorinsky,omitempty"`
+	// Steps is the number of time steps to run.
+	Steps int `json:"steps"`
+	// OutputEvery writes diagnostics every n steps (0 = only at the end).
+	OutputEvery int `json:"output_every,omitempty"`
+	// CheckpointEvery writes a checkpoint every n steps (0 = never).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Units for physical output (optional).
+	Units *Units `json:"units,omitempty"`
+}
+
+// Validate checks the case for consistency and derives Tau if needed.
+func (c *Case) Validate() error {
+	if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
+		return fmt.Errorf("config: case %q has invalid dimensions %d×%d×%d", c.Name, c.NX, c.NY, c.NZ)
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("config: case %q has negative step count", c.Name)
+	}
+	if c.Tau == 0 {
+		tau, err := TauForReynolds(c.Re, c.U, c.L)
+		if err != nil {
+			return fmt.Errorf("config: case %q: %w", c.Name, err)
+		}
+		c.Tau = tau
+	}
+	if c.Tau <= 0.5 {
+		return fmt.Errorf("config: case %q has tau=%v ≤ 0.5", c.Name, c.Tau)
+	}
+	if c.U > 0.3 {
+		return fmt.Errorf("config: case %q inlet velocity %v exceeds the low-Mach limit (≈0.3 c_s·√3)", c.Name, c.U)
+	}
+	return nil
+}
+
+// Read parses and validates a JSON case.
+func Read(r io.Reader) (*Case, error) {
+	var c Case
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("config: parsing case: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Write serialises the case as indented JSON.
+func (c *Case) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("config: writing case: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package config
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUnitsRoundTrip(t *testing.T) {
+	u := Units{Dx: 0.1, Dt: 0.001}
+	// The paper's urban case: 8 m/s wind, 0.1 m resolution.
+	vLat := u.VelocityToLattice(8.0)
+	if math.Abs(vLat-0.08) > 1e-12 {
+		t.Errorf("8 m/s -> %v lattice, want 0.08", vLat)
+	}
+	if back := u.VelocityToPhysical(vLat); math.Abs(back-8.0) > 1e-12 {
+		t.Errorf("round trip = %v", back)
+	}
+	// Air: ν ≈ 1.5e-5 m²/s.
+	nuLat := u.ViscosityToLattice(1.5e-5)
+	if math.Abs(nuLat-1.5e-6) > 1e-18 {
+		t.Errorf("viscosity -> %v", nuLat)
+	}
+	if got := u.TimeToPhysical(2000); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("2000 steps = %v s", got)
+	}
+}
+
+func TestReynoldsAndTau(t *testing.T) {
+	// Re = u·L/ν.
+	if got := Reynolds(0.05, 40, 0.0005128); math.Abs(got-3900)/3900 > 0.01 {
+		t.Errorf("Re = %v, want ≈3900 (the paper's cylinder)", got)
+	}
+	if Reynolds(0.1, 10, 0) != 0 {
+		t.Error("zero viscosity must yield 0")
+	}
+	tau, err := TauForReynolds(3900, 0.05, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu := (2*tau - 1) / 6
+	if math.Abs(0.05*40/nu-3900)/3900 > 1e-9 {
+		t.Errorf("tau=%v does not realise Re=3900", tau)
+	}
+	// Unstable setups are rejected with guidance.
+	if _, err := TauForReynolds(-1, 0.05, 40); err == nil {
+		t.Error("negative Re must error")
+	}
+}
+
+func TestCaseValidate(t *testing.T) {
+	good := Case{Name: "ok", NX: 10, NY: 10, NZ: 10, Tau: 0.8, Steps: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid case rejected: %v", err)
+	}
+	cases := []Case{
+		{Name: "dims", NX: 0, NY: 1, NZ: 1, Tau: 0.8},
+		{Name: "steps", NX: 2, NY: 2, NZ: 2, Tau: 0.8, Steps: -1},
+		{Name: "tau", NX: 2, NY: 2, NZ: 2, Tau: 0.4},
+		{Name: "mach", NX: 2, NY: 2, NZ: 2, Tau: 0.8, U: 0.5},
+		{Name: "re", NX: 2, NY: 2, NZ: 2, Re: -5},
+	}
+	for _, c := range cases {
+		c := c
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %q should be rejected", c.Name)
+		}
+	}
+}
+
+func TestCaseDerivesTau(t *testing.T) {
+	c := Case{Name: "cyl", NX: 100, NY: 50, NZ: 10, Re: 100, U: 0.05, L: 10, Steps: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tau <= 0.5 {
+		t.Errorf("derived tau = %v", c.Tau)
+	}
+}
+
+func TestCaseJSONRoundTrip(t *testing.T) {
+	c := Case{
+		Name: "round", NX: 12, NY: 8, NZ: 4, Tau: 0.72,
+		Smagorinsky: 0.17, Steps: 100, OutputEvery: 10,
+		Units: &Units{Dx: 0.5, Dt: 0.01},
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *c2.Units != *c.Units {
+		t.Error("units lost")
+	}
+	c2.Units = c.Units
+	if *c2 != c {
+		t.Errorf("round trip changed the case: %+v vs %+v", *c2, c)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"name":"x","nx":2,"ny":2,"nz":2,"tau":0.8,"steps":1,"typo_field":3}`)); err == nil {
+		t.Error("unknown field must be rejected")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	if _, err := Read(strings.NewReader(`{"name":"x","nx":0,"ny":2,"nz":2,"tau":0.8}`)); err == nil {
+		t.Error("invalid case must be rejected at read")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sunwaylb/internal/lattice"
+)
+
+// TestWallForceDirection: uniform flow hitting a plate pushes it
+// downstream.
+func TestWallForceDirection(t *testing.T) {
+	l, err := NewLattice(&lattice.D3Q19, 20, 8, 8, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plate at x=12 spanning y,z.
+	for y := 0; y < l.NY; y++ {
+		for z := 0; z < l.NZ; z++ {
+			l.SetWall(12, y, z)
+		}
+	}
+	l.InitEquilibrium(1.0, 0.05, 0, 0)
+	for s := 0; s < 30; s++ {
+		l.PeriodicAll()
+		l.StepFused()
+	}
+	fx, fy, fz := l.WallForce()
+	if fx <= 0 {
+		t.Errorf("drag on plate = %v, want > 0 (downstream)", fx)
+	}
+	if math.Abs(fy) > math.Abs(fx)/10 || math.Abs(fz) > math.Abs(fx)/10 {
+		t.Errorf("transverse force too large: (%v, %v, %v)", fx, fy, fz)
+	}
+}
+
+// TestWallForceZeroAtRest: a quiescent fluid exerts no net force on a
+// symmetric obstacle.
+func TestWallForceZeroAtRest(t *testing.T) {
+	l, err := NewLattice(&lattice.D3Q19, 12, 12, 12, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 5; x <= 6; x++ {
+		for y := 5; y <= 6; y++ {
+			for z := 5; z <= 6; z++ {
+				l.SetWall(x, y, z)
+			}
+		}
+	}
+	for s := 0; s < 10; s++ {
+		l.PeriodicAll()
+		l.StepFused()
+	}
+	fx, fy, fz := l.WallForce()
+	if math.Abs(fx)+math.Abs(fy)+math.Abs(fz) > 1e-12 {
+		t.Errorf("force at rest = (%v, %v, %v), want 0", fx, fy, fz)
+	}
+}
+
+// TestWallForceMatchesMomentumLoss: in a closed periodic system with one
+// obstacle, the momentum the fluid loses per step equals the force on the
+// obstacle.
+func TestWallForceMatchesMomentumLoss(t *testing.T) {
+	l, err := NewLattice(&lattice.D3Q19, 16, 8, 8, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 2; y <= 5; y++ {
+		for z := 2; z <= 5; z++ {
+			l.SetWall(8, y, z)
+		}
+	}
+	l.InitEquilibrium(1.0, 0.04, 0, 0)
+	// Let transients settle.
+	for s := 0; s < 20; s++ {
+		l.PeriodicAll()
+		l.StepFused()
+	}
+	jx0, _, _ := l.TotalMomentum()
+	fx, _, _ := l.WallForce()
+	l.PeriodicAll()
+	l.StepFused()
+	jx1, _, _ := l.TotalMomentum()
+	loss := jx0 - jx1
+	if math.Abs(loss-fx)/math.Abs(fx) > 0.05 {
+		t.Errorf("momentum loss %v vs wall force %v (5%% tol)", loss, fx)
+	}
+}
+
+// TestWallForceWhere: restricting the force to one of two obstacles
+// separates their contributions, and the parts sum to the total.
+func TestWallForceWhere(t *testing.T) {
+	l, err := NewLattice(&lattice.D3Q19, 24, 8, 8, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two plates at x=8 and x=16.
+	for y := 0; y < l.NY; y++ {
+		for z := 0; z < l.NZ; z++ {
+			l.SetWall(8, y, z)
+			l.SetWall(16, y, z)
+		}
+	}
+	l.InitEquilibrium(1.0, 0.05, 0, 0)
+	for s := 0; s < 12; s++ {
+		l.PeriodicAll()
+		l.StepFused()
+	}
+	totalX, totalY, totalZ := l.WallForce()
+	f1x, f1y, f1z := l.WallForceWhere(func(x, y, z int) bool { return x == 8 })
+	f2x, f2y, f2z := l.WallForceWhere(func(x, y, z int) bool { return x == 16 })
+	if math.Abs(f1x+f2x-totalX) > 1e-12 ||
+		math.Abs(f1y+f2y-totalY) > 1e-12 ||
+		math.Abs(f1z+f2z-totalZ) > 1e-12 {
+		t.Errorf("per-object forces do not sum to the total: (%v+%v) vs %v", f1x, f2x, totalX)
+	}
+	if f1x <= 0 {
+		t.Errorf("upstream plate drag = %v, want > 0", f1x)
+	}
+}

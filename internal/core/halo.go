@@ -1,0 +1,197 @@
+package core
+
+// Face identifies one of the six axis-aligned faces of the domain block.
+type Face int
+
+const (
+	FaceXMin Face = iota
+	FaceXMax
+	FaceYMin
+	FaceYMax
+	FaceZMin
+	FaceZMax
+	numFaces
+)
+
+// String implements fmt.Stringer.
+func (f Face) String() string {
+	switch f {
+	case FaceXMin:
+		return "x-"
+	case FaceXMax:
+		return "x+"
+	case FaceYMin:
+		return "y-"
+	case FaceYMax:
+		return "y+"
+	case FaceZMin:
+		return "z-"
+	case FaceZMax:
+		return "z+"
+	}
+	return "?"
+}
+
+// PeriodicAll copies the interior boundary layers of the current buffer
+// into the opposite halo layers for all three axes, including the edge and
+// corner cells (copied transitively by doing the axes in sequence over the
+// full allocated extent). Halo cells also inherit the Fluid flag wherever
+// the wrapped-around source cell is Fluid, so streaming pulls through the
+// periodic image correctly.
+func (l *Lattice) PeriodicAll() {
+	l.PeriodicAxis(0)
+	l.PeriodicAxis(1)
+	l.PeriodicAxis(2)
+}
+
+// PeriodicAxis wraps the halo of one axis (0=x, 1=y, 2=z) periodically.
+// The copy spans the entire allocated extent of the other two axes so that
+// successive calls for different axes fill edges and corners correctly.
+func (l *Lattice) PeriodicAxis(axis int) {
+	src := l.F[l.src]
+	n := l.N
+	q := l.Desc.Q
+	copyCell := func(dstIdx, srcIdx int) {
+		for i := 0; i < q; i++ {
+			src[i*n+dstIdx] = src[i*n+srcIdx]
+		}
+		if l.Flags[srcIdx] != Ghost {
+			l.Flags[dstIdx] = l.Flags[srcIdx]
+		}
+	}
+	switch axis {
+	case 0:
+		for ay := 0; ay < l.AY; ay++ {
+			for az := 0; az < l.AZ; az++ {
+				lo := (ay*l.AX+0)*l.AZ + az
+				hi := (ay*l.AX+l.AX-1)*l.AZ + az
+				loSrc := (ay*l.AX+l.AX-2)*l.AZ + az
+				hiSrc := (ay*l.AX+1)*l.AZ + az
+				copyCell(lo, loSrc)
+				copyCell(hi, hiSrc)
+			}
+		}
+	case 1:
+		for ax := 0; ax < l.AX; ax++ {
+			for az := 0; az < l.AZ; az++ {
+				lo := (0*l.AX+ax)*l.AZ + az
+				hi := ((l.AY-1)*l.AX+ax)*l.AZ + az
+				loSrc := ((l.AY-2)*l.AX+ax)*l.AZ + az
+				hiSrc := (1*l.AX+ax)*l.AZ + az
+				copyCell(lo, loSrc)
+				copyCell(hi, hiSrc)
+			}
+		}
+	case 2:
+		for ay := 0; ay < l.AY; ay++ {
+			for ax := 0; ax < l.AX; ax++ {
+				base := (ay*l.AX + ax) * l.AZ
+				copyCell(base+0, base+l.AZ-2)
+				copyCell(base+l.AZ-1, base+1)
+			}
+		}
+	}
+}
+
+// faceRange returns the coordinate ranges (in allocated coordinates) of a
+// one-cell-thick layer at the given face. layer=0 selects the interior
+// boundary layer (what gets sent), layer=1 selects the halo layer (what
+// gets received). The ranges cover the full allocated extent of the
+// tangential axes so that diagonal neighbours are satisfied after the x
+// and y exchanges run in sequence.
+func (l *Lattice) faceRange(f Face, layer int) (x0, x1, y0, y1, z0, z1 int) {
+	x0, x1, y0, y1, z0, z1 = 0, l.AX, 0, l.AY, 0, l.AZ
+	switch f {
+	case FaceXMin:
+		x0, x1 = 1, 2
+		if layer == 1 {
+			x0, x1 = 0, 1
+		}
+	case FaceXMax:
+		x0, x1 = l.AX-2, l.AX-1
+		if layer == 1 {
+			x0, x1 = l.AX-1, l.AX
+		}
+	case FaceYMin:
+		y0, y1 = 1, 2
+		if layer == 1 {
+			y0, y1 = 0, 1
+		}
+	case FaceYMax:
+		y0, y1 = l.AY-2, l.AY-1
+		if layer == 1 {
+			y0, y1 = l.AY-1, l.AY
+		}
+	case FaceZMin:
+		z0, z1 = 1, 2
+		if layer == 1 {
+			z0, z1 = 0, 1
+		}
+	case FaceZMax:
+		z0, z1 = l.AZ-2, l.AZ-1
+		if layer == 1 {
+			z0, z1 = l.AZ-1, l.AZ
+		}
+	}
+	return
+}
+
+// FaceCells returns the number of cells in one face layer (including the
+// tangential halo extent), i.e. the element count of a packed face buffer
+// divided by Q.
+func (l *Lattice) FaceCells(f Face) int {
+	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 0)
+	return (x1 - x0) * (y1 - y0) * (z1 - z0)
+}
+
+// PackFace serialises the populations (and flags) of the interior boundary
+// layer at face f from the current buffer into buf, which must have length
+// ≥ Q*FaceCells(f) float64s. It returns the packed flags alongside so the
+// receiver can mirror obstacle cells that touch the subdomain boundary.
+func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
+	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 0)
+	src := l.F[l.src]
+	q := l.Desc.Q
+	n := l.N
+	k := 0
+	for ay := y0; ay < y1; ay++ {
+		for ax := x0; ax < x1; ax++ {
+			for az := z0; az < z1; az++ {
+				idx := (ay*l.AX+ax)*l.AZ + az
+				for i := 0; i < q; i++ {
+					buf[k*q+i] = src[i*n+idx]
+				}
+				if flags != nil {
+					flags[k] = l.Flags[idx]
+				}
+				k++
+			}
+		}
+	}
+}
+
+// UnpackFace writes a packed face buffer into the halo layer at face f of
+// the current buffer. Flags, if non-nil, update the halo cell
+// classification (so walls spanning subdomain boundaries bounce correctly);
+// Ghost flags in the packed data are preserved as Ghost.
+func (l *Lattice) UnpackFace(f Face, buf []float64, flags []CellType) {
+	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 1)
+	src := l.F[l.src]
+	q := l.Desc.Q
+	n := l.N
+	k := 0
+	for ay := y0; ay < y1; ay++ {
+		for ax := x0; ax < x1; ax++ {
+			for az := z0; az < z1; az++ {
+				idx := (ay*l.AX+ax)*l.AZ + az
+				for i := 0; i < q; i++ {
+					src[i*n+idx] = buf[k*q+i]
+				}
+				if flags != nil && flags[k] != Ghost {
+					l.Flags[idx] = flags[k]
+				}
+				k++
+			}
+		}
+	}
+}

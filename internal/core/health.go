@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Health summarises the numerical state of the simulation.
+type Health struct {
+	// MaxSpeed is the largest velocity magnitude (must stay well below
+	// the lattice sound speed 1/√3 ≈ 0.577).
+	MaxSpeed float64
+	// MinRho, MaxRho bound the density.
+	MinRho, MaxRho float64
+	// BadCells counts NaN/Inf or non-positive-density cells.
+	BadCells int
+}
+
+// CheckHealth scans the interior fluid cells and returns an error when the
+// simulation has gone unstable (NaN/Inf populations, non-positive density,
+// or trans-sonic velocities) — the guard a long production run needs to
+// abort early instead of writing garbage checkpoints.
+func (l *Lattice) CheckHealth() (Health, error) {
+	h := Health{MinRho: math.Inf(1), MaxRho: math.Inf(-1)}
+	for y := 0; y < l.NY; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				if l.Flags[l.Idx(x, y, z)] != Fluid {
+					continue
+				}
+				m := l.MacroAt(x, y, z)
+				speed := math.Sqrt(m.Ux*m.Ux + m.Uy*m.Uy + m.Uz*m.Uz)
+				if math.IsNaN(m.Rho) || math.IsInf(m.Rho, 0) ||
+					math.IsNaN(speed) || m.Rho <= 0 {
+					h.BadCells++
+					continue
+				}
+				h.MinRho = math.Min(h.MinRho, m.Rho)
+				h.MaxRho = math.Max(h.MaxRho, m.Rho)
+				h.MaxSpeed = math.Max(h.MaxSpeed, speed)
+			}
+		}
+	}
+	if h.BadCells > 0 {
+		return h, fmt.Errorf("core: %d cells hold NaN/Inf or non-positive density (diverged)", h.BadCells)
+	}
+	const soundSpeed = 0.5773502691896258
+	if h.MaxSpeed >= soundSpeed {
+		return h, fmt.Errorf("core: max speed %.3f exceeds the lattice sound speed %.3f (unstable; reduce velocity or refine)", h.MaxSpeed, soundSpeed)
+	}
+	return h, nil
+}

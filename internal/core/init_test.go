@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sunwaylb/internal/lattice"
+)
+
+// taylorGreenField builds the analytic TG macro field.
+func taylorGreenField(n int, u0 float64) *MacroField {
+	m := &MacroField{
+		NX: n, NY: n, NZ: 1,
+		Rho: make([]float64, n*n),
+		Ux:  make([]float64, n*n),
+		Uy:  make([]float64, n*n),
+		Uz:  make([]float64, n*n),
+	}
+	k := 2 * math.Pi / float64(n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			i := m.Idx(x, y, 0)
+			m.Rho[i] = 1
+			m.Ux[i] = u0 * math.Sin(k*float64(x)) * math.Cos(k*float64(y))
+			m.Uy[i] = -u0 * math.Cos(k*float64(x)) * math.Sin(k*float64(y))
+		}
+	}
+	return m
+}
+
+// tgStartupError measures how far the first-step decay rate deviates from
+// the asymptotic rate — the artificial startup transient that consistent
+// initialization should largely remove.
+func tgStartupError(t *testing.T, consistent bool) float64 {
+	t.Helper()
+	const n, u0, tau = 32, 0.01, 0.8
+	l, err := NewLattice(&lattice.D2Q9, n, n, 1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := taylorGreenField(n, u0)
+	if consistent {
+		if err := l.InitFromMacro(m); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				i := m.Idx(x, y, 0)
+				l.SetCell(x, y, 0, m.Rho[i], m.Ux[i], m.Uy[i], 0)
+			}
+		}
+	}
+	energy := func() float64 {
+		e := 0.0
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				mm := l.MacroAt(x, y, 0)
+				e += mm.Ux*mm.Ux + mm.Uy*mm.Uy
+			}
+		}
+		return e
+	}
+	// First-step decay vs the settled per-step decay.
+	e0 := energy()
+	l.PeriodicAll()
+	l.StepFused()
+	e1 := energy()
+	for s := 0; s < 60; s++ {
+		l.PeriodicAll()
+		l.StepFused()
+	}
+	ea := energy()
+	l.PeriodicAll()
+	l.StepFused()
+	eb := energy()
+	first := e1 / e0
+	settled := eb / ea
+	return math.Abs(first-settled) / (1 - settled)
+}
+
+// TestInitFromMacroRemovesStartupTransient: the consistent initialization
+// brings the first-step decay much closer to the asymptotic rate.
+func TestInitFromMacroRemovesStartupTransient(t *testing.T) {
+	bare := tgStartupError(t, false)
+	consistent := tgStartupError(t, true)
+	if consistent >= bare/2 {
+		t.Errorf("consistent init transient %.4f should be well below bare-equilibrium %.4f", consistent, bare)
+	}
+	t.Logf("first-step decay error: bare equilibrium %.4f, consistent init %.4f", bare, consistent)
+}
+
+// TestInitFromMacroMoments: the initialised state reproduces the requested
+// density and velocity (the non-equilibrium part has zero moments up to
+// first order... exactly zero density moment, and first moment zero since
+// Σ w c (c·∇)(c·u) has no odd-order term).
+func TestInitFromMacroMoments(t *testing.T) {
+	l, err := NewLattice(&lattice.D3Q19, 8, 8, 4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := l.ComputeMacro()
+	for i := range m.Rho {
+		m.Rho[i] = 1.02
+		m.Ux[i] = 0.01 * float64(i%7)
+		m.Uy[i] = -0.005
+	}
+	if err := l.InitFromMacro(m); err != nil {
+		t.Fatal(err)
+	}
+	got := l.MacroAt(4, 4, 2)
+	want := m.Idx(4, 4, 2)
+	if math.Abs(got.Rho-m.Rho[want]) > 1e-12 {
+		t.Errorf("rho = %v, want %v", got.Rho, m.Rho[want])
+	}
+	if math.Abs(got.Ux-m.Ux[want]) > 1e-12 || math.Abs(got.Uy-m.Uy[want]) > 1e-12 {
+		t.Errorf("u = (%v,%v), want (%v,%v)", got.Ux, got.Uy, m.Ux[want], m.Uy[want])
+	}
+	// Dimension mismatch is rejected.
+	bad := &MacroField{NX: 2, NY: 2, NZ: 2}
+	if err := l.InitFromMacro(bad); err == nil {
+		t.Error("want dimension-mismatch error")
+	}
+}
+
+func TestCheckHealth(t *testing.T) {
+	l, err := NewLattice(&lattice.D3Q19, 6, 6, 6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.InitEquilibrium(1.0, 0.05, 0, 0)
+	h, err := l.CheckHealth()
+	if err != nil {
+		t.Fatalf("healthy state flagged: %v", err)
+	}
+	if math.Abs(h.MaxSpeed-0.05) > 1e-12 || h.BadCells != 0 {
+		t.Errorf("health = %+v", h)
+	}
+	// Inject a NaN.
+	l.Src()[5*l.N+l.Idx(3, 3, 3)] = math.NaN()
+	if _, err := l.CheckHealth(); err == nil {
+		t.Error("NaN not detected")
+	}
+	// Trans-sonic velocity.
+	l2, _ := NewLattice(&lattice.D3Q19, 4, 4, 4, 0.8)
+	l2.SetCell(2, 2, 2, 1.0, 0.7, 0, 0)
+	if _, err := l2.CheckHealth(); err == nil {
+		t.Error("trans-sonic speed not detected")
+	}
+}

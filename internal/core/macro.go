@@ -1,0 +1,155 @@
+package core
+
+import "math"
+
+// Macro holds the macroscopic fields of one cell.
+type Macro struct {
+	Rho        float64
+	Ux, Uy, Uz float64
+}
+
+// MacroAt computes density and velocity of an interior cell from the
+// current buffer.
+func (l *Lattice) MacroAt(x, y, z int) Macro {
+	d := l.Desc
+	idx := l.Idx(x, y, z)
+	src := l.F[l.src]
+	var rho, jx, jy, jz float64
+	for i := 0; i < d.Q; i++ {
+		fi := src[i*l.N+idx]
+		rho += fi
+		c := d.C[i]
+		jx += fi * float64(c[0])
+		jy += fi * float64(c[1])
+		jz += fi * float64(c[2])
+	}
+	if rho == 0 {
+		return Macro{}
+	}
+	// With Guo forcing the physical velocity is (j + F/2)/ρ.
+	jx += 0.5 * l.Force[0]
+	jy += 0.5 * l.Force[1]
+	jz += 0.5 * l.Force[2]
+	return Macro{Rho: rho, Ux: jx / rho, Uy: jy / rho, Uz: jz / rho}
+}
+
+// MacroField holds the macroscopic fields of the whole interior domain in
+// z-fastest order (the same ordering as the population storage, without
+// halo).
+type MacroField struct {
+	NX, NY, NZ int
+	Rho        []float64
+	Ux, Uy, Uz []float64
+}
+
+// Idx returns the linear index of (x, y, z) in the macro field arrays.
+func (m *MacroField) Idx(x, y, z int) int { return (y*m.NX+x)*m.NZ + z }
+
+// ComputeMacro extracts the macroscopic fields of all interior cells.
+// Solid cells yield zeros.
+func (l *Lattice) ComputeMacro() *MacroField {
+	m := &MacroField{
+		NX: l.NX, NY: l.NY, NZ: l.NZ,
+		Rho: make([]float64, l.NX*l.NY*l.NZ),
+		Ux:  make([]float64, l.NX*l.NY*l.NZ),
+		Uy:  make([]float64, l.NX*l.NY*l.NZ),
+		Uz:  make([]float64, l.NX*l.NY*l.NZ),
+	}
+	d := l.Desc
+	src := l.F[l.src]
+	for y := 0; y < l.NY; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				idx := l.Idx(x, y, z)
+				if l.Flags[idx] != Fluid {
+					continue
+				}
+				var rho, jx, jy, jz float64
+				for i := 0; i < d.Q; i++ {
+					fi := src[i*l.N+idx]
+					rho += fi
+					c := d.C[i]
+					jx += fi * float64(c[0])
+					jy += fi * float64(c[1])
+					jz += fi * float64(c[2])
+				}
+				mi := m.Idx(x, y, z)
+				m.Rho[mi] = rho
+				if rho != 0 {
+					m.Ux[mi] = (jx + 0.5*l.Force[0]) / rho
+					m.Uy[mi] = (jy + 0.5*l.Force[1]) / rho
+					m.Uz[mi] = (jz + 0.5*l.Force[2]) / rho
+				}
+			}
+		}
+	}
+	return m
+}
+
+// TotalMass sums the density over all interior fluid cells. The LBGK
+// collision conserves it exactly (up to FP rounding); with pure bounce-back
+// walls and periodic boundaries it is conserved across steps too.
+func (l *Lattice) TotalMass() float64 {
+	d := l.Desc
+	src := l.F[l.src]
+	total := 0.0
+	for y := 0; y < l.NY; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				idx := l.Idx(x, y, z)
+				if l.Flags[idx] != Fluid {
+					continue
+				}
+				for i := 0; i < d.Q; i++ {
+					total += src[i*l.N+idx]
+				}
+			}
+		}
+	}
+	return total
+}
+
+// TotalMomentum sums the momentum over all interior fluid cells.
+func (l *Lattice) TotalMomentum() (jx, jy, jz float64) {
+	d := l.Desc
+	src := l.F[l.src]
+	for y := 0; y < l.NY; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				idx := l.Idx(x, y, z)
+				if l.Flags[idx] != Fluid {
+					continue
+				}
+				for i := 0; i < d.Q; i++ {
+					fi := src[i*l.N+idx]
+					c := d.C[i]
+					jx += fi * float64(c[0])
+					jy += fi * float64(c[1])
+					jz += fi * float64(c[2])
+				}
+			}
+		}
+	}
+	return
+}
+
+// MaxVelocity returns the maximum velocity magnitude over interior fluid
+// cells; useful as a stability diagnostic (must stay well below c_s≈0.577).
+func (l *Lattice) MaxVelocity() float64 {
+	maxSq := 0.0
+	for y := 0; y < l.NY; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				if l.Flags[l.Idx(x, y, z)] != Fluid {
+					continue
+				}
+				m := l.MacroAt(x, y, z)
+				sq := m.Ux*m.Ux + m.Uy*m.Uy + m.Uz*m.Uz
+				if sq > maxSq {
+					maxSq = sq
+				}
+			}
+		}
+	}
+	return math.Sqrt(maxSq)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sunwaylb/internal/lattice"
+)
+
+// TestCouetteProfile: flow between a moving and a stationary plate
+// converges to the linear Couette profile.
+func TestCouetteProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long physics test")
+	}
+	const h = 16
+	uw := 0.05
+	l, err := NewLattice(&lattice.D3Q19, h, 4, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary plate at the x− halo, moving plate (+z direction) at x+.
+	for y := -1; y <= l.NY; y++ {
+		for z := -1; z <= l.NZ; z++ {
+			l.Flags[l.Idx(-1, y, z)] = Wall
+			l.SetMovingWall(h, y, z, 0, 0, uw)
+		}
+	}
+	for s := 0; s < 8000; s++ {
+		l.PeriodicAxis(1)
+		l.PeriodicAxis(2)
+		l.StepFused()
+	}
+	// Half-way bounce-back puts the plates at x̂=0 and x̂=h, with cell
+	// centres at x̂ = x+0.5: u(x) = uw·(x+0.5)/h.
+	worst := 0.0
+	for x := 0; x < h; x++ {
+		want := uw * (float64(x) + 0.5) / float64(h)
+		got := l.MacroAt(x, 2, 2).Uz
+		if rel := math.Abs(got-want) / uw; rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("Couette profile error %.4f of the wall speed (want <1%%)", worst)
+	}
+}
+
+// TestCavityGhiaBenchmark: the Re=100 lid-driven cavity's centreline
+// velocity extrema land near the Ghia, Ghia & Shin (1982) reference values
+// (coarse-grid tolerance).
+func TestCavityGhiaBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long physics test")
+	}
+	const n = 32
+	uLid := 0.1
+	// Re = uLid·n/ν = 100.
+	nu := uLid * float64(n) / 100
+	l, err := NewLattice(&lattice.D3Q19, n, n, 3, lattice.Tau(nu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := -1; y <= l.NY; y++ {
+		for x := -1; x <= l.NX; x++ {
+			for z := -1; z <= l.NZ; z++ {
+				onX := x < 0 || x >= n
+				onY := y < 0 || y >= n
+				if !onX && !onY {
+					continue
+				}
+				if y >= n {
+					l.SetMovingWall(x, y, z, uLid, 0, 0)
+				} else if onX || onY {
+					l.Flags[l.Idx(x, y, z)] = Wall
+				}
+			}
+		}
+	}
+	for s := 0; s < 12000; s++ {
+		l.PeriodicAxis(2)
+		l.StepFused()
+	}
+	// Vertical centreline u_x/U: Ghia's Re=100 minimum is −0.2109 near
+	// y/H≈0.17; top value approaches the lid.
+	minU := math.Inf(1)
+	for y := 0; y < n; y++ {
+		if u := l.MacroAt(n/2, y, 1).Ux / uLid; u < minU {
+			minU = u
+		}
+	}
+	if minU < -0.24 || minU > -0.18 {
+		t.Errorf("centreline min u_x/U = %.4f, Ghia Re=100 gives −0.211 (band [−0.24,−0.18])", minU)
+	}
+	// Horizontal centreline u_y/U extrema: Ghia gives +0.1753 / −0.2453.
+	maxV, minV := math.Inf(-1), math.Inf(1)
+	for x := 0; x < n; x++ {
+		v := l.MacroAt(x, n/2, 1).Uy / uLid
+		maxV = math.Max(maxV, v)
+		minV = math.Min(minV, v)
+	}
+	if maxV < 0.15 || maxV > 0.21 {
+		t.Errorf("max u_y/U = %.4f, Ghia gives 0.175", maxV)
+	}
+	if minV > -0.21 || minV < -0.29 {
+		t.Errorf("min u_y/U = %.4f, Ghia gives −0.245", minV)
+	}
+	t.Logf("cavity Re=100 on %d³: min u_x/U=%.3f (Ghia −0.211), u_y/U ∈ [%.3f, %.3f] (Ghia −0.245/+0.175)",
+		n, minU, minV, maxV)
+}

@@ -1,0 +1,71 @@
+package core
+
+import "fmt"
+
+// Probe records the time history of the macroscopic state at one lattice
+// point — the numerical equivalent of a hot-wire anemometer, used to
+// measure shedding frequencies and turbulence statistics.
+type Probe struct {
+	X, Y, Z int
+	// History holds one Macro sample per Sample call.
+	History []Macro
+}
+
+// Sample appends the probe point's current state.
+func (p *Probe) Sample(l *Lattice) {
+	p.History = append(p.History, l.MacroAt(p.X, p.Y, p.Z))
+}
+
+// Component extracts one velocity component's time series (0=x, 1=y, 2=z).
+func (p *Probe) Component(c int) []float64 {
+	out := make([]float64, len(p.History))
+	for i, m := range p.History {
+		switch c {
+		case 0:
+			out[i] = m.Ux
+		case 1:
+			out[i] = m.Uy
+		default:
+			out[i] = m.Uz
+		}
+	}
+	return out
+}
+
+// Mean returns the time-averaged state over the recorded history.
+func (p *Probe) Mean() Macro {
+	var s Macro
+	if len(p.History) == 0 {
+		return s
+	}
+	for _, m := range p.History {
+		s.Rho += m.Rho
+		s.Ux += m.Ux
+		s.Uy += m.Uy
+		s.Uz += m.Uz
+	}
+	n := float64(len(p.History))
+	return Macro{Rho: s.Rho / n, Ux: s.Ux / n, Uy: s.Uy / n, Uz: s.Uz / n}
+}
+
+// ProbeSet samples several probes together.
+type ProbeSet struct {
+	Probes []*Probe
+}
+
+// Add registers a probe point, validating it lies in the interior.
+func (ps *ProbeSet) Add(l *Lattice, x, y, z int) (*Probe, error) {
+	if x < 0 || x >= l.NX || y < 0 || y >= l.NY || z < 0 || z >= l.NZ {
+		return nil, fmt.Errorf("core: probe (%d,%d,%d) outside %d×%d×%d", x, y, z, l.NX, l.NY, l.NZ)
+	}
+	p := &Probe{X: x, Y: y, Z: z}
+	ps.Probes = append(ps.Probes, p)
+	return p, nil
+}
+
+// Sample records the current state at every probe.
+func (ps *ProbeSet) Sample(l *Lattice) {
+	for _, p := range ps.Probes {
+		p.Sample(l)
+	}
+}

@@ -1,0 +1,124 @@
+package decomp
+
+import "fmt"
+
+// DecomposeWeighted2D splits the domain into a px×py grid of blocks whose
+// cut positions balance a per-column workload weight (e.g. fluid-cell
+// counts: solid building interiors cost nothing, so the urban case of
+// §V-C is unbalanced under an equal-size split). The cuts are separable —
+// x cuts balance the x-marginal weight and y cuts the y-marginal — which
+// is how production partitioners keep the subdomains rectangular.
+func DecomposeWeighted2D(weight func(x, y int) float64, gnx, gny, gnz, px, py int) ([]Block, error) {
+	if gnx < px || gny < py || px < 1 || py < 1 || gnz < 1 {
+		return nil, fmt.Errorf("decomp: cannot split %d×%d×%d into %d×%d", gnx, gny, gnz, px, py)
+	}
+	if weight == nil {
+		return Decompose2D(gnx, gny, gnz, px, py)
+	}
+	// Marginals.
+	wx := make([]float64, gnx)
+	wy := make([]float64, gny)
+	for y := 0; y < gny; y++ {
+		for x := 0; x < gnx; x++ {
+			w := weight(x, y)
+			if w < 0 {
+				return nil, fmt.Errorf("decomp: negative weight at (%d,%d)", x, y)
+			}
+			wx[x] += w
+			wy[y] += w
+		}
+	}
+	xCuts, err := balancedCuts(wx, px)
+	if err != nil {
+		return nil, err
+	}
+	yCuts, err := balancedCuts(wy, py)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]Block, 0, px*py)
+	for j := 0; j < py; j++ {
+		for i := 0; i < px; i++ {
+			blocks = append(blocks, Block{
+				X0: xCuts[i], NX: xCuts[i+1] - xCuts[i],
+				Y0: yCuts[j], NY: yCuts[j+1] - yCuts[j],
+				Z0: 0, NZ: gnz,
+			})
+		}
+	}
+	return blocks, nil
+}
+
+// balancedCuts returns parts+1 cut positions over [0, len(w)) such that
+// each interval holds roughly equal total weight and at least one cell.
+func balancedCuts(w []float64, parts int) ([]int, error) {
+	n := len(w)
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	cuts := make([]int, parts+1)
+	cuts[parts] = n
+	if total <= 0 {
+		// Degenerate: fall back to equal sizes.
+		for i := 1; i < parts; i++ {
+			cuts[i], _ = split(n, parts, i)
+		}
+		return cuts, nil
+	}
+	target := total / float64(parts)
+	acc := 0.0
+	c := 1
+	for x := 0; x < n && c < parts; x++ {
+		acc += w[x]
+		// Cut after x once this part has reached its share, keeping
+		// enough cells for the remaining parts.
+		remainingCells := n - (x + 1)
+		remainingParts := parts - c
+		if (acc >= float64(c)*target && x+1 > cuts[c-1]) || remainingCells == remainingParts {
+			cuts[c] = x + 1
+			c++
+		}
+	}
+	// Any unset cuts (possible when all weight sits at the front):
+	// distribute the remaining cells one per part.
+	for ; c < parts; c++ {
+		cuts[c] = cuts[c-1] + 1
+	}
+	// Validate monotonicity and minimum sizes.
+	for i := 0; i < parts; i++ {
+		if cuts[i+1] <= cuts[i] {
+			return nil, fmt.Errorf("decomp: weighted cuts degenerate at part %d", i)
+		}
+	}
+	return cuts, nil
+}
+
+// WeightImbalance returns max/mean block weight − 1 for a decomposition
+// under the given column weight.
+func WeightImbalance(blocks []Block, weight func(x, y int) float64) float64 {
+	if len(blocks) == 0 {
+		return 0
+	}
+	sums := make([]float64, len(blocks))
+	total := 0.0
+	for i, b := range blocks {
+		for y := b.Y0; y < b.Y0+b.NY; y++ {
+			for x := b.X0; x < b.X0+b.NX; x++ {
+				sums[i] += weight(x, y)
+			}
+		}
+		total += sums[i]
+	}
+	if total <= 0 {
+		return 0
+	}
+	mean := total / float64(len(blocks))
+	maxW := 0.0
+	for _, s := range sums {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	return maxW/mean - 1
+}

@@ -1,0 +1,112 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedUniformMatchesEqual(t *testing.T) {
+	uniform := func(x, y int) float64 { return 1 }
+	blocks, err := DecomposeWeighted2D(uniform, 40, 30, 10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Cover(blocks, 40, 30, 10); err != nil {
+		t.Fatal(err)
+	}
+	if imb := WeightImbalance(blocks, uniform); imb > 0.05 {
+		t.Errorf("uniform weighted imbalance = %v, want ≈0", imb)
+	}
+}
+
+// TestWeightedBeatsEqualOnSkewedLoad: with the workload concentrated in
+// one corner (a dense city district in an otherwise open domain), the
+// weighted cuts balance far better than equal-size blocks.
+func TestWeightedBeatsEqualOnSkewedLoad(t *testing.T) {
+	// Fluid-cell weight: the left third of the domain is 80% solid.
+	weight := func(x, y int) float64 {
+		if x < 30 {
+			return 0.2
+		}
+		return 1.0
+	}
+	const gnx, gny, gnz = 90, 60, 5
+	equal, err := Decompose2D(gnx, gny, gnz, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := DecomposeWeighted2D(weight, gnx, gny, gnz, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Cover(weighted, gnx, gny, gnz); err != nil {
+		t.Fatal(err)
+	}
+	imbEq := WeightImbalance(equal, weight)
+	imbW := WeightImbalance(weighted, weight)
+	if imbW >= imbEq {
+		t.Errorf("weighted imbalance %v should beat equal-split %v", imbW, imbEq)
+	}
+	if imbW > 0.15 {
+		t.Errorf("weighted imbalance %v too high", imbW)
+	}
+	t.Logf("imbalance: equal split %.3f, weighted split %.3f", imbEq, imbW)
+}
+
+// TestWeightedCoverageProperty: any weight field yields an exact tiling.
+func TestWeightedCoverageProperty(t *testing.T) {
+	f := func(seed uint32, pxs, pys uint8) bool {
+		px := int(pxs%3) + 1
+		py := int(pys%3) + 1
+		const gnx, gny, gnz = 24, 18, 3
+		s := uint64(seed)
+		weight := func(x, y int) float64 {
+			s2 := s ^ uint64(x*31+y*17)
+			s2 = s2*6364136223846793005 + 1442695040888963407
+			return float64(s2 % 7)
+		}
+		blocks, err := DecomposeWeighted2D(weight, gnx, gny, gnz, px, py)
+		if err != nil {
+			return false
+		}
+		return Cover(blocks, gnx, gny, gnz) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightedDegenerateWeights: all-zero and front-loaded weights still
+// produce valid decompositions.
+func TestWeightedDegenerateWeights(t *testing.T) {
+	zero := func(x, y int) float64 { return 0 }
+	blocks, err := DecomposeWeighted2D(zero, 12, 12, 2, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Cover(blocks, 12, 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	// All the weight on the first column.
+	front := func(x, y int) float64 {
+		if x == 0 {
+			return 1
+		}
+		return 0
+	}
+	blocks, err = DecomposeWeighted2D(front, 12, 12, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Cover(blocks, 12, 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Negative weights rejected; nil weight falls back to equal split.
+	if _, err := DecomposeWeighted2D(func(x, y int) float64 { return -1 }, 8, 8, 2, 2, 2); err == nil {
+		t.Error("negative weight must be rejected")
+	}
+	blocks, err = DecomposeWeighted2D(nil, 8, 8, 2, 2, 2)
+	if err != nil || len(blocks) != 4 {
+		t.Errorf("nil weight fallback: %v %v", blocks, err)
+	}
+}

@@ -1,0 +1,79 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestColumnVoxelizerMatchesPointwise (property): for random box meshes
+// and grids, the column voxelizer agrees with per-point classification on
+// every cell.
+func TestColumnVoxelizerMatchesPointwise(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz uint8, gn uint8) bool {
+		lo := Vec3{float64(ax%10) + 0.3, float64(ay%10) + 0.7, float64(az%6) + 0.1}
+		hi := lo.Add(Vec3{float64(bx%8) + 1.3, float64(by%8) + 1.9, float64(bz%6) + 1.7})
+		m := BoxMesh(AABB{Min: lo, Max: hi})
+		n := int(gn%12) + 4
+		g := VoxelGrid{NX: n, NY: n, NZ: n, H: 20.0 / float64(n)}
+		a := Voxelize(m, g)
+		b := VoxelizeMeshColumns(m, g)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnVoxelizerSuboffMesh(t *testing.T) {
+	// Tessellate the Suboff hull crudely as boxes is not watertight;
+	// instead check a two-box city fragment.
+	m := NewTriMesh(append(
+		BoxMesh(AABB{Min: Vec3{2, 2, 0}, Max: Vec3{6, 6, 8}}).Tris,
+		BoxMesh(AABB{Min: Vec3{10, 3, 0}, Max: Vec3{14, 7, 5}}).Tris...))
+	g := VoxelGrid{NX: 16, NY: 10, NZ: 10, H: 1}
+	a := Voxelize(m, g)
+	b := VoxelizeMeshColumns(m, g)
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff != 0 {
+		t.Fatalf("column voxelizer differs from pointwise in %d cells", diff)
+	}
+	if SolidFraction(b) == 0 {
+		t.Fatal("nothing voxelized")
+	}
+}
+
+func BenchmarkVoxelizePointwise(b *testing.B) {
+	m := cityMesh()
+	g := VoxelGrid{NX: 48, NY: 48, NZ: 16, H: 1000.0 / 48}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Voxelize(m, g)
+	}
+}
+
+func BenchmarkVoxelizeColumns(b *testing.B) {
+	m := cityMesh()
+	g := VoxelGrid{NX: 48, NY: 48, NZ: 16, H: 1000.0 / 48}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VoxelizeMeshColumns(m, g)
+	}
+}
+
+func cityMesh() *TriMesh {
+	var tris []Triangle
+	for _, bld := range City(DefaultUrbanParams()) {
+		tris = append(tris, BoxMesh(bld.Bounds()).Tris...)
+	}
+	return NewTriMesh(tris)
+}

@@ -1,0 +1,207 @@
+// Package geometry provides the mesh-generation substrate of SunwayLB's
+// pre-processing module: analytic primitives, STL triangle meshes (the
+// "geometries from CAD tools" input), synthetic terrain and urban layouts
+// (the "terrain files from GIS software" input), and a voxelizer that
+// converts any shape into the solid-cell mask consumed by the solver.
+package geometry
+
+import "math"
+
+// Vec3 is a point or vector in 3-D space.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// AABB is an axis-aligned bounding box.
+type AABB struct{ Min, Max Vec3 }
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Union returns the smallest box containing both boxes.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y), math.Min(b.Min.Z, o.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y), math.Max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// Size returns the box edge lengths.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Shape is a solid body that can report whether a point is inside it.
+type Shape interface {
+	Contains(p Vec3) bool
+	Bounds() AABB
+}
+
+// Sphere is a solid ball.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+// Contains implements Shape.
+func (s Sphere) Contains(p Vec3) bool {
+	d := p.Sub(s.Center)
+	return d.Dot(d) <= s.Radius*s.Radius
+}
+
+// Bounds implements Shape.
+func (s Sphere) Bounds() AABB {
+	r := Vec3{s.Radius, s.Radius, s.Radius}
+	return AABB{Min: s.Center.Sub(r), Max: s.Center.Add(r)}
+}
+
+// CylinderZ is a solid circular cylinder with its axis parallel to z — the
+// paper's flow-past-cylinder benchmark geometry.
+type CylinderZ struct {
+	CX, CY     float64 // axis position
+	Radius     float64
+	ZMin, ZMax float64
+}
+
+// Contains implements Shape.
+func (c CylinderZ) Contains(p Vec3) bool {
+	if p.Z < c.ZMin || p.Z > c.ZMax {
+		return false
+	}
+	dx, dy := p.X-c.CX, p.Y-c.CY
+	return dx*dx+dy*dy <= c.Radius*c.Radius
+}
+
+// Bounds implements Shape.
+func (c CylinderZ) Bounds() AABB {
+	return AABB{
+		Min: Vec3{c.CX - c.Radius, c.CY - c.Radius, c.ZMin},
+		Max: Vec3{c.CX + c.Radius, c.CY + c.Radius, c.ZMax},
+	}
+}
+
+// Box is a solid axis-aligned box.
+type Box struct{ AABB }
+
+// Contains implements Shape.
+func (b Box) Contains(p Vec3) bool { return b.AABB.Contains(p) }
+
+// Bounds implements Shape.
+func (b Box) Bounds() AABB { return b.AABB }
+
+// Union combines several shapes into one solid.
+type Union []Shape
+
+// Contains implements Shape.
+func (u Union) Contains(p Vec3) bool {
+	for _, s := range u {
+		if s.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds implements Shape.
+func (u Union) Bounds() AABB {
+	if len(u) == 0 {
+		return AABB{}
+	}
+	b := u[0].Bounds()
+	for _, s := range u[1:] {
+		b = b.Union(s.Bounds())
+	}
+	return b
+}
+
+// Revolution is a solid of revolution around the x axis: the body occupies
+// all points with sqrt(y²+z²) ≤ Radius(x) for X0 ≤ x ≤ X1. Center gives
+// the axis position in y,z.
+type Revolution struct {
+	X0, X1 float64
+	CY, CZ float64
+	// Radius returns the hull radius at axial position x∈[X0,X1];
+	// it must return ≤ 0 outside the body.
+	Radius func(x float64) float64
+	// RMax bounds Radius for the bounding box.
+	RMax float64
+}
+
+// Contains implements Shape.
+func (r Revolution) Contains(p Vec3) bool {
+	if p.X < r.X0 || p.X > r.X1 {
+		return false
+	}
+	rad := r.Radius(p.X)
+	if rad <= 0 {
+		return false
+	}
+	dy, dz := p.Y-r.CY, p.Z-r.CZ
+	return dy*dy+dz*dz <= rad*rad
+}
+
+// Bounds implements Shape.
+func (r Revolution) Bounds() AABB {
+	return AABB{
+		Min: Vec3{r.X0, r.CY - r.RMax, r.CZ - r.RMax},
+		Max: Vec3{r.X1, r.CY + r.RMax, r.CZ + r.RMax},
+	}
+}
+
+// Suboff returns a DARPA-Suboff-like axisymmetric hull (without
+// appendages): an elliptical bow, a cylindrical parallel middle body and a
+// tapered stern, with overall length L and maximum radius R, positioned
+// with the nose at x0 on an axis through (cy, cz). The real Suboff hull is
+// defined by polynomial offsets; this three-segment approximation has the
+// same topology and comparable fineness ratio, which is what the flow
+// benchmark exercises.
+func Suboff(x0, cy, cz, L, R float64) Revolution {
+	bow := 0.22 * L
+	stern := 0.30 * L
+	return Revolution{
+		X0: x0, X1: x0 + L,
+		CY: cy, CZ: cz,
+		RMax: R,
+		Radius: func(x float64) float64 {
+			t := x - x0
+			switch {
+			case t < 0 || t > L:
+				return 0
+			case t < bow:
+				// Elliptical nose.
+				u := 1 - t/bow
+				return R * math.Sqrt(math.Max(0, 1-u*u))
+			case t > L-stern:
+				// Cubic stern taper down to a small tail radius.
+				u := (L - t) / stern
+				return R * (0.1 + 0.9*u*u*(3-2*u))
+			default:
+				return R
+			}
+		},
+	}
+}

@@ -1,0 +1,274 @@
+package geometry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Triangle is one facet of a surface mesh.
+type Triangle struct {
+	V [3]Vec3
+}
+
+// Normal returns the (unnormalised) facet normal.
+func (t Triangle) Normal() Vec3 {
+	return t.V[1].Sub(t.V[0]).Cross(t.V[2].Sub(t.V[0]))
+}
+
+// TriMesh is a triangle surface mesh; when watertight it also acts as a
+// solid Shape via ray-parity point classification.
+type TriMesh struct {
+	Tris []Triangle
+
+	bounds   AABB
+	hasCache bool
+}
+
+// NewTriMesh builds a mesh from triangles.
+func NewTriMesh(tris []Triangle) *TriMesh {
+	m := &TriMesh{Tris: tris}
+	m.computeBounds()
+	return m
+}
+
+func (m *TriMesh) computeBounds() {
+	if len(m.Tris) == 0 {
+		m.bounds = AABB{}
+		m.hasCache = true
+		return
+	}
+	b := AABB{Min: m.Tris[0].V[0], Max: m.Tris[0].V[0]}
+	for _, t := range m.Tris {
+		for _, v := range t.V {
+			b.Min.X = math.Min(b.Min.X, v.X)
+			b.Min.Y = math.Min(b.Min.Y, v.Y)
+			b.Min.Z = math.Min(b.Min.Z, v.Z)
+			b.Max.X = math.Max(b.Max.X, v.X)
+			b.Max.Y = math.Max(b.Max.Y, v.Y)
+			b.Max.Z = math.Max(b.Max.Z, v.Z)
+		}
+	}
+	m.bounds = b
+	m.hasCache = true
+}
+
+// Bounds implements Shape.
+func (m *TriMesh) Bounds() AABB {
+	if !m.hasCache {
+		m.computeBounds()
+	}
+	return m.bounds
+}
+
+// Contains implements Shape using ray parity: a point is inside a
+// watertight mesh iff a ray in +z crosses the surface an odd number of
+// times. A tiny offset on the ray origin avoids edge-on degeneracies for
+// lattice-aligned sample points.
+func (m *TriMesh) Contains(p Vec3) bool {
+	if !m.Bounds().Contains(p) {
+		return false
+	}
+	// Offset breaks ties with axis-aligned facet edges.
+	ox, oy := p.X+1.23456789e-7, p.Y+2.3456789e-7
+	crossings := 0
+	for _, t := range m.Tris {
+		if rayZIntersects(t, ox, oy, p.Z) {
+			crossings++
+		}
+	}
+	return crossings%2 == 1
+}
+
+// rayZIntersects reports whether the vertical ray from (x, y, z) towards
+// +z passes through triangle t.
+func rayZIntersects(t Triangle, x, y, z float64) bool {
+	// Project onto the xy plane and do a 2-D point-in-triangle test,
+	// then check the intersection height.
+	x0, y0 := t.V[0].X, t.V[0].Y
+	x1, y1 := t.V[1].X, t.V[1].Y
+	x2, y2 := t.V[2].X, t.V[2].Y
+	d := (y1-y2)*(x0-x2) + (x2-x1)*(y0-y2)
+	if d == 0 {
+		return false // degenerate in projection (vertical facet)
+	}
+	a := ((y1-y2)*(x-x2) + (x2-x1)*(y-y2)) / d
+	b := ((y2-y0)*(x-x2) + (x0-x2)*(y-y2)) / d
+	c := 1 - a - b
+	if a < 0 || b < 0 || c < 0 {
+		return false
+	}
+	zi := a*t.V[0].Z + b*t.V[1].Z + c*t.V[2].Z
+	return zi > z
+}
+
+// ReadSTL parses an STL file, auto-detecting the ASCII and binary
+// variants.
+func ReadSTL(r io.Reader) (*TriMesh, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(5)
+	if err != nil {
+		return nil, fmt.Errorf("geometry: reading STL header: %w", err)
+	}
+	if string(head) == "solid" {
+		// Could still be binary with a header starting with "solid";
+		// try ASCII first and fall back.
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("geometry: reading STL: %w", err)
+		}
+		if m, err := parseASCIISTL(string(data)); err == nil {
+			return m, nil
+		}
+		return parseBinarySTL(data)
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("geometry: reading STL: %w", err)
+	}
+	return parseBinarySTL(data)
+}
+
+func parseASCIISTL(s string) (*TriMesh, error) {
+	var tris []Triangle
+	var cur []Vec3
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "vertex":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("geometry: malformed STL vertex line %q", sc.Text())
+			}
+			var v Vec3
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%g %g %g", &v.X, &v.Y, &v.Z); err != nil {
+				return nil, fmt.Errorf("geometry: parsing STL vertex: %w", err)
+			}
+			cur = append(cur, v)
+		case "endfacet":
+			if len(cur) != 3 {
+				return nil, fmt.Errorf("geometry: STL facet with %d vertices", len(cur))
+			}
+			tris = append(tris, Triangle{V: [3]Vec3{cur[0], cur[1], cur[2]}})
+			cur = cur[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("geometry: scanning ASCII STL: %w", err)
+	}
+	if len(tris) == 0 {
+		return nil, fmt.Errorf("geometry: ASCII STL contains no facets")
+	}
+	return NewTriMesh(tris), nil
+}
+
+func parseBinarySTL(data []byte) (*TriMesh, error) {
+	if len(data) < 84 {
+		return nil, fmt.Errorf("geometry: binary STL truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[80:84])
+	want := 84 + int(n)*50
+	if len(data) < want {
+		return nil, fmt.Errorf("geometry: binary STL claims %d facets but has %d bytes", n, len(data))
+	}
+	tris := make([]Triangle, 0, n)
+	off := 84
+	for i := uint32(0); i < n; i++ {
+		var t Triangle
+		p := off + 12 // skip the normal
+		for v := 0; v < 3; v++ {
+			t.V[v] = Vec3{
+				X: float64(math.Float32frombits(binary.LittleEndian.Uint32(data[p : p+4]))),
+				Y: float64(math.Float32frombits(binary.LittleEndian.Uint32(data[p+4 : p+8]))),
+				Z: float64(math.Float32frombits(binary.LittleEndian.Uint32(data[p+8 : p+12]))),
+			}
+			p += 12
+		}
+		tris = append(tris, t)
+		off += 50
+	}
+	return NewTriMesh(tris), nil
+}
+
+// WriteBinarySTL serialises the mesh in the binary STL format.
+func (m *TriMesh) WriteBinarySTL(w io.Writer) error {
+	header := make([]byte, 80)
+	copy(header, "sunwaylb binary stl")
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("geometry: writing STL header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(m.Tris))); err != nil {
+		return fmt.Errorf("geometry: writing STL count: %w", err)
+	}
+	buf := make([]byte, 50)
+	for _, t := range m.Tris {
+		n := t.Normal()
+		if l := n.Norm(); l > 0 {
+			n = n.Scale(1 / l)
+		}
+		vals := []float64{n.X, n.Y, n.Z,
+			t.V[0].X, t.V[0].Y, t.V[0].Z,
+			t.V[1].X, t.V[1].Y, t.V[1].Z,
+			t.V[2].X, t.V[2].Y, t.V[2].Z}
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		}
+		buf[48], buf[49] = 0, 0
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("geometry: writing STL facet: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteASCIISTL serialises the mesh in the ASCII STL format.
+func (m *TriMesh) WriteASCIISTL(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "solid %s\n", name)
+	for _, t := range m.Tris {
+		n := t.Normal()
+		if l := n.Norm(); l > 0 {
+			n = n.Scale(1 / l)
+		}
+		fmt.Fprintf(bw, "  facet normal %g %g %g\n    outer loop\n", n.X, n.Y, n.Z)
+		for _, v := range t.V {
+			fmt.Fprintf(bw, "      vertex %g %g %g\n", v.X, v.Y, v.Z)
+		}
+		fmt.Fprintf(bw, "    endloop\n  endfacet\n")
+	}
+	fmt.Fprintf(bw, "endsolid %s\n", name)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("geometry: writing ASCII STL: %w", err)
+	}
+	return nil
+}
+
+// BoxMesh returns a watertight 12-triangle mesh of an axis-aligned box,
+// useful for tests and as a building block for synthetic cities.
+func BoxMesh(b AABB) *TriMesh {
+	lo, hi := b.Min, b.Max
+	v := [8]Vec3{
+		{lo.X, lo.Y, lo.Z}, {hi.X, lo.Y, lo.Z}, {hi.X, hi.Y, lo.Z}, {lo.X, hi.Y, lo.Z},
+		{lo.X, lo.Y, hi.Z}, {hi.X, lo.Y, hi.Z}, {hi.X, hi.Y, hi.Z}, {lo.X, hi.Y, hi.Z},
+	}
+	quad := func(a, b, c, d int) []Triangle {
+		return []Triangle{
+			{V: [3]Vec3{v[a], v[b], v[c]}},
+			{V: [3]Vec3{v[a], v[c], v[d]}},
+		}
+	}
+	var tris []Triangle
+	tris = append(tris, quad(0, 3, 2, 1)...) // bottom (z-)
+	tris = append(tris, quad(4, 5, 6, 7)...) // top (z+)
+	tris = append(tris, quad(0, 1, 5, 4)...) // y-
+	tris = append(tris, quad(2, 3, 7, 6)...) // y+
+	tris = append(tris, quad(0, 4, 7, 3)...) // x-
+	tris = append(tris, quad(1, 2, 6, 5)...) // x+
+	return NewTriMesh(tris)
+}

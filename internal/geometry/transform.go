@@ -1,0 +1,72 @@
+package geometry
+
+import "math"
+
+// Transformations for placing CAD geometry (STL input) into the lattice
+// frame — the pre-processing step between reading a hull model and
+// voxelizing it.
+
+// Translate returns a copy of the mesh shifted by d.
+func (m *TriMesh) Translate(d Vec3) *TriMesh {
+	out := make([]Triangle, len(m.Tris))
+	for i, t := range m.Tris {
+		for v := 0; v < 3; v++ {
+			out[i].V[v] = t.V[v].Add(d)
+		}
+	}
+	return NewTriMesh(out)
+}
+
+// Scale returns a copy of the mesh scaled by s about the origin.
+func (m *TriMesh) Scale(s float64) *TriMesh {
+	out := make([]Triangle, len(m.Tris))
+	for i, t := range m.Tris {
+		for v := 0; v < 3; v++ {
+			out[i].V[v] = t.V[v].Scale(s)
+		}
+	}
+	return NewTriMesh(out)
+}
+
+// RotateZ returns a copy of the mesh rotated by the angle (radians) about
+// the z axis through the origin.
+func (m *TriMesh) RotateZ(angle float64) *TriMesh {
+	c, s := math.Cos(angle), math.Sin(angle)
+	out := make([]Triangle, len(m.Tris))
+	for i, t := range m.Tris {
+		for v := 0; v < 3; v++ {
+			p := t.V[v]
+			out[i].V[v] = Vec3{X: c*p.X - s*p.Y, Y: s*p.X + c*p.Y, Z: p.Z}
+		}
+	}
+	return NewTriMesh(out)
+}
+
+// FitTo returns a copy of the mesh uniformly scaled and translated so its
+// bounding box fills the target box (preserving aspect ratio, centred).
+func (m *TriMesh) FitTo(target AABB) *TriMesh {
+	b := m.Bounds()
+	size := b.Size()
+	tsize := target.Size()
+	s := math.Inf(1)
+	for _, r := range []float64{safeDiv(tsize.X, size.X), safeDiv(tsize.Y, size.Y), safeDiv(tsize.Z, size.Z)} {
+		if r < s {
+			s = r
+		}
+	}
+	if math.IsInf(s, 1) || s <= 0 {
+		s = 1
+	}
+	scaled := m.Scale(s)
+	sb := scaled.Bounds()
+	center := target.Min.Add(target.Max).Scale(0.5)
+	scenter := sb.Min.Add(sb.Max).Scale(0.5)
+	return scaled.Translate(center.Sub(scenter))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}

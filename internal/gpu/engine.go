@@ -1,0 +1,44 @@
+package gpu
+
+import (
+	"fmt"
+
+	"sunwaylb/internal/core"
+)
+
+// Engine drives a lattice functionally (the same fused kernel validated in
+// internal/core — the CUDA port computes the identical update) while
+// charging the GPU node's data-path timing. It implements the
+// psolve.Stepper contract, so a distributed run can model a multi-node GPU
+// cluster the same way swlb.Engine models Sunway core groups.
+type Engine struct {
+	Lat  *core.Lattice
+	Spec Spec
+	Opt  Options
+
+	// LastTime is the modelled node time of the last step; TotalTime
+	// accumulates.
+	LastTime  float64
+	TotalTime float64
+}
+
+// NewEngine validates the configuration and builds the engine.
+func NewEngine(lat *core.Lattice, spec Spec, opt Options) (*Engine, error) {
+	if spec.GPUsPerNode < 1 || spec.DeviceBandwidth <= 0 {
+		return nil, fmt.Errorf("gpu: invalid spec %+v", spec)
+	}
+	return &Engine{Lat: lat, Spec: spec, Opt: opt}, nil
+}
+
+// Step advances the lattice one time step (halos must be prepared by the
+// caller) and returns the modelled GPU-node step time.
+func (e *Engine) Step() float64 {
+	e.Lat.StepFusedParallel(0)
+	e.LastTime = e.Spec.NodeStepTime(e.Lat.NX, e.Lat.NY, e.Lat.NZ, e.Opt)
+	e.TotalTime += e.LastTime
+	return e.LastTime
+}
+
+// Rebuild implements the psolve.Stepper contract; the GPU timing model has
+// no geometry-derived state.
+func (e *Engine) Rebuild() {}

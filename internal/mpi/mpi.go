@@ -1,0 +1,370 @@
+// Package mpi is an in-process message-passing runtime that mirrors the
+// subset of MPI used by SunwayLB: point-to-point send/receive (blocking and
+// non-blocking), barriers, reductions, broadcast and gather, and a 2-D
+// Cartesian communicator with the 8-neighbour topology of the paper's
+// domain decomposition (§IV-C-1).
+//
+// Ranks execute as goroutines inside one OS process, which makes
+// multi-rank runs deterministic, race-detectable and directly comparable
+// with the serial solver — the functional-correctness half of the
+// extreme-scale substitution (the performance half lives in
+// internal/network and internal/scaling).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is the payload of a point-to-point transfer: a float64 body
+// (populations) and an optional byte sidecar (cell flags).
+type Message struct {
+	Data []float64
+	Aux  []byte
+}
+
+type chanKey struct{ src, dst, tag int }
+
+// mailbox is one ordered (src, dst, tag) message stream. Sends never
+// block (the queue is unbounded) and receives match in posting order,
+// which is the MPI ordering guarantee the halo exchange relies on.
+type mailbox struct {
+	mu      sync.Mutex
+	queue   []Message
+	waiters []chan Message
+}
+
+// put delivers a message: to the oldest waiting receiver if any,
+// otherwise onto the queue.
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	if len(mb.waiters) > 0 {
+		w := mb.waiters[0]
+		mb.waiters = mb.waiters[1:]
+		mb.mu.Unlock()
+		w <- m
+		return
+	}
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+}
+
+// get returns a channel that will yield the next message in stream order.
+func (mb *mailbox) get() <-chan Message {
+	ch := make(chan Message, 1)
+	mb.mu.Lock()
+	if len(mb.queue) > 0 {
+		m := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.mu.Unlock()
+		ch <- m
+		return ch
+	}
+	mb.waiters = append(mb.waiters, ch)
+	mb.mu.Unlock()
+	return ch
+}
+
+// World owns the communication state for a fixed number of ranks.
+type World struct {
+	size int
+
+	mu    sync.Mutex
+	boxes map[chanKey]*mailbox
+
+	barrier struct {
+		sync.Mutex
+		cond  *sync.Cond
+		count int
+		gen   int
+	}
+}
+
+// internal collective tags live in a reserved negative range so they never
+// collide with user tags (which must be ≥ 0).
+const (
+	tagReduce = -1 - iota
+	tagBcast
+	tagGather
+	tagAllgather
+	tagAlltoall
+)
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", size)
+	}
+	w := &World{size: size, boxes: make(map[chanKey]*mailbox)}
+	w.barrier.cond = sync.NewCond(&w.barrier.Mutex)
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// box returns (lazily creating) the mailbox for a (src, dst, tag) triple.
+func (w *World) box(src, dst, tag int) *mailbox {
+	k := chanKey{src, dst, tag}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	mb, ok := w.boxes[k]
+	if !ok {
+		mb = &mailbox{}
+		w.boxes[k] = mb
+	}
+	return mb
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// validate panics on out-of-range peers or negative user tags; these are
+// programming errors, not runtime conditions.
+func (c *Comm) validate(peer, tag int) {
+	if peer < 0 || peer >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", peer, c.world.size))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tag %d must be non-negative", tag))
+	}
+}
+
+// Send delivers a message to dst. The transport buffers without bound, so
+// Send never blocks (MPI buffered-send semantics).
+func (c *Comm) Send(dst, tag int, m Message) {
+	c.validate(dst, tag)
+	c.world.box(c.rank, dst, tag).put(m)
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+// Receives on one (src, tag) stream complete in message order.
+func (c *Comm) Recv(src, tag int) Message {
+	c.validate(src, tag)
+	return <-c.world.box(src, c.rank, tag).get()
+}
+
+// Request represents an outstanding non-blocking operation.
+type Request struct {
+	done chan struct{}
+	msg  Message
+	recv bool
+}
+
+// Wait blocks until the operation completes; for receives it returns the
+// message.
+func (r *Request) Wait() Message {
+	<-r.done
+	return r.msg
+}
+
+// Isend starts a non-blocking send. The returned request completes when
+// the message has been handed to the transport (buffered), matching MPI's
+// completion-not-delivery semantics; with an unbounded transport that is
+// immediately.
+func (c *Comm) Isend(dst, tag int, m Message) *Request {
+	c.validate(dst, tag)
+	r := &Request{done: make(chan struct{})}
+	c.world.box(c.rank, dst, tag).put(m)
+	close(r.done)
+	return r
+}
+
+// Irecv starts a non-blocking receive. Requests posted on the same
+// (src, tag) stream match arriving messages in posting order.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.validate(src, tag)
+	r := &Request{done: make(chan struct{}), recv: true}
+	ch := c.world.box(src, c.rank, tag).get()
+	go func() {
+		r.msg = <-ch
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	b := &c.world.barrier
+	b.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == c.world.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.Unlock()
+}
+
+// AllreduceSum returns the sum of v over all ranks, on every rank.
+func (c *Comm) AllreduceSum(v float64) float64 {
+	return c.allreduce(v, func(a, b float64) float64 { return a + b })
+}
+
+// AllreduceMax returns the maximum of v over all ranks, on every rank.
+func (c *Comm) AllreduceMax(v float64) float64 {
+	return c.allreduce(v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllreduceMin returns the minimum of v over all ranks, on every rank.
+func (c *Comm) AllreduceMin(v float64) float64 {
+	return c.allreduce(v, func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+func (c *Comm) allreduce(v float64, op func(a, b float64) float64) float64 {
+	w := c.world
+	if w.size == 1 {
+		return v
+	}
+	if c.rank == 0 {
+		acc := v
+		for r := 1; r < w.size; r++ {
+			m := <-w.box(r, 0, tagReduce).get()
+			acc = op(acc, m.Data[0])
+		}
+		for r := 1; r < w.size; r++ {
+			w.box(0, r, tagBcast).put(Message{Data: []float64{acc}})
+		}
+		return acc
+	}
+	w.box(c.rank, 0, tagReduce).put(Message{Data: []float64{v}})
+	m := <-w.box(0, c.rank, tagBcast).get()
+	return m.Data[0]
+}
+
+// Bcast distributes root's message to every rank and returns it.
+func (c *Comm) Bcast(root int, m Message) Message {
+	w := c.world
+	if w.size == 1 {
+		return m
+	}
+	if c.rank == root {
+		for r := 0; r < w.size; r++ {
+			if r != root {
+				w.box(root, r, tagBcast).put(m)
+			}
+		}
+		return m
+	}
+	return <-w.box(root, c.rank, tagBcast).get()
+}
+
+// Gather collects one message from every rank at root; non-root ranks get
+// nil. The result is indexed by rank.
+func (c *Comm) Gather(root int, m Message) []Message {
+	w := c.world
+	if c.rank == root {
+		out := make([]Message, w.size)
+		out[root] = m
+		for r := 0; r < w.size; r++ {
+			if r != root {
+				out[r] = <-w.box(r, root, tagGather).get()
+			}
+		}
+		return out
+	}
+	w.box(c.rank, root, tagGather).put(m)
+	return nil
+}
+
+// Allgather collects one message from every rank on every rank.
+func (c *Comm) Allgather(m Message) []Message {
+	w := c.world
+	out := make([]Message, w.size)
+	out[c.rank] = m
+	for r := 0; r < w.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		w.box(c.rank, r, tagAllgather).put(m)
+	}
+	for r := 0; r < w.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		out[r] = <-w.box(r, c.rank, tagAllgather).get()
+	}
+	return out
+}
+
+// Alltoall exchanges one message per rank pair: msgs[r] is sent to rank r
+// and the result's slot r holds the message received from rank r (own slot
+// passes through locally).
+func (c *Comm) Alltoall(msgs []Message) []Message {
+	w := c.world
+	if len(msgs) != w.size {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d messages, got %d", w.size, len(msgs)))
+	}
+	out := make([]Message, w.size)
+	out[c.rank] = msgs[c.rank]
+	for r := 0; r < w.size; r++ {
+		if r != c.rank {
+			w.box(c.rank, r, tagAlltoall).put(msgs[r])
+		}
+	}
+	for r := 0; r < w.size; r++ {
+		if r != c.rank {
+			out[r] = <-w.box(r, c.rank, tagAlltoall).get()
+		}
+	}
+	return out
+}
+
+// Run spawns size ranks executing body concurrently and waits for all of
+// them. The first non-nil error (by rank order) is returned.
+func Run(size int, body func(c *Comm) error) error {
+	w, err := NewWorld(size)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			return fmt.Errorf("mpi: rank %d: %w", r, e)
+		}
+	}
+	return nil
+}

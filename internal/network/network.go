@@ -1,0 +1,131 @@
+// Package network models the interconnects of the evaluated systems: the
+// Sunway supernode (256 processors fully connected through a customised
+// switch board) with a fat tree above it (§III-A, Fig. 2(b)), and the
+// InfiniBand-style network of the GPU cluster. The scaling experiments use
+// it to cost halo-exchange messages at rank counts far beyond what can be
+// run functionally.
+package network
+
+import "fmt"
+
+// Topology holds the latency/bandwidth constants of one interconnect.
+type Topology struct {
+	Name string
+	// RanksPerSupernode is the number of MPI ranks sharing the
+	// all-to-all switch board (256 processors × CGs per processor on
+	// the Sunway systems; GPUs per node on the GPU cluster).
+	RanksPerSupernode int
+	// Intra-supernode (switch-board) link parameters.
+	IntraLatency   float64
+	IntraBandwidth float64
+	// Inter-supernode (fat-tree) link parameters.
+	InterLatency   float64
+	InterBandwidth float64
+	// SoftwareOverhead is the per-message injection cost (MPI stack).
+	SoftwareOverhead float64
+}
+
+// TaihuLightNet: a supernode is 256 SW26010 processors = 1024 CGs (ranks);
+// the fat tree above uses the proprietary high-speed interconnect.
+var TaihuLightNet = Topology{
+	Name:              "TaihuLight supernode + fat tree",
+	RanksPerSupernode: 256 * 4,
+	IntraLatency:      1e-6,
+	IntraBandwidth:    6e9,
+	InterLatency:      2.5e-6,
+	InterBandwidth:    4e9,
+	SoftwareOverhead:  1.5e-6,
+}
+
+// NewSunwayNet: 256 SW26010-Pro processors = 1536 CGs per supernode.
+var NewSunwayNet = Topology{
+	Name:              "New Sunway supernode + fat tree",
+	RanksPerSupernode: 256 * 6,
+	IntraLatency:      0.9e-6,
+	IntraBandwidth:    8e9,
+	InterLatency:      2.2e-6,
+	InterBandwidth:    6e9,
+	SoftwareOverhead:  1.2e-6,
+}
+
+// GPUClusterNet: 8 GPUs per node; inter-node 100 Gb/s InfiniBand.
+var GPUClusterNet = Topology{
+	Name:              "GPU cluster (NVLink/PCIe intra, IB inter)",
+	RanksPerSupernode: 8,
+	IntraLatency:      5e-6,
+	IntraBandwidth:    24e9,
+	InterLatency:      8e-6,
+	InterBandwidth:    12.5e9,
+	SoftwareOverhead:  3e-6,
+}
+
+// SameSupernode reports whether two ranks share a supernode under the
+// default block placement (consecutive ranks fill supernodes in order).
+func (t Topology) SameSupernode(a, b int) bool {
+	if t.RanksPerSupernode <= 0 {
+		return true
+	}
+	return a/t.RanksPerSupernode == b/t.RanksPerSupernode
+}
+
+// MessageTime returns the transfer time of one point-to-point message.
+func (t Topology) MessageTime(bytes int64, sameSupernode bool) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	lat, bw := t.IntraLatency, t.IntraBandwidth
+	if !sameSupernode {
+		lat, bw = t.InterLatency, t.InterBandwidth
+	}
+	return t.SoftwareOverhead + lat + float64(bytes)/bw
+}
+
+// Message describes one halo-exchange message for costing.
+type Message struct {
+	Bytes         int64
+	SameSupernode bool
+}
+
+// HaloExchangeTime costs a non-blocking halo exchange: messages to
+// distinct neighbours proceed concurrently over independent links, so the
+// wire time is the maximum over messages, but each message's injection
+// (software overhead) serialises on the host core.
+func (t Topology) HaloExchangeTime(msgs []Message) float64 {
+	if len(msgs) == 0 {
+		return 0
+	}
+	maxWire := 0.0
+	inject := 0.0
+	for _, m := range msgs {
+		lat, bw := t.IntraLatency, t.IntraBandwidth
+		if !m.SameSupernode {
+			lat, bw = t.InterLatency, t.InterBandwidth
+		}
+		wire := lat + float64(m.Bytes)/bw
+		if wire > maxWire {
+			maxWire = wire
+		}
+		inject += t.SoftwareOverhead
+	}
+	return inject + maxWire
+}
+
+// AllreduceTime costs a scalar allreduce over n ranks as a binary
+// tree of small messages (used once per step for residuals/diagnostics;
+// negligible but modelled for completeness).
+func (t Topology) AllreduceTime(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	depth := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		depth++
+	}
+	// Up and down the tree; conservatively inter-supernode hops.
+	return 2 * float64(depth) * t.MessageTime(8, false)
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	return fmt.Sprintf("%s (%d ranks/supernode)", t.Name, t.RanksPerSupernode)
+}

@@ -1,0 +1,100 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSameSupernode(t *testing.T) {
+	n := TaihuLightNet
+	if !n.SameSupernode(0, 1023) {
+		t.Error("ranks 0 and 1023 share the first supernode (256 procs × 4 CGs)")
+	}
+	if n.SameSupernode(1023, 1024) {
+		t.Error("ranks 1023 and 1024 are in different supernodes")
+	}
+	degenerate := Topology{}
+	if !degenerate.SameSupernode(0, 1e6) {
+		t.Error("zero-sized supernode must mean a flat network")
+	}
+}
+
+func TestMessageTimeOrdering(t *testing.T) {
+	n := TaihuLightNet
+	intra := n.MessageTime(1<<20, true)
+	inter := n.MessageTime(1<<20, false)
+	if intra >= inter {
+		t.Errorf("intra-supernode (%v) must beat inter-supernode (%v)", intra, inter)
+	}
+	if n.MessageTime(0, true) < n.SoftwareOverhead+n.IntraLatency {
+		t.Error("empty message still costs latency + overhead")
+	}
+	if n.MessageTime(-5, true) != n.MessageTime(0, true) {
+		t.Error("negative sizes clamp to zero")
+	}
+}
+
+func TestMessageTimeMonotonic(t *testing.T) {
+	n := NewSunwayNet
+	f := func(a, b uint32, sn bool) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return n.MessageTime(x, sn) <= n.MessageTime(y, sn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaloExchangeTime(t *testing.T) {
+	n := TaihuLightNet
+	if n.HaloExchangeTime(nil) != 0 {
+		t.Error("no messages, no cost")
+	}
+	// Eight neighbours, one big face dominating.
+	msgs := []Message{
+		{Bytes: 10 << 20, SameSupernode: true},
+		{Bytes: 10 << 20, SameSupernode: true},
+		{Bytes: 1 << 10, SameSupernode: true},
+		{Bytes: 1 << 10, SameSupernode: true},
+		{Bytes: 64, SameSupernode: true}, {Bytes: 64, SameSupernode: true},
+		{Bytes: 64, SameSupernode: true}, {Bytes: 64, SameSupernode: true},
+	}
+	got := n.HaloExchangeTime(msgs)
+	wire := n.IntraLatency + float64(10<<20)/n.IntraBandwidth
+	want := 8*n.SoftwareOverhead + wire
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("halo time = %v, want %v", got, want)
+	}
+	// Moving the big faces off-supernode must cost more.
+	msgs[0].SameSupernode = false
+	msgs[1].SameSupernode = false
+	if n.HaloExchangeTime(msgs) <= got {
+		t.Error("inter-supernode faces must increase the halo time")
+	}
+}
+
+func TestAllreduceTime(t *testing.T) {
+	n := TaihuLightNet
+	if n.AllreduceTime(1) != 0 {
+		t.Error("single rank allreduce is free")
+	}
+	t4, t160k := n.AllreduceTime(4), n.AllreduceTime(160000)
+	if t4 <= 0 || t160k <= t4 {
+		t.Errorf("allreduce must grow with ranks: %v vs %v", t4, t160k)
+	}
+	// Logarithmic: 160000 ranks is ~18 doublings, so under 40 hops.
+	if t160k > 40*n.MessageTime(8, false) {
+		t.Errorf("allreduce of 160000 ranks too expensive: %v", t160k)
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for _, topo := range []Topology{TaihuLightNet, NewSunwayNet, GPUClusterNet} {
+		if topo.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"sunwaylb/internal/perf"
+)
+
+// ExampleRooflineLUPS reproduces the paper's §V-A roofline arithmetic.
+func ExampleRooflineLUPS() {
+	perCG := perf.RooflineLUPS(32 << 30) // one SW26010 core group
+	fmt.Printf("%.1f MLUPS per CG\n", perCG.MLUPS())
+	fmt.Printf("%.0f GLUPS ceiling for 160000 CGs\n", perCG.GLUPS()*160000)
+	// Output:
+	// 90.4 MLUPS per CG
+	// 14467 GLUPS ceiling for 160000 CGs
+}
+
+// ExampleBandwidthUtilization recomputes the paper's 77% headline.
+func ExampleBandwidthUtilization() {
+	measured := perf.LUPS(11245e9 / 160000) // per-CG share of 11245 GLUPS
+	util := perf.BandwidthUtilization(measured, 32<<30)
+	fmt.Printf("%.0f%%\n", util*100)
+	// Output: 78%
+}
+
+// ExampleRate applies eq. (2) of the paper: P = M / t_s.
+func ExampleRate() {
+	r := perf.Rate(5.6e12, 0.4802) // 5.6T cells, one step
+	fmt.Println(r)
+	// Output: 11661.8 GLUPS
+}

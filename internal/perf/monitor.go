@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Monitor accumulates per-step timings during a run — the role the PERF
+// performance monitor plays on Sunway TaihuLight (§V: "The performance in
+// terms of Flops is measured by a performance monitor ... called PERF").
+// It reports rates, sustained flops and step-time statistics.
+type Monitor struct {
+	// Cells is the number of lattice cells updated per step.
+	Cells int64
+
+	samples []float64
+	started time.Time
+	running bool
+}
+
+// NewMonitor creates a monitor for a domain of the given size.
+func NewMonitor(cells int64) *Monitor { return &Monitor{Cells: cells} }
+
+// StepStart marks the beginning of a step.
+func (m *Monitor) StepStart() {
+	m.started = time.Now()
+	m.running = true
+}
+
+// StepEnd marks the end of a step and records its duration.
+func (m *Monitor) StepEnd() {
+	if !m.running {
+		return
+	}
+	m.Record(time.Since(m.started).Seconds())
+	m.running = false
+}
+
+// Record adds an externally measured step duration (e.g. a simulated
+// time from the Sunway engine).
+func (m *Monitor) Record(seconds float64) {
+	m.samples = append(m.samples, seconds)
+}
+
+// Steps returns the number of recorded steps.
+func (m *Monitor) Steps() int { return len(m.samples) }
+
+// Total returns the summed step time.
+func (m *Monitor) Total() float64 {
+	t := 0.0
+	for _, s := range m.samples {
+		t += s
+	}
+	return t
+}
+
+// Mean returns the average step time.
+func (m *Monitor) Mean() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	return m.Total() / float64(len(m.samples))
+}
+
+// Percentile returns the p-th percentile step time (p in [0,100]).
+func (m *Monitor) Percentile(p float64) float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), m.samples...)
+	sort.Float64s(sorted)
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Rate returns the average update rate over all recorded steps.
+func (m *Monitor) Rate() LUPS {
+	t := m.Total()
+	if t <= 0 {
+		return 0
+	}
+	return Rate(m.Cells*int64(len(m.samples)), t)
+}
+
+// SustainedFlops returns the implied floating-point rate.
+func (m *Monitor) SustainedFlops() float64 { return m.Rate().Flops() }
+
+// Summary formats a one-line report.
+func (m *Monitor) Summary() string {
+	if len(m.samples) == 0 {
+		return "no steps recorded"
+	}
+	return fmt.Sprintf("%d steps, %s, mean %.3g s/step (p50 %.3g, p99 %.3g)",
+		m.Steps(), m.Rate(), m.Mean(), m.Percentile(50), m.Percentile(99))
+}
+
+// Reset clears all samples.
+func (m *Monitor) Reset() { m.samples = m.samples[:0]; m.running = false }
+
+// DominantPeriod estimates the period of an oscillating signal from the
+// mean spacing of its upward mean-crossings — the estimator behind the
+// Strouhal-number measurements of the cylinder benchmark. It returns
+// ok=false when fewer than three crossings exist (signal not yet
+// periodic).
+func DominantPeriod(signal []float64) (period float64, ok bool) {
+	if len(signal) < 8 {
+		return 0, false
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(len(signal))
+	var crossings []int
+	for i := 1; i < len(signal); i++ {
+		if signal[i-1]-mean < 0 && signal[i]-mean >= 0 {
+			crossings = append(crossings, i)
+		}
+	}
+	if len(crossings) < 3 {
+		return 0, false
+	}
+	return float64(crossings[len(crossings)-1]-crossings[0]) / float64(len(crossings)-1), true
+}

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMonitorRecord(t *testing.T) {
+	m := NewMonitor(1000)
+	for _, s := range []float64{0.01, 0.02, 0.03} {
+		m.Record(s)
+	}
+	if m.Steps() != 3 {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+	if math.Abs(m.Total()-0.06) > 1e-12 {
+		t.Errorf("total = %v", m.Total())
+	}
+	if math.Abs(m.Mean()-0.02) > 1e-12 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	// 3000 cells in 0.06 s = 50 kLUPS.
+	if got := float64(m.Rate()); math.Abs(got-50000) > 1e-6 {
+		t.Errorf("rate = %v", got)
+	}
+	if got := m.SustainedFlops(); math.Abs(got-50000*FlopsPerLUP) > 1e-3 {
+		t.Errorf("flops = %v", got)
+	}
+}
+
+func TestMonitorPercentiles(t *testing.T) {
+	m := NewMonitor(1)
+	for i := 1; i <= 100; i++ {
+		m.Record(float64(i))
+	}
+	if p := m.Percentile(0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := m.Percentile(100); p != 100 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := m.Percentile(50); math.Abs(p-50.5) > 1e-9 {
+		t.Errorf("p50 = %v", p)
+	}
+}
+
+func TestMonitorStartEnd(t *testing.T) {
+	m := NewMonitor(10)
+	m.StepStart()
+	m.StepEnd()
+	if m.Steps() != 1 || m.Total() < 0 {
+		t.Errorf("timed step not recorded: %d", m.Steps())
+	}
+	// StepEnd without StepStart is a no-op.
+	m.StepEnd()
+	if m.Steps() != 1 {
+		t.Error("unmatched StepEnd recorded a sample")
+	}
+}
+
+func TestMonitorSummaryAndReset(t *testing.T) {
+	m := NewMonitor(100)
+	if !strings.Contains(m.Summary(), "no steps") {
+		t.Error("empty summary wrong")
+	}
+	m.Record(0.5)
+	if s := m.Summary(); !strings.Contains(s, "1 steps") {
+		t.Errorf("summary = %q", s)
+	}
+	m.Reset()
+	if m.Steps() != 0 {
+		t.Error("reset failed")
+	}
+	if m.Rate() != 0 {
+		t.Error("rate after reset must be 0")
+	}
+	if m.Percentile(50) != 0 || m.Mean() != 0 {
+		t.Error("stats after reset must be 0")
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	// A clean sinusoid with period 25.
+	sig := make([]float64, 300)
+	for i := range sig {
+		sig[i] = 3 + math.Sin(2*math.Pi*float64(i)/25)
+	}
+	p, ok := DominantPeriod(sig)
+	if !ok || math.Abs(p-25) > 0.5 {
+		t.Errorf("period = %v (ok=%v), want 25", p, ok)
+	}
+	// Flat and short signals are rejected.
+	if _, ok := DominantPeriod(make([]float64, 300)); ok {
+		t.Error("flat signal must not report a period")
+	}
+	if _, ok := DominantPeriod([]float64{1, 2}); ok {
+		t.Error("short signal must not report a period")
+	}
+}

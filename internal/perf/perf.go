@@ -1,0 +1,127 @@
+// Package perf implements the performance accounting of the paper's
+// evaluation (§V): LUPS metrics, the roofline model for the memory-bound
+// LBM kernel, bandwidth-utilization arithmetic, and the machine constants
+// used to convert between cell updates, bytes and flops.
+package perf
+
+import "fmt"
+
+// BytesPerLUP is the main-memory traffic of one D3Q19 lattice cell update
+// in the paper's accounting (§IV-C-3): 19 population loads, 19 stores and
+// the write-allocate traffic — 380 bytes.
+const BytesPerLUP = 380.0
+
+// FlopsPerLUP is the floating-point work per cell update implied by the
+// paper's headline numbers (4.7 PFlops at 11245 GLUPS ≈ 418 flops/LUP).
+const FlopsPerLUP = 418.0
+
+// LUPS expresses a lattice-update rate.
+type LUPS float64
+
+// MLUPS and GLUPS convert to the paper's reporting units.
+func (l LUPS) MLUPS() float64 { return float64(l) / 1e6 }
+
+// GLUPS returns billions of lattice updates per second.
+func (l LUPS) GLUPS() float64 { return float64(l) / 1e9 }
+
+// String implements fmt.Stringer with the unit the magnitude suggests.
+func (l LUPS) String() string {
+	switch {
+	case l >= 1e9:
+		return fmt.Sprintf("%.1f GLUPS", l.GLUPS())
+	case l >= 1e6:
+		return fmt.Sprintf("%.1f MLUPS", l.MLUPS())
+	default:
+		return fmt.Sprintf("%.0f LUPS", float64(l))
+	}
+}
+
+// Rate computes the update rate for a domain of cells advanced one step in
+// stepSeconds (eq. (2) of the paper: P = M / t_s).
+func Rate(cells int64, stepSeconds float64) LUPS {
+	if stepSeconds <= 0 {
+		return 0
+	}
+	return LUPS(float64(cells) / stepSeconds)
+}
+
+// Flops converts an update rate to sustained flops.
+func (l LUPS) Flops() float64 { return float64(l) * FlopsPerLUP }
+
+// RooflineLUPS returns the memory-bandwidth-bound upper limit on the
+// update rate for the given aggregate bandwidth (§V-A: 32 GB/s ÷ 380 B/LUP
+// = 90.4 MLUPS for one SW26010 CG).
+func RooflineLUPS(bandwidth float64) LUPS {
+	return LUPS(bandwidth / BytesPerLUP)
+}
+
+// BandwidthUtilization returns achieved/roofline for a measured rate on a
+// machine with the given aggregate bandwidth — the paper's §V-A formula:
+//
+//	util = measured_LUPS × 380 B/LUP ÷ aggregate_bandwidth
+func BandwidthUtilization(measured LUPS, bandwidth float64) float64 {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return float64(measured) * BytesPerLUP / bandwidth
+}
+
+// ParallelEfficiency quantifies scaling quality. For weak scaling, rates
+// are per-unit rates at the base and scaled configuration; for strong
+// scaling pass speedup/idealSpeedup.
+func ParallelEfficiency(baseRate, scaledRate LUPS, baseUnits, scaledUnits int) float64 {
+	if baseRate <= 0 || baseUnits <= 0 || scaledUnits <= 0 {
+		return 0
+	}
+	ideal := float64(baseRate) * float64(scaledUnits) / float64(baseUnits)
+	return float64(scaledRate) / ideal
+}
+
+// Machine groups the constants the scaling experiments need per system.
+type Machine struct {
+	Name string
+	// CGBandwidth is the DMA bandwidth of one core group (or the device
+	// bandwidth of one GPU).
+	CGBandwidth float64
+	// CoresPerCG counts cores per scheduling unit (65 on Sunway CGs:
+	// 1 MPE + 64 CPEs).
+	CoresPerCG int
+	// MeasuredCGRate is the per-CG update rate achieved by the
+	// simulated fully-optimized kernel (calibrated by internal/swlb).
+	MeasuredCGRate LUPS
+}
+
+// TaihuLight describes one SW26010 core group: roofline 90.4 MLUPS; the
+// paper measures 77% of it.
+var TaihuLight = Machine{
+	Name:           "Sunway TaihuLight (SW26010)",
+	CGBandwidth:    32 << 30, // the paper's 32 GB/s is binary: 32·1024³ (§V-A)
+	CoresPerCG:     65,
+	MeasuredCGRate: LUPS(0.77 * float64(32<<30) / BytesPerLUP),
+}
+
+// NewSunway describes one SW26010-Pro core group: roofline 134.7 MLUPS;
+// the paper measures 81.4% of it.
+var NewSunway = Machine{
+	Name:           "New Sunway (SW26010-Pro)",
+	CGBandwidth:    51.2e9,
+	CoresPerCG:     65,
+	MeasuredCGRate: LUPS(0.814 * 51.2e9 / BytesPerLUP),
+}
+
+// RTX3090 describes one GPU of the paper's cluster: 936 GB/s device
+// bandwidth, 83.8% utilisation measured.
+var RTX3090 = Machine{
+	Name:           "NVIDIA RTX 3090",
+	CGBandwidth:    936e9,
+	CoresPerCG:     1,
+	MeasuredCGRate: LUPS(0.838 * 936e9 / BytesPerLUP),
+}
+
+// Roofline returns the machine's per-unit roofline rate.
+func (m Machine) Roofline() LUPS { return RooflineLUPS(m.CGBandwidth) }
+
+// Utilization returns the machine's measured fraction of its roofline.
+func (m Machine) Utilization() float64 {
+	return BandwidthUtilization(m.MeasuredCGRate, m.CGBandwidth)
+}

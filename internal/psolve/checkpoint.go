@@ -1,0 +1,107 @@
+package psolve
+
+import (
+	"fmt"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/mpi"
+)
+
+// GatherLattice assembles the complete global solver state — populations,
+// cell flags and the step counter — into one core.Lattice on rank root
+// (nil elsewhere). The result can be written with swio.WriteCheckpoint and
+// later redistributed through Options.Restore, giving the distributed
+// solver the same fault-recovery path as the serial one (§IV-B's
+// checkpoint/restart controller; on the real machine the leaders of the
+// group-I/O plan do this aggregation).
+func (s *Solver) GatherLattice(root int) (*core.Lattice, error) {
+	l := s.Lat
+	q := l.Desc.Q
+	b := s.Block
+	interior := b.NX * b.NY * b.NZ
+	payload := make([]float64, 0, 7+interior*q)
+	payload = append(payload,
+		float64(b.X0), float64(b.Y0), float64(b.Z0),
+		float64(b.NX), float64(b.NY), float64(b.NZ),
+		float64(l.Step()))
+	src := l.Src()
+	flags := make([]byte, interior)
+	k := 0
+	for y := 0; y < b.NY; y++ {
+		for x := 0; x < b.NX; x++ {
+			for z := 0; z < b.NZ; z++ {
+				idx := l.Idx(x, y, z)
+				for i := 0; i < q; i++ {
+					payload = append(payload, src[i*l.N+idx])
+				}
+				flags[k] = byte(l.Flags[idx])
+				k++
+			}
+		}
+	}
+	msgs := s.Comm.Gather(root, mpi.Message{Data: payload, Aux: flags})
+	if msgs == nil {
+		return nil, nil
+	}
+	g, err := core.NewLattice(&lattice.D3Q19, s.Opts.GNX, s.Opts.GNY, s.Opts.GNZ, s.Opts.Tau)
+	if err != nil {
+		return nil, fmt.Errorf("psolve: building gathered lattice: %w", err)
+	}
+	g.Smagorinsky = s.Opts.Smagorinsky
+	g.Force = s.Opts.Force
+	dst := g.Src()
+	for _, m := range msgs {
+		h := m.Data[:7]
+		x0, y0, z0 := int(h[0]), int(h[1]), int(h[2])
+		nx, ny, nz := int(h[3]), int(h[4]), int(h[5])
+		g.SetStep(int(h[6]))
+		pos := 7
+		k := 0
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				for z := 0; z < nz; z++ {
+					idx := g.Idx(x0+x, y0+y, z0+z)
+					for i := 0; i < q; i++ {
+						dst[i*g.N+idx] = m.Data[pos]
+						pos++
+					}
+					g.Flags[idx] = core.CellType(m.Aux[k])
+					k++
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// restoreFrom copies this rank's sub-block of a global lattice (same
+// dimensions and descriptor) into the local state: populations, interior
+// flags and the step counter.
+func (s *Solver) restoreFrom(g *core.Lattice) error {
+	if g.NX != s.Opts.GNX || g.NY != s.Opts.GNY || g.NZ != s.Opts.GNZ {
+		return fmt.Errorf("psolve: restore lattice %d×%d×%d does not match case %d×%d×%d",
+			g.NX, g.NY, g.NZ, s.Opts.GNX, s.Opts.GNY, s.Opts.GNZ)
+	}
+	if g.Desc.Q != s.Lat.Desc.Q {
+		return fmt.Errorf("psolve: restore descriptor %s does not match %s", g.Desc.Name, s.Lat.Desc.Name)
+	}
+	b := s.Block
+	q := g.Desc.Q
+	gsrc := g.Src()
+	lsrc := s.Lat.Src()
+	for y := 0; y < b.NY; y++ {
+		for x := 0; x < b.NX; x++ {
+			for z := 0; z < b.NZ; z++ {
+				gi := g.Idx(b.X0+x, b.Y0+y, b.Z0+z)
+				li := s.Lat.Idx(x, y, z)
+				for i := 0; i < q; i++ {
+					lsrc[i*s.Lat.N+li] = gsrc[i*g.N+gi]
+				}
+				s.Lat.Flags[li] = g.Flags[gi]
+			}
+		}
+	}
+	s.Lat.SetStep(g.Step())
+	return nil
+}

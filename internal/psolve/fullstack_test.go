@@ -1,0 +1,157 @@
+package psolve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sunwaylb/internal/boundary"
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/gpu"
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/sunway"
+	"sunwaylb/internal/swlb"
+)
+
+// TestFullStackMPIPlusSunwayEngine is the paper's complete two-level
+// architecture (§IV-A: "MPI with Athread"): simulated MPI ranks exchange
+// halos while each rank's kernel runs on its own simulated Sunway core
+// group — and the whole stack stays bit-identical to the plain serial
+// solver.
+func TestFullStackMPIPlusSunwayEngine(t *testing.T) {
+	wall := func(gx, gy, gz int) bool {
+		return gx >= 7 && gx <= 9 && gy >= 6 && gy <= 8 && gz >= 2 && gz <= 4
+	}
+	base := Options{
+		GNX: 18, GNY: 14, GNZ: 8,
+		Tau:       0.7,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Walls: wall,
+		Init:  shearInit,
+	}
+
+	// Reference: plain serial run.
+	refOpts := base
+	refOpts.PX, refOpts.PY = 1, 1
+	ref, err := Run(refOpts, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full stack: 2×2 ranks, each with a simulated CPE cluster.
+	simTimes := make([]float64, 4)
+	full := base
+	full.PX, full.PY = 2, 2
+	full.Stepper = func(lat *core.Lattice) (Stepper, error) {
+		return swlb.New(lat, sunway.TestChip(4, 64*1024),
+			swlb.Options{UseCPEs: true, Fused: true, YSharing: true, ComputeEff: 0.5, BZ: 8})
+	}
+	var got *core.MacroField
+	err = mpi.Run(4, func(c *mpi.Comm) error {
+		s, err := New(c, full)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 12; i++ {
+			s.Step()
+		}
+		if s.SimTime <= 0 {
+			return fmt.Errorf("rank %d: no simulated time accumulated", c.Rank())
+		}
+		simTimes[c.Rank()] = s.SimTime
+		if g := s.GatherMacro(0); g != nil {
+			got = g
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range ref.Rho {
+		if ref.Rho[i] != got.Rho[i] || ref.Ux[i] != got.Ux[i] ||
+			ref.Uy[i] != got.Uy[i] || ref.Uz[i] != got.Uz[i] {
+			diff++
+		}
+	}
+	if diff != 0 {
+		t.Fatalf("full MPI+Sunway stack diverged from serial in %d values", diff)
+	}
+	t.Logf("full stack: 12 steps, %.3g s simulated CG time on rank 0", simTimes[0])
+}
+
+// TestFullStackWithBoundaryConditions: the stack also works with
+// inlet/outlet conditions whose wall flags only appear at the first
+// application (exercising the Rebuild-after-first-exchange path).
+func TestFullStackWithBoundaryConditions(t *testing.T) {
+	base := Options{
+		GNX: 16, GNY: 10, GNZ: 6,
+		Tau: 0.72,
+		FaceBC: map[core.Face]boundary.Condition{
+			core.FaceXMin: &boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{0.04, 0, 0}},
+			core.FaceXMax: &boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+			core.FaceYMin: &boundary.NoSlip{Face: core.FaceYMin},
+			core.FaceYMax: &boundary.NoSlip{Face: core.FaceYMax},
+		},
+		PeriodicZ: true,
+		Init:      func(x, y, z int) (float64, float64, float64, float64) { return 1, 0.04, 0, 0 },
+	}
+	refOpts := base
+	refOpts.PX, refOpts.PY = 1, 1
+	ref, err := Run(refOpts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.PX, full.PY = 2, 2
+	full.Stepper = func(lat *core.Lattice) (Stepper, error) {
+		return swlb.New(lat, sunway.TestChip(4, 64*1024),
+			swlb.Options{UseCPEs: true, Fused: true, ComputeEff: 0.5, BZ: 6})
+	}
+	got, err := Run(full, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Rho {
+		if ref.Rho[i] != got.Rho[i] || math.Abs(ref.Ux[i]-got.Ux[i]) != 0 {
+			t.Fatalf("full stack with BCs diverged at %d", i)
+		}
+	}
+	// And the channel actually flows.
+	mid := ref.Idx(8, 5, 3)
+	if ref.Ux[mid] < 0.01 {
+		t.Errorf("channel not flowing: Ux=%v", ref.Ux[mid])
+	}
+}
+
+// TestFullStackGPUCluster: the same distributed composition with the GPU
+// node model as the per-rank kernel driver — a functional model of the
+// paper's MPI+CUDA stack (§IV-E).
+func TestFullStackGPUCluster(t *testing.T) {
+	base := Options{
+		GNX: 16, GNY: 12, GNZ: 6,
+		Tau:       0.7,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: shearInit,
+	}
+	refOpts := base
+	refOpts.PX, refOpts.PY = 1, 1
+	ref, err := Run(refOpts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.PX, full.PY = 2, 1
+	full.Stepper = func(lat *core.Lattice) (Stepper, error) {
+		return gpu.NewEngine(lat, gpu.RTX3090Cluster, gpu.Fig11Final())
+	}
+	got, err := Run(full, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Rho {
+		if ref.Rho[i] != got.Rho[i] || ref.Ux[i] != got.Ux[i] {
+			t.Fatalf("GPU-cluster stack diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package psolve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sunwaylb/internal/boundary"
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/mpi"
+)
+
+// runCase executes the same physical problem with the given process grid
+// and returns the gathered global field.
+func runCase(t *testing.T, opts Options, px, py, steps int) *core.MacroField {
+	t.Helper()
+	opts.PX, opts.PY = px, py
+	g, err := Run(opts, steps)
+	if err != nil {
+		t.Fatalf("Run(%d×%d): %v", px, py, err)
+	}
+	if g == nil {
+		t.Fatalf("Run(%d×%d): nil gather", px, py)
+	}
+	return g
+}
+
+func fieldsEqual(a, b *core.MacroField) (int, float64) {
+	count := 0
+	worst := 0.0
+	for i := range a.Rho {
+		for _, d := range []float64{
+			a.Rho[i] - b.Rho[i], a.Ux[i] - b.Ux[i],
+			a.Uy[i] - b.Uy[i], a.Uz[i] - b.Uz[i],
+		} {
+			if d != 0 {
+				count++
+				if math.Abs(d) > worst {
+					worst = math.Abs(d)
+				}
+			}
+		}
+	}
+	return count, worst
+}
+
+// shearInit is a non-trivial initial condition exercising all axes.
+func shearInit(gx, gy, gz int) (rho, ux, uy, uz float64) {
+	return 1.0 + 0.01*math.Sin(0.3*float64(gx)),
+		0.03 * math.Sin(0.2*float64(gy)),
+		0.02 * math.Cos(0.25*float64(gz)),
+		0.01 * math.Sin(0.15*float64(gx+gy))
+}
+
+// TestParallelMatchesSerialPeriodic: a fully periodic run decomposed
+// 2×2 must be bit-identical to the single-rank run.
+func TestParallelMatchesSerialPeriodic(t *testing.T) {
+	opts := Options{
+		GNX: 16, GNY: 16, GNZ: 8,
+		Tau:       0.7,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: shearInit,
+	}
+	serial := runCase(t, opts, 1, 1, 10)
+	par := runCase(t, opts, 2, 2, 10)
+	if n, worst := fieldsEqual(serial, par); n != 0 {
+		t.Fatalf("parallel differs from serial in %d values (worst %g)", n, worst)
+	}
+}
+
+// TestParallelMatchesSerialWithObstacle: an obstacle spanning rank
+// boundaries must bounce identically.
+func TestParallelMatchesSerialWithObstacle(t *testing.T) {
+	wall := func(gx, gy, gz int) bool {
+		// A box crossing the 2×2 rank boundary at (8,8).
+		return gx >= 6 && gx <= 10 && gy >= 6 && gy <= 10 && gz >= 2 && gz <= 5
+	}
+	opts := Options{
+		GNX: 16, GNY: 16, GNZ: 8,
+		Tau:       0.8,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init:  shearInit,
+		Walls: wall,
+	}
+	serial := runCase(t, opts, 1, 1, 12)
+	par := runCase(t, opts, 2, 2, 12)
+	if n, worst := fieldsEqual(serial, par); n != 0 {
+		t.Fatalf("obstacle run differs in %d values (worst %g)", n, worst)
+	}
+	par41 := runCase(t, opts, 4, 1, 12)
+	if n, _ := fieldsEqual(serial, par41); n != 0 {
+		t.Fatalf("4×1 obstacle run differs in %d values", n)
+	}
+}
+
+// TestOnTheFlyMatchesSequential: the overlapped halo-exchange scheme is
+// bit-identical to the sequential scheme (the paper's correctness claim
+// for Fig. 6).
+func TestOnTheFlyMatchesSequential(t *testing.T) {
+	base := Options{
+		GNX: 20, GNY: 12, GNZ: 6,
+		Tau:       0.65,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: shearInit,
+	}
+	seq := runCase(t, base, 2, 2, 15)
+	otf := base
+	otf.OnTheFly = true
+	over := runCase(t, otf, 2, 2, 15)
+	if n, worst := fieldsEqual(seq, over); n != 0 {
+		t.Fatalf("on-the-fly differs from sequential in %d values (worst %g)", n, worst)
+	}
+}
+
+// TestChannelFlowAcrossRanks: inlet/outlet BCs live on edge ranks only;
+// the decomposed channel must match the single-rank channel.
+func TestChannelFlowAcrossRanks(t *testing.T) {
+	opts := Options{
+		GNX: 24, GNY: 8, GNZ: 6,
+		Tau: 0.8,
+		FaceBC: map[core.Face]boundary.Condition{
+			core.FaceXMin: &boundary.VelocityInlet{Face: core.FaceXMin, U: [3]float64{0.04, 0, 0}},
+			core.FaceXMax: &boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+		},
+		PeriodicY: true, PeriodicZ: true,
+	}
+	serial := runCase(t, opts, 1, 1, 60)
+	par := runCase(t, opts, 4, 2, 60)
+	if n, worst := fieldsEqual(serial, par); n != 0 {
+		t.Fatalf("channel flow differs in %d values (worst %g)", n, worst)
+	}
+	// And the flow is actually moving.
+	mid := serial.Idx(12, 4, 3)
+	if serial.Ux[mid] <= 0.01 {
+		t.Errorf("mid-channel Ux = %v, want > 0.01", serial.Ux[mid])
+	}
+}
+
+// TestMassConservedAcrossRanks: global mass is conserved by the
+// distributed update with periodic boundaries.
+func TestMassConservedAcrossRanks(t *testing.T) {
+	opts := Options{
+		GNX: 12, GNY: 12, GNZ: 6,
+		PX: 2, PY: 2,
+		Tau:       0.9,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: shearInit,
+	}
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		s, err := New(c, opts)
+		if err != nil {
+			return err
+		}
+		m0 := s.GlobalMass()
+		for i := 0; i < 25; i++ {
+			s.Step()
+		}
+		m1 := s.GlobalMass()
+		if math.Abs(m1-m0)/m0 > 1e-12 {
+			return fmt.Errorf("mass drift %v -> %v", m0, m1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		if _, err := New(c, Options{GNX: 8, GNY: 8, GNZ: 4, PX: 3, PY: 1, Tau: 0.8}); err == nil {
+			return fmt.Errorf("want grid-size mismatch error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnevenDecomposition: global sizes that do not divide evenly still
+// reproduce the serial result.
+func TestUnevenDecomposition(t *testing.T) {
+	opts := Options{
+		GNX: 17, GNY: 13, GNZ: 5,
+		Tau:       0.75,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: shearInit,
+	}
+	serial := runCase(t, opts, 1, 1, 8)
+	par := runCase(t, opts, 3, 2, 8)
+	if n, worst := fieldsEqual(serial, par); n != 0 {
+		t.Fatalf("uneven run differs in %d values (worst %g)", n, worst)
+	}
+}
+
+func BenchmarkDistributedStep4Ranks(b *testing.B) {
+	opts := Options{
+		GNX: 32, GNY: 32, GNZ: 16,
+		PX: 2, PY: 2,
+		Tau:       0.8,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+	}
+	b.ResetTimer()
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		s, err := New(c, opts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"sunwaylb/internal/perf"
+	"sunwaylb/internal/sunway"
+)
+
+// This file quantifies the design choices the paper argues for in prose:
+// the 2-D xy decomposition over 1-D and 3-D (§IV-C-1), the long contiguous
+// z-runs for DMA efficiency (§IV-C-2, the 64×3×70 blocking), and the
+// on-the-fly halo exchange (§IV-C-1, "approximately 10%").
+
+// DecompPoint is one decomposition alternative evaluated on a fixed mesh
+// and rank count.
+type DecompPoint struct {
+	Name       string
+	PX, PY, PZ int
+	// Feasible is false when the scheme cannot expose the requested
+	// parallelism on this mesh (the paper's argument against 1-D).
+	Feasible bool
+	Reason   string
+	// BNX, BNY, BNZ is the per-rank block.
+	BNX, BNY, BNZ int
+	// Neighbors is the communication fan-out.
+	Neighbors int
+	// HaloCells is the per-rank halo-exchange volume in cells.
+	HaloCells int64
+	// RunLen is the contiguous z-run length the DMA sees.
+	RunLen int
+	// StepTime is the modelled distributed step time.
+	StepTime float64
+}
+
+// StepTime3D extends the 2-D cost model with a z split: z faces join the
+// exchange and, more importantly, the per-rank z extent caps the DMA run
+// length, degrading the memory efficiency of every cell update.
+func (m Model) StepTime3D(bnx, bny, bnz, px, py, pz int) float64 {
+	ranks := px * py * pz
+	kernel := m.Kernel
+	cgT := CGTime(m.Spec, bnx, bny, bnz, kernel) // CGTime caps runLen at bnz
+
+	supernodes := (ranks + m.Net.RanksPerSupernode - 1) / m.Net.RanksPerSupernode
+	contention := 1 + m.ContentionBeta*math.Log(math.Max(1, float64(supernodes)))
+	interBW := m.Net.InterBandwidth / contention
+	crossFrac := math.Min(1, 4*float64(px*pz)/float64(m.Net.RanksPerSupernode))
+	wire := func(bytes int64, cross float64) float64 {
+		intra := m.Net.IntraLatency + float64(bytes)/m.Net.IntraBandwidth
+		inter := m.Net.InterLatency + float64(bytes)/interBW
+		return cross*inter + (1-cross)*intra
+	}
+	haloT := 0.0
+	inject := 0.0
+	addFace := func(cells int64, cross float64, count int) {
+		if cells <= 0 || count == 0 {
+			return
+		}
+		haloT = math.Max(haloT, wire(cells*popBytes, cross))
+		inject += float64(count) * m.Net.SoftwareOverhead
+	}
+	if px > 1 {
+		addFace(int64(bny)*int64(bnz), 0, 2)
+	}
+	if py > 1 {
+		addFace(int64(bnx)*int64(bnz), crossFrac, 2)
+	}
+	if pz > 1 {
+		addFace(int64(bnx)*int64(bny), crossFrac, 2)
+	}
+	// Edge/corner messages: up to 26 neighbours in 3-D; charge the
+	// injection overhead of the remaining neighbours with tiny payloads.
+	extraNbrs := 0
+	switch {
+	case px > 1 && py > 1 && pz > 1:
+		extraNbrs = 26 - 6
+	case (px > 1 && py > 1) || (py > 1 && pz > 1) || (px > 1 && pz > 1):
+		extraNbrs = 8 - 4
+	}
+	inject += float64(extraNbrs) * m.Net.SoftwareOverhead
+	haloT += inject
+
+	jitter := m.JitterSigma * math.Sqrt(2*math.Log(math.Max(2, float64(ranks))))
+	sync := m.Net.AllreduceTime(ranks)
+	if !m.OnTheFly {
+		return haloT + cgT + sync + jitter
+	}
+	innerFrac := 1.0
+	if bnx > 2 && bny > 2 && bnz > 2 {
+		innerFrac = float64((bnx-2)*(bny-2)*(bnz-2)) / float64(bnx*bny*bnz)
+	} else if bnx > 2 && bny > 2 {
+		innerFrac = float64((bnx-2)*(bny-2)) / float64(bnx*bny)
+	}
+	innerT := cgT * innerFrac
+	bndT := cgT * (1 - innerFrac)
+	return math.Max(innerT, haloT) + bndT + sync + jitter
+}
+
+// DecompositionAblation evaluates 1-D, 2-D and 3-D decompositions of a
+// gnx×gny×gnz mesh over the given rank count (the §IV-C-1 trade-off).
+func (m Model) DecompositionAblation(gnx, gny, gnz, ranks int) []DecompPoint {
+	var out []DecompPoint
+
+	// 1-D along x.
+	p := DecompPoint{Name: "1-D (x slabs)", PX: ranks, PY: 1, PZ: 1, Neighbors: 2}
+	if gnx < ranks {
+		p.Feasible = false
+		p.Reason = fmt.Sprintf("only %d cells along x for %d ranks", gnx, ranks)
+	} else {
+		p.Feasible = true
+		p.BNX, p.BNY, p.BNZ = ceilDiv(gnx, ranks), gny, gnz
+		p.HaloCells = 2 * int64(p.BNY) * int64(p.BNZ)
+		p.RunLen = minInt(70, p.BNZ)
+		p.StepTime = m.StepTime3D(p.BNX, p.BNY, p.BNZ, ranks, 1, 1)
+	}
+	out = append(out, p)
+
+	// 2-D in xy (the paper's scheme).
+	px, py := balancedFactor2(ranks, gnx, gny)
+	p2 := DecompPoint{Name: "2-D (xy, full z)", PX: px, PY: py, PZ: 1, Neighbors: 8, Feasible: true}
+	p2.BNX, p2.BNY, p2.BNZ = ceilDiv(gnx, px), ceilDiv(gny, py), gnz
+	p2.HaloCells = 2*(int64(p2.BNY)*int64(p2.BNZ)+int64(p2.BNX)*int64(p2.BNZ)) + 4*int64(p2.BNZ)
+	p2.RunLen = minInt(70, p2.BNZ)
+	p2.StepTime = m.StepTime(p2.BNX, p2.BNY, p2.BNZ, px, py)
+	out = append(out, p2)
+
+	// 3-D: a generic near-cubic process grid (what MPI_Dims_create
+	// produces), the shape a solver picks when it does not reason about
+	// the memory system. A mesh-aware 3-D factoriser would degenerate to
+	// the 2-D answer on thin-z meshes — which is precisely the paper's
+	// scheme.
+	px3, py3, pz3 := nearCubicFactor3(ranks)
+	p3 := DecompPoint{Name: "3-D (xyz)", PX: px3, PY: py3, PZ: pz3, Neighbors: 26, Feasible: true}
+	p3.BNX, p3.BNY, p3.BNZ = ceilDiv(gnx, px3), ceilDiv(gny, py3), ceilDiv(gnz, pz3)
+	p3.HaloCells = 2 * (int64(p3.BNY)*int64(p3.BNZ) + int64(p3.BNX)*int64(p3.BNZ) + int64(p3.BNX)*int64(p3.BNY))
+	p3.RunLen = minInt(70, p3.BNZ)
+	p3.StepTime = m.StepTime3D(p3.BNX, p3.BNY, p3.BNZ, px3, py3, pz3)
+	out = append(out, p3)
+	return out
+}
+
+// balancedFactor2 picks the px·py = n factorisation minimising the halo
+// surface for the mesh aspect ratio.
+func balancedFactor2(n, gnx, gny int) (px, py int) {
+	best := math.Inf(1)
+	for p := 1; p <= n; p++ {
+		if n%p != 0 {
+			continue
+		}
+		q := n / p
+		cost := float64(gnx)/float64(p) + float64(gny)/float64(q)
+		if cost < best {
+			best = cost
+			px, py = p, q
+		}
+	}
+	return
+}
+
+// nearCubicFactor3 factors n into the px ≥ py ≥ pz triple closest to a
+// cube (MPI_Dims_create style); pz gets the smallest factor, which is the
+// most charitable assignment for the 3-D scheme on thin-z meshes.
+func nearCubicFactor3(n int) (px, py, pz int) {
+	best := math.Inf(1)
+	px, py, pz = n, 1, 1
+	for p := 1; p*p*p <= n; p++ {
+		if n%p != 0 {
+			continue
+		}
+		rem := n / p
+		for q := p; q*q <= rem; q++ {
+			if rem%q != 0 {
+				continue
+			}
+			r := rem / q
+			spread := float64(r) / float64(p)
+			if spread < best {
+				best = spread
+				px, py, pz = r, q, p
+			}
+		}
+	}
+	return
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BlockLengthPoint is one entry of the z-run-length sweep.
+type BlockLengthPoint struct {
+	BZ             int
+	Rate           perf.LUPS
+	BWUtil         float64
+	LDMFitsSW26010 bool
+}
+
+// BlockLengthSweep quantifies the §IV-C-2 blocking choice: the per-CG rate
+// as a function of the contiguous z-run length, with the 64 KB LDM
+// feasibility limit of the SW26010 marked. Short runs drown in DMA
+// descriptor startup; long runs stop fitting the LDM.
+func (m Model) BlockLengthSweep(bzs []int) []BlockLengthPoint {
+	out := make([]BlockLengthPoint, 0, len(bzs))
+	for _, bz := range bzs {
+		kc := m.Kernel
+		kc.BZ = bz
+		r := CGRate(m.Spec, 500, 700, 7000, kc) // deep-z block so bz is the binding run length
+		// Kernel LDM footprint: runs + out, double-buffered (async).
+		need := (4*19*bz + 2*19) * 8
+		out = append(out, BlockLengthPoint{
+			BZ:             bz,
+			Rate:           r,
+			BWUtil:         perf.BandwidthUtilization(r, m.Spec.DMABandwidth),
+			LDMFitsSW26010: need <= 64*1024,
+		})
+	}
+	return out
+}
+
+// OnTheFlyPoint compares the overlapped and sequential exchange at one
+// block size.
+type OnTheFlyPoint struct {
+	BlockX, BlockY int
+	Sequential     float64
+	OnTheFly       float64
+	Gain           float64
+}
+
+// OnTheFlySweep measures the §IV-C-1 on-the-fly gain across per-rank block
+// sizes at full machine scale: the smaller the block, the larger the
+// communication fraction and the bigger the benefit of hiding it.
+func (m Model) OnTheFlySweep(blocks [][2]int, bnz, px, py int) []OnTheFlyPoint {
+	seq := m
+	seq.OnTheFly = false
+	ovl := m
+	ovl.OnTheFly = true
+	out := make([]OnTheFlyPoint, 0, len(blocks))
+	for _, b := range blocks {
+		ts := seq.StepTime(b[0], b[1], bnz, px, py)
+		to := ovl.StepTime(b[0], b[1], bnz, px, py)
+		out = append(out, OnTheFlyPoint{
+			BlockX: b[0], BlockY: b[1],
+			Sequential: ts, OnTheFly: to,
+			Gain: ts/to - 1,
+		})
+	}
+	return out
+}
+
+// AoSPenalty quantifies the §IV-A layout argument: with an
+// array-of-structures layout the 19 populations a pull gathers live in 19
+// different cell records, so every load is its own scattered DMA
+// descriptor with no contiguous z-run to amortise the startup over. The
+// return value is the SoA/AoS per-CG rate ratio ("resulting in large
+// amount of random memory accesses and frequent DMA startups").
+func AoSPenalty(spec sunway.ChipSpec) (soa, aos perf.LUPS, ratio float64) {
+	soa = CGRate(spec, 500, 700, 100, FullOpt())
+	// AoS: 19 scattered 8 B loads + 19 scattered stores (write-allocate)
+	// per cell, each paying the full descriptor startup.
+	perCell := 19*(8+spec.DMAStartupBytes) +
+		19*(8*spec.StoreWriteAllocate+spec.DMAStartupBytes)
+	aos = perf.LUPS(spec.DMABandwidth / perCell)
+	return soa, aos, float64(soa) / float64(aos)
+}
+
+// MappingPoint compares process-to-supernode mapping strategies.
+type MappingPoint struct {
+	Name string
+	// XCross, YCross are the fractions of x/y halo messages that cross
+	// supernode boundaries.
+	XCross, YCross float64
+	// StepTime is the modelled step under that mapping.
+	StepTime float64
+}
+
+// MappingAblation quantifies an extension the paper leaves implicit: how
+// ranks are placed onto supernodes. Row-major placement (the default)
+// keeps x-neighbours together but sends most y messages across the fat
+// tree once px approaches the supernode size; tiled placement folds a
+// √S×√S patch of the process grid into each supernode, making both
+// neighbour directions mostly local at the cost of a more complex
+// launcher. The step times use the Fig. 14 cylinder endpoint block.
+func (m Model) MappingAblation(bnx, bny, bnz, px, py int) []MappingPoint {
+	ranks := px * py
+	supernodes := (ranks + m.Net.RanksPerSupernode - 1) / m.Net.RanksPerSupernode
+	contention := 1 + m.ContentionBeta*math.Log(math.Max(1, float64(supernodes)))
+	interBW := m.Net.InterBandwidth / contention
+
+	eval := func(name string, xCross, yCross float64) MappingPoint {
+		wire := func(bytes int64, cross float64) float64 {
+			intra := m.Net.IntraLatency + float64(bytes)/m.Net.IntraBandwidth
+			inter := m.Net.InterLatency + float64(bytes)/interBW
+			return cross*inter + (1-cross)*intra
+		}
+		haloT := math.Max(
+			wire(int64(bny)*int64(bnz)*popBytes, xCross),
+			wire(int64(bnx)*int64(bnz)*popBytes, yCross))
+		haloT += 8 * m.Net.SoftwareOverhead
+		cgT := CGTime(m.Spec, bnx, bny, bnz, m.Kernel)
+		innerFrac := 1.0
+		if bnx > 2 && bny > 2 {
+			innerFrac = float64((bnx-2)*(bny-2)) / float64(bnx*bny)
+		}
+		t := math.Max(cgT*innerFrac, haloT) + cgT*(1-innerFrac) +
+			m.Net.AllreduceTime(ranks) +
+			m.JitterSigma*math.Sqrt(2*math.Log(math.Max(2, float64(ranks))))
+		return MappingPoint{Name: name, XCross: xCross, YCross: yCross, StepTime: t}
+	}
+
+	s := float64(m.Net.RanksPerSupernode)
+	// Row-major: x-neighbours adjacent (cross ≈ 1/S), y-neighbours px
+	// apart (the model's default heuristic).
+	rowMajor := eval("row-major", 1/s, math.Min(1, 4*float64(px)/s))
+	// Tiled: a √S×√S patch per supernode; a neighbour leaves the patch
+	// with probability ≈ 1/√S in each direction.
+	side := math.Sqrt(s)
+	tiled := eval("tiled √S×√S", 1/side, 1/side)
+	return []MappingPoint{rowMajor, tiled}
+}

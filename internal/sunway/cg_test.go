@@ -1,0 +1,312 @@
+package sunway
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecConstants(t *testing.T) {
+	// Peak performance cross-checks against the paper's §III-B numbers.
+	if got := SW26010.ChipPeakFlops(); math.Abs(got-3.06e12)/3.06e12 > 0.03 {
+		t.Errorf("SW26010 chip peak = %.3g, paper says 3.06 TFlops", got)
+	}
+	if got := SW26010Pro.ChipPeakFlops(); math.Abs(got-14.03e12)/14.03e12 > 0.02 {
+		t.Errorf("SW26010-Pro chip peak = %.3g, paper says 14.03 TFlops", got)
+	}
+	// Aggregate Pro memory bandwidth: 6 CGs × 51.2 GB/s = 307.2 GB/s.
+	if got := float64(SW26010Pro.CGs) * SW26010Pro.DMABandwidth; got != 307.2e9 {
+		t.Errorf("Pro aggregate bandwidth = %v, paper says 307.2 GB/s", got)
+	}
+	if SW26010.LDMBytes != 64*1024 || SW26010Pro.LDMBytes != 256*1024 {
+		t.Error("LDM capacities must be 64 KB / 256 KB")
+	}
+	if SW26010.String() == "" || SW26010Pro.String() == "" {
+		t.Error("String() must be non-empty")
+	}
+}
+
+func TestRunExecutesAllCPEs(t *testing.T) {
+	cg := NewCoreGroup(TestChip(8, 64*1024))
+	var n atomic.Int64
+	cg.Run(func(p *CPE) {
+		n.Add(1)
+		if p.NumCPEs() != 8 {
+			t.Errorf("NumCPEs = %d", p.NumCPEs())
+		}
+	})
+	if n.Load() != 8 {
+		t.Errorf("ran %d CPEs, want 8", n.Load())
+	}
+}
+
+func TestLDMCapacityEnforced(t *testing.T) {
+	cg := NewCoreGroup(TestChip(2, 1024)) // 1 KB LDM = 128 float64
+	cg.Run(func(p *CPE) {
+		if _, err := p.AllocFloat64(100); err != nil {
+			t.Errorf("100 floats must fit 1 KB: %v", err)
+		}
+		if _, err := p.AllocFloat64(100); err == nil {
+			t.Error("second 100 floats must overflow 1 KB")
+		}
+		p.FreeFloat64(100)
+		if _, err := p.AllocFloat64(28); err != nil {
+			t.Errorf("after free, 28 floats must fit: %v", err)
+		}
+	})
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	cg := NewCoreGroup(TestChip(1, 64))
+	cg.Run(func(p *CPE) {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAllocFloat64 must panic on overflow")
+			}
+		}()
+		p.MustAllocFloat64(1000)
+	})
+}
+
+func TestDMAMovesDataAndChargesTime(t *testing.T) {
+	spec := TestChip(1, 64*1024)
+	cg := NewCoreGroup(spec)
+	mem := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	elapsed := cg.Run(func(p *CPE) {
+		buf := p.MustAllocFloat64(8)
+		p.DMAGet(buf, mem)
+		for i := range buf {
+			buf[i] *= 2
+		}
+		p.Compute(8, 1)
+		p.DMAPut(mem, buf)
+	})
+	for i, v := range mem {
+		if v != 2*float64(i+1) {
+			t.Errorf("mem[%d] = %v", i, v)
+		}
+	}
+	// Expected time: a 64 B get, a 64 B put (with write-allocate) and
+	// the compute charge.
+	share := spec.DMABandwidth / float64(spec.CPEs)
+	wantDMA := (64+spec.DMAStartupBytes)/share +
+		(64*spec.StoreWriteAllocate+spec.DMAStartupBytes)/share
+	wantCompute := 8 / spec.CPEPeakFlops
+	if math.Abs(elapsed-(wantDMA+wantCompute)) > 1e-12 {
+		t.Errorf("elapsed = %v, want %v", elapsed, wantDMA+wantCompute)
+	}
+	if cg.Counters.DMABytes != 128 || cg.Counters.DMADescriptors != 2 {
+		t.Errorf("counters = %+v", cg.Counters)
+	}
+}
+
+// TestDMAEfficiencyShape: longer contiguous runs approach full bandwidth —
+// the reason the paper blocks 70 cells along z (§IV-C-2).
+func TestDMAEfficiencyShape(t *testing.T) {
+	spec := SW26010
+	cg := NewCoreGroup(spec)
+	eff := func(runFloats int) float64 {
+		mem := make([]float64, runFloats)
+		elapsed := cg.Run(func(p *CPE) {
+			buf := p.MustAllocFloat64(runFloats)
+			p.DMAGet(buf, mem)
+		})
+		bytes := float64(runFloats * 8)
+		share := spec.DMABandwidth / float64(spec.CPEs)
+		return bytes / share / elapsed
+	}
+	e8, e70, e512 := eff(8), eff(70), eff(512)
+	if !(e8 < e70 && e70 < e512) {
+		t.Errorf("efficiency must grow with run length: %v %v %v", e8, e70, e512)
+	}
+	// A 70-cell z-run (560 B) lands near the paper's 77% bandwidth
+	// utilisation.
+	if e70 < 0.70 || e70 > 0.85 {
+		t.Errorf("70-float run efficiency = %v, want ≈0.77", e70)
+	}
+}
+
+func TestAsyncDMAOverlap(t *testing.T) {
+	spec := TestChip(1, 64*1024)
+	cg := NewCoreGroup(spec)
+	mem := make([]float64, 1024)
+	var serialT, overlapT float64
+	serialT = cg.Run(func(p *CPE) {
+		buf := p.MustAllocFloat64(1024)
+		p.DMAGet(buf, mem)
+		p.Compute(1e5, 1)
+	})
+	overlapT = cg.Run(func(p *CPE) {
+		buf := p.MustAllocFloat64(1024)
+		h := p.DMAGetAsync(buf, mem)
+		p.Compute(1e5, 1)
+		p.Wait(h)
+	})
+	if overlapT >= serialT {
+		t.Errorf("async overlap must be faster: %v vs %v", overlapT, serialT)
+	}
+	// Overlap is bounded below by the slower of the two parts.
+	share := spec.DMABandwidth / float64(spec.CPEs)
+	dmaT := (1024*8 + spec.DMAStartupBytes) / share
+	compT := 1e5 / spec.CPEPeakFlops
+	if overlapT < math.Max(dmaT, compT)-1e-12 {
+		t.Errorf("overlap %v below max(dma=%v, comp=%v)", overlapT, dmaT, compT)
+	}
+}
+
+func TestGlobalLoadSlowerThanDMA(t *testing.T) {
+	spec := SW26010
+	cg := NewCoreGroup(spec)
+	mem := make([]float64, 512)
+	dmaT := cg.Run(func(p *CPE) {
+		buf := p.MustAllocFloat64(512)
+		p.DMAGet(buf, mem)
+	})
+	gldT := cg.Run(func(p *CPE) {
+		buf := p.MustAllocFloat64(512)
+		p.GlobalLoad(buf, mem)
+	})
+	if gldT <= dmaT {
+		t.Errorf("direct global load (%v) must be slower than DMA (%v)", gldT, dmaT)
+	}
+}
+
+func TestSendRecvBetweenCPEs(t *testing.T) {
+	cg := NewCoreGroup(TestChip(4, 64*1024))
+	out := make([]float64, 4)
+	cg.Run(func(p *CPE) {
+		// Ring shift: CPE i sends its ID to i+1.
+		next := (p.ID + 1) % 4
+		prev := (p.ID + 3) % 4
+		p.Send(next, []float64{float64(p.ID)})
+		got := p.Recv(prev)
+		out[p.ID] = got[0]
+	})
+	for i := 0; i < 4; i++ {
+		want := float64((i + 3) % 4)
+		if out[i] != want {
+			t.Errorf("CPE %d received %v, want %v", i, out[i], want)
+		}
+	}
+	if cg.Counters.InterCPETransfers != 4 {
+		t.Errorf("transfers = %d, want 4", cg.Counters.InterCPETransfers)
+	}
+}
+
+func TestSendIsCheaperThanDMARoundTrip(t *testing.T) {
+	// The premise of the y-sharing optimization (§IV-C-2): register
+	// communication beats fetching the same data from main memory.
+	spec := SW26010
+	cg := NewCoreGroup(spec)
+	mem := make([]float64, 72)
+	dmaT := cg.Run(func(p *CPE) {
+		if p.ID != 0 {
+			return
+		}
+		buf := p.MustAllocFloat64(72)
+		p.DMAGet(buf, mem)
+	})
+	commT := cg.Run(func(p *CPE) {
+		switch p.ID {
+		case 0:
+			p.Send(1, mem)
+		case 1:
+			p.Recv(0)
+		}
+	})
+	if commT >= dmaT {
+		t.Errorf("register comm (%v) must beat DMA (%v) for a 72-value run", commT, dmaT)
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	cg := NewCoreGroup(TestChip(4, 64*1024))
+	clocks := make([]float64, 4)
+	cg.Run(func(p *CPE) {
+		// Unequal work before the barrier.
+		p.Compute(float64(p.ID+1)*1e4, 1)
+		p.Barrier()
+		clocks[p.ID] = p.Clock()
+	})
+	for i := 1; i < 4; i++ {
+		if clocks[i] != clocks[0] {
+			t.Errorf("clock %d = %v != clock 0 = %v after barrier", i, clocks[i], clocks[0])
+		}
+	}
+	// The aligned clock equals the slowest CPE's pre-barrier time.
+	want := 4e4 / TestChip(4, 0).CPEPeakFlops
+	if math.Abs(clocks[0]-want) > 1e-15 {
+		t.Errorf("barrier time = %v, want %v", clocks[0], want)
+	}
+}
+
+func TestRowBroadcast(t *testing.T) {
+	cg := NewCoreGroup(SW26010) // full 8×8 mesh
+	var received atomic.Int64
+	cg.Run(func(p *CPE) {
+		if p.Row != 0 {
+			return
+		}
+		if p.Col == 0 {
+			p.RowBroadcast([]float64{42})
+			return
+		}
+		if got := p.Recv(0); got[0] == 42 {
+			received.Add(1)
+		}
+	})
+	if received.Load() != 7 {
+		t.Errorf("row broadcast reached %d CPEs, want 7", received.Load())
+	}
+}
+
+func TestRunElapsedIsMaxOverCPEs(t *testing.T) {
+	spec := TestChip(4, 64*1024)
+	cg := NewCoreGroup(spec)
+	elapsed := cg.Run(func(p *CPE) {
+		p.Compute(float64(p.ID+1)*1e6, 1)
+	})
+	want := 4e6 / spec.CPEPeakFlops
+	if math.Abs(elapsed-want) > 1e-15 {
+		t.Errorf("elapsed = %v, want max CPE time %v", elapsed, want)
+	}
+	if cg.TotalTime != elapsed {
+		t.Errorf("TotalTime = %v, want %v", cg.TotalTime, elapsed)
+	}
+}
+
+// TestDMACostProperty: DMA cost is monotone in bytes and descriptor count.
+func TestDMACostProperty(t *testing.T) {
+	cg := NewCoreGroup(SW26010)
+	p := cg.cpes[0]
+	f := func(a, b uint16, d1, d2 uint8) bool {
+		n1, n2 := int(a)+1, int(b)+1
+		k1, k2 := int(d1)+1, int(d2)+1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		return p.dmaCost(n1, k1) <= p.dmaCost(n2, k2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	cg := NewCoreGroup(TestChip(2, 1024))
+	cg.Run(func(p *CPE) {
+		if p.ID != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("Send to invalid CPE must panic")
+			}
+		}()
+		p.Send(99, []float64{1})
+	})
+}

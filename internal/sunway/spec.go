@@ -1,0 +1,141 @@
+// Package sunway is a functional-plus-performance model of the Shenwei
+// many-core processors that SunwayLB targets: the SW26010 (Sunway
+// TaihuLight) and the SW26010-Pro (the new Sunway supercomputer).
+//
+// The functional half executes real kernels: each CPE of a core group runs
+// as a goroutine with an explicit LDM byte budget, data moves between main
+// memory (ordinary Go slices) and LDM through a DMA engine, and CPEs share
+// data over the register-communication buses (SW26010) or RMA
+// (SW26010-Pro). Capacity limits are enforced, so a kernel that would not
+// fit on the real chip does not fit here either.
+//
+// The performance half charges simulated time for every operation — DMA
+// descriptors and bytes, floating-point work, register/RMA transfers,
+// pipeline issue — using the published machine constants (§III-B of the
+// paper). A core group's step time is the maximum over its CPE clocks,
+// which is what the scaling experiments consume.
+package sunway
+
+import "fmt"
+
+// ChipSpec holds the architectural constants of one processor model.
+type ChipSpec struct {
+	// Name identifies the model.
+	Name string
+	// CGs is the number of core groups per chip.
+	CGs int
+	// CPEs is the number of computing processing elements per CG.
+	CPEs int
+	// LDMBytes is the local data memory per CPE.
+	LDMBytes int
+	// DMABandwidth is the aggregate main-memory DMA bandwidth per CG in
+	// bytes/second.
+	DMABandwidth float64
+	// DMAStartupBytes models the per-descriptor overhead as equivalent
+	// bytes: a transfer of n contiguous bytes costs (n+DMAStartupBytes)
+	// bandwidth-seconds, so long runs approach full bandwidth (this is
+	// why the paper blocks 70 cells contiguously along z).
+	DMAStartupBytes float64
+	// MPEFreq and CPEFreq are clock frequencies in Hz.
+	MPEFreq, CPEFreq float64
+	// VectorBits is the SIMD width of the CPE.
+	VectorBits int
+	// CPEPeakFlops is the peak FP64 rate of one CPE (FMA counted as 2).
+	CPEPeakFlops float64
+	// GlobalLoadBandwidth is the bandwidth of direct (non-DMA) global
+	// loads from a CPE — the slow path the REG-LDM-MEM hierarchy avoids.
+	GlobalLoadBandwidth float64
+
+	// Register communication (SW26010) or RMA (SW26010-Pro) between
+	// CPEs inside a CG.
+	InterCPELatency   float64 // seconds per transfer
+	InterCPEBandwidth float64 // bytes/second per link
+	// HasRMA marks SW26010-Pro-style one-sided communication with
+	// row/column broadcast.
+	HasRMA bool
+
+	// MemBytesPerCG is the main memory attached to one CG.
+	MemBytesPerCG int64
+
+	// MPEBandwidth is the effective memory bandwidth of the management
+	// processing element running the plain (cache-path) stencil code —
+	// the resource that bounds the MPE-only baseline of Fig. 8.
+	MPEBandwidth float64
+	// MPEFlops is the MPE's effective scalar floating-point rate.
+	MPEFlops float64
+
+	// StoreWriteAllocate multiplies the cost of DMA stores: writing a
+	// cache line from LDM to memory first fetches it (the "write
+	// allocate" traffic the paper's 380 B/LUP accounting includes).
+	StoreWriteAllocate float64
+}
+
+// CGPeakFlops returns the aggregate FP64 peak of one core group's CPEs.
+func (s ChipSpec) CGPeakFlops() float64 { return float64(s.CPEs) * s.CPEPeakFlops }
+
+// ChipPeakFlops returns the chip's aggregate FP64 peak.
+func (s ChipSpec) ChipPeakFlops() float64 { return float64(s.CGs) * s.CGPeakFlops() }
+
+// String implements fmt.Stringer.
+func (s ChipSpec) String() string {
+	return fmt.Sprintf("%s (%d CGs × %d CPEs, %.1f GB/s/CG, %d KB LDM)",
+		s.Name, s.CGs, s.CPEs, s.DMABandwidth/1e9, s.LDMBytes/1024)
+}
+
+// SW26010 is the Sunway TaihuLight processor: 4 CGs × (1 MPE + 64 CPEs),
+// 64 KB LDM, 256-bit vectors, 3.06 TFlops peak, ~32 GB/s DMA per CG
+// (§III-B and the paper's roofline, which uses 32 GB/s).
+var SW26010 = ChipSpec{
+	Name:                "SW26010",
+	CGs:                 4,
+	CPEs:                64,
+	LDMBytes:            64 * 1024,
+	DMABandwidth:        32 << 30, // the paper's roofline uses binary GB: 32·1024³ B/s
+	DMAStartupBytes:     168,
+	MPEFreq:             1.45e9,
+	CPEFreq:             1.45e9,
+	VectorBits:          256,
+	CPEPeakFlops:        1.45e9 * 8, // 256-bit FMA: 4 doubles × 2 flops
+	GlobalLoadBandwidth: 8e9 / 64,   // paper: 8 GB/s shared direct access
+	InterCPELatency:     11e-9,      // ~16 cycles register communication
+	InterCPEBandwidth:   6e9,
+	HasRMA:              false,
+	MemBytesPerCG:       8 << 30,
+	MPEBandwidth:        0.17e9, // plain cache-path stencil rate (Fig. 8 baseline)
+	MPEFlops:            1.45e9,
+	StoreWriteAllocate:  1.5,
+}
+
+// SW26010Pro is the new Sunway supercomputer's processor: 6 CGs ×
+// (1 MPE + 64 CPEs), 256 KB LDM, 512-bit vectors, 14.03 TFlops FP64 peak,
+// 51.2 GB/s DMA per CG, RMA instead of register communication.
+var SW26010Pro = ChipSpec{
+	Name:                "SW26010-Pro",
+	CGs:                 6,
+	CPEs:                64,
+	LDMBytes:            256 * 1024,
+	DMABandwidth:        51.2e9,
+	DMAStartupBytes:     128, // improved DMA engine
+	MPEFreq:             2.1e9,
+	CPEFreq:             2.25e9,
+	VectorBits:          512,
+	CPEPeakFlops:        2.25e9 * 16, // 512-bit FMA: 8 doubles × 2 flops
+	GlobalLoadBandwidth: 16e9 / 64,
+	InterCPELatency:     8e-9,
+	InterCPEBandwidth:   10e9,
+	HasRMA:              true,
+	MemBytesPerCG:       16 << 30,
+	MPEBandwidth:        0.4e9,
+	MPEFlops:            2.1e9,
+	StoreWriteAllocate:  1.5,
+}
+
+// TestChip returns a scaled-down spec for functional tests: fewer CPEs and
+// a small LDM so capacity violations surface on tiny domains.
+func TestChip(cpes, ldmBytes int) ChipSpec {
+	s := SW26010
+	s.Name = fmt.Sprintf("test-chip-%dcpe", cpes)
+	s.CPEs = cpes
+	s.LDMBytes = ldmBytes
+	return s
+}

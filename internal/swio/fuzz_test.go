@@ -1,0 +1,37 @@
+package swio
+
+import (
+	"bytes"
+	"testing"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/lattice"
+)
+
+// FuzzReadCheckpoint: arbitrary bytes must never panic or allocate
+// unboundedly — the reader either reconstructs a lattice or errors.
+func FuzzReadCheckpoint(f *testing.F) {
+	l, err := core.NewLattice(&lattice.D3Q19, 3, 3, 3, 0.8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := WriteCheckpoint(&good, l); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:40])
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), good.Bytes()...)
+	corrupt[10] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lat, err := ReadCheckpointLimit(bytes.NewReader(data), int64(len(data))+1024)
+		if err == nil && lat != nil {
+			if lat.NX < 1 || lat.NY < 1 || lat.NZ < 1 {
+				t.Fatalf("accepted invalid dimensions %d×%d×%d", lat.NX, lat.NY, lat.NZ)
+			}
+		}
+	})
+}

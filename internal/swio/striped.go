@@ -1,0 +1,162 @@
+package swio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Striped I/O is the layer's "MPI I/O" option (§IV-B): a large field is
+// written as N stripe files in parallel-friendly chunks, each with its own
+// CRC, plus a manifest. On the real machine each I/O group leader writes
+// one stripe; here the layout and integrity machinery are identical and
+// the parallelism is the caller's choice.
+
+const stripeMagic = 0x53574c42_53545231 // "SWLB" "STR1"
+
+// WriteStriped writes data as `stripes` files named <name>.sNNN plus a
+// manifest <name>.manifest in dir.
+func WriteStriped(dir, name string, data []float64, stripes int) error {
+	if stripes < 1 {
+		return fmt.Errorf("swio: stripe count %d < 1", stripes)
+	}
+	if stripes > len(data) && len(data) > 0 {
+		stripes = len(data)
+	}
+	// Manifest.
+	mf, err := os.Create(filepath.Join(dir, name+".manifest"))
+	if err != nil {
+		return fmt.Errorf("swio: creating manifest: %w", err)
+	}
+	defer mf.Close()
+	bw := bufio.NewWriter(mf)
+	for _, v := range []uint64{stripeMagic, uint64(len(data)), uint64(stripes)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("swio: writing manifest: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("swio: flushing manifest: %w", err)
+	}
+
+	for s := 0; s < stripes; s++ {
+		lo, hi := stripeRange(len(data), stripes, s)
+		if err := writeStripeFile(stripePath(dir, name, s), data[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadStriped reassembles a field written by WriteStriped, validating
+// every stripe's CRC.
+func ReadStriped(dir, name string) ([]float64, error) {
+	mf, err := os.Open(filepath.Join(dir, name+".manifest"))
+	if err != nil {
+		return nil, fmt.Errorf("swio: opening manifest: %w", err)
+	}
+	defer mf.Close()
+	var head [3]uint64
+	for i := range head {
+		if err := binary.Read(mf, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("swio: reading manifest: %w", err)
+		}
+	}
+	if head[0] != stripeMagic {
+		return nil, fmt.Errorf("swio: bad manifest magic %#x", head[0])
+	}
+	total, stripes := int(head[1]), int(head[2])
+	if stripes < 1 || total < 0 {
+		return nil, fmt.Errorf("swio: manifest claims %d values in %d stripes", total, stripes)
+	}
+	data := make([]float64, total)
+	for s := 0; s < stripes; s++ {
+		lo, hi := stripeRange(total, stripes, s)
+		if err := readStripeFile(stripePath(dir, name, s), data[lo:hi]); err != nil {
+			return nil, fmt.Errorf("swio: stripe %d: %w", s, err)
+		}
+	}
+	return data, nil
+}
+
+func stripePath(dir, name string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.s%03d", name, s))
+}
+
+// stripeRange returns the [lo, hi) slice of stripe s of n values.
+func stripeRange(n, stripes, s int) (lo, hi int) {
+	base := n / stripes
+	rem := n % stripes
+	if s < rem {
+		lo = s * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (s-rem)*base
+	return lo, lo + base
+}
+
+func writeStripeFile(path string, vals []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("swio: creating stripe: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	crc := crc64.New(crcTable)
+	mw := io.MultiWriter(bw, crc)
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(len(vals)))
+	if _, err := mw.Write(buf); err != nil {
+		return fmt.Errorf("swio: writing stripe header: %w", err)
+	}
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := mw.Write(buf); err != nil {
+			return fmt.Errorf("swio: writing stripe data: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
+		return fmt.Errorf("swio: writing stripe CRC: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("swio: flushing stripe: %w", err)
+	}
+	return nil
+}
+
+func readStripeFile(path string, into []float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	crc := crc64.New(crcTable)
+	tr := io.TeeReader(br, crc)
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(tr, buf); err != nil {
+		return fmt.Errorf("reading header: %w", err)
+	}
+	if n := binary.LittleEndian.Uint64(buf); int(n) != len(into) {
+		return fmt.Errorf("stripe holds %d values, manifest expects %d", n, len(into))
+	}
+	for i := range into {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return fmt.Errorf("reading data: %w", err)
+		}
+		into[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	var stored uint64
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return fmt.Errorf("reading CRC: %w", err)
+	}
+	if stored != crc.Sum64() {
+		return fmt.Errorf("CRC mismatch (corrupt stripe)")
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package swio
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestStripedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	data := make([]float64, 1003) // deliberately not divisible by stripes
+	for i := range data {
+		data[i] = math.Sin(float64(i)) * float64(i)
+	}
+	if err := WriteStriped(dir, "field", data, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStriped(dir, "field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("length %d, want %d", len(got), len(data))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("value %d changed: %v vs %v", i, got[i], data[i])
+		}
+	}
+	// Exactly 7 stripe files plus the manifest exist.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Errorf("%d files, want 8 (7 stripes + manifest)", len(entries))
+	}
+}
+
+// TestStripedCorruptionIsolated (failure injection): corrupting one stripe
+// is detected and attributed to that stripe.
+func TestStripedCorruptionIsolated(t *testing.T) {
+	dir := t.TempDir()
+	data := make([]float64, 256)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := WriteStriped(dir, "f", data, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt stripe 2.
+	path := filepath.Join(dir, "f.s002")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadStriped(dir, "f")
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if want := "stripe 2"; err != nil && !contains(err.Error(), want) {
+		t.Errorf("error %q does not name the corrupt stripe", err)
+	}
+	// A missing stripe is reported too.
+	if err := os.Remove(filepath.Join(dir, "f.s001")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStriped(dir, "f"); err == nil {
+		t.Fatal("missing stripe not detected")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStripeRangePartition (property): stripes tile [0, n) exactly.
+func TestStripeRangePartition(t *testing.T) {
+	f := func(n0, s0 uint16) bool {
+		n := int(n0 % 5000)
+		stripes := int(s0%32) + 1
+		prev := 0
+		for s := 0; s < stripes; s++ {
+			lo, hi := stripeRange(n, stripes, s)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripedValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteStriped(dir, "x", []float64{1, 2}, 0); err == nil {
+		t.Error("zero stripes must be rejected")
+	}
+	// More stripes than values clamps rather than creating empty files
+	// beyond the data.
+	if err := WriteStriped(dir, "x", []float64{1, 2}, 10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStriped(dir, "x")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("clamped read: %v %v", got, err)
+	}
+	if _, err := ReadStriped(dir, "missing"); err == nil {
+		t.Error("missing manifest must error")
+	}
+}

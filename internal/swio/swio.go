@@ -1,0 +1,231 @@
+// Package swio is SunwayLB's I/O layer (§IV-B): checkpoint/restart with
+// integrity validation ("a checkpoint and restart controller which enables
+// fast recover from system-level or hardware fault") and group I/O, where
+// ranks are organised into groups whose leaders aggregate and write data
+// (the pattern used on the real machine to avoid overwhelming the global
+// file system with 160000 writers).
+package swio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/lattice"
+)
+
+// checkpointMagic identifies SunwayLB checkpoint files.
+const checkpointMagic = 0x53574c42_43504b31 // "SWLB" "CPK1"
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// WriteCheckpoint serialises the full solver state — dimensions, step
+// count, relaxation parameters, cell flags and the current populations —
+// with a trailing CRC64 for fault detection.
+func WriteCheckpoint(w io.Writer, l *core.Lattice) error {
+	bw := bufio.NewWriter(w)
+	crc := crc64.New(crcTable)
+	mw := io.MultiWriter(bw, crc)
+
+	head := []uint64{
+		checkpointMagic,
+		uint64(l.NX), uint64(l.NY), uint64(l.NZ),
+		uint64(l.Desc.Q),
+		uint64(l.Step()),
+		math.Float64bits(l.Tau),
+		math.Float64bits(l.Smagorinsky),
+		math.Float64bits(l.Force[0]),
+		math.Float64bits(l.Force[1]),
+		math.Float64bits(l.Force[2]),
+	}
+	for _, v := range head {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("swio: writing checkpoint header: %w", err)
+		}
+	}
+	// Flags for the full allocated extent (halo walls matter for
+	// restart).
+	flags := make([]byte, l.N)
+	for i, f := range l.Flags {
+		flags[i] = byte(f)
+	}
+	if _, err := mw.Write(flags); err != nil {
+		return fmt.Errorf("swio: writing checkpoint flags: %w", err)
+	}
+	// Populations of the current buffer.
+	src := l.Src()
+	buf := make([]byte, 8)
+	for _, v := range src {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := mw.Write(buf); err != nil {
+			return fmt.Errorf("swio: writing checkpoint populations: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
+		return fmt.Errorf("swio: writing checkpoint CRC: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("swio: flushing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DefaultCheckpointLimit bounds how much memory ReadCheckpoint will
+// allocate based on a checkpoint header before the CRC has been verified:
+// a corrupted dimension field must fail cleanly instead of exhausting
+// memory (found by FuzzReadCheckpoint). Restart passes the actual file
+// size instead, which is exact.
+const DefaultCheckpointLimit = 4 << 30
+
+// ReadCheckpoint reconstructs a lattice from a checkpoint, validating the
+// magic number and CRC. The returned lattice resumes at the recorded step
+// count.
+func ReadCheckpoint(r io.Reader) (*core.Lattice, error) {
+	return ReadCheckpointLimit(r, DefaultCheckpointLimit)
+}
+
+// ReadCheckpointLimit is ReadCheckpoint with an explicit upper bound on
+// the serialized size the header may claim.
+func ReadCheckpointLimit(r io.Reader, maxBytes int64) (*core.Lattice, error) {
+	br := bufio.NewReader(r)
+	crc := crc64.New(crcTable)
+	tr := io.TeeReader(br, crc)
+
+	head := make([]uint64, 11)
+	for i := range head {
+		if err := binary.Read(tr, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("swio: reading checkpoint header: %w", err)
+		}
+	}
+	if head[0] != checkpointMagic {
+		return nil, fmt.Errorf("swio: bad checkpoint magic %#x", head[0])
+	}
+	nx, ny, nz, q := int(head[1]), int(head[2]), int(head[3]), int(head[4])
+	if q != lattice.D3Q19.Q {
+		return nil, fmt.Errorf("swio: checkpoint uses Q=%d, only D3Q19 supported", q)
+	}
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("swio: checkpoint claims invalid dimensions %d×%d×%d", nx, ny, nz)
+	}
+	// Size sanity before allocating: header + flags + populations + CRC.
+	alloc := int64(nx+2) * int64(ny+2) * int64(nz+2)
+	need := 11*8 + alloc + alloc*int64(q)*8 + 8 // header + flags + populations + CRC
+	if alloc <= 0 || need <= 0 || need > maxBytes {
+		return nil, fmt.Errorf("swio: checkpoint claims %d×%d×%d (%d bytes), above the %d-byte limit (corrupt header?)",
+			nx, ny, nz, need, maxBytes)
+	}
+	tau := math.Float64frombits(head[6])
+	l, err := core.NewLattice(&lattice.D3Q19, nx, ny, nz, tau)
+	if err != nil {
+		return nil, fmt.Errorf("swio: rebuilding lattice: %w", err)
+	}
+	l.Smagorinsky = math.Float64frombits(head[7])
+	l.Force = [3]float64{
+		math.Float64frombits(head[8]),
+		math.Float64frombits(head[9]),
+		math.Float64frombits(head[10]),
+	}
+	flags := make([]byte, l.N)
+	if _, err := io.ReadFull(tr, flags); err != nil {
+		return nil, fmt.Errorf("swio: reading checkpoint flags: %w", err)
+	}
+	for i, f := range flags {
+		l.Flags[i] = core.CellType(f)
+	}
+	src := l.Src()
+	buf := make([]byte, 8)
+	for i := range src {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, fmt.Errorf("swio: reading checkpoint populations: %w", err)
+		}
+		src[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	sum := crc.Sum64()
+	var stored uint64
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("swio: reading checkpoint CRC: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("swio: checkpoint CRC mismatch: stored %#x computed %#x (corrupt file)", stored, sum)
+	}
+	l.SetStep(int(head[5]))
+	return l, nil
+}
+
+// Checkpoint writes the lattice to path atomically (via a temp file +
+// rename), so a crash mid-write never corrupts the previous checkpoint.
+func Checkpoint(path string, l *core.Lattice) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("swio: creating checkpoint: %w", err)
+	}
+	if err := WriteCheckpoint(f, l); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("swio: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("swio: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restart loads a checkpoint from path, bounding allocations by the
+// actual file size so header corruption cannot exhaust memory.
+func Restart(path string) (*core.Lattice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("swio: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("swio: checkpoint stat: %w", err)
+	}
+	return ReadCheckpointLimit(f, st.Size())
+}
+
+// GroupPlan organises ranks into I/O groups: each group's leader gathers
+// its members' data and performs the file-system access, bounding the
+// number of concurrent writers (the "group I/O" option of §IV-B).
+type GroupPlan struct {
+	Ranks     int
+	GroupSize int
+}
+
+// NewGroupPlan validates and builds a plan.
+func NewGroupPlan(ranks, groupSize int) (GroupPlan, error) {
+	if ranks < 1 || groupSize < 1 {
+		return GroupPlan{}, fmt.Errorf("swio: invalid group plan %d/%d", ranks, groupSize)
+	}
+	return GroupPlan{Ranks: ranks, GroupSize: groupSize}, nil
+}
+
+// Leader returns the leader rank of the given rank's group.
+func (g GroupPlan) Leader(rank int) int { return rank - rank%g.GroupSize }
+
+// IsLeader reports whether the rank performs file-system access.
+func (g GroupPlan) IsLeader(rank int) bool { return rank%g.GroupSize == 0 }
+
+// Groups returns the number of groups (= concurrent writers).
+func (g GroupPlan) Groups() int { return (g.Ranks + g.GroupSize - 1) / g.GroupSize }
+
+// Members lists the ranks in the group led by leader.
+func (g GroupPlan) Members(leader int) []int {
+	var out []int
+	for r := leader; r < leader+g.GroupSize && r < g.Ranks; r++ {
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package vis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sunwaylb/internal/core"
+)
+
+// This file implements the post-processing export formats §IV-B promises:
+// "several kinds of post processing interfaces are supported by our
+// framework, providing proper formats of data, data analysis and
+// visualization tools such as ParaView and Tecplot".
+
+// WriteVTK writes the macroscopic field as a legacy-ASCII VTK structured-
+// points dataset (readable by ParaView): density as a scalar field and
+// velocity as a vector field on the cell-centre grid.
+func WriteVTK(w io.Writer, m *core.MacroField, title string) error {
+	bw := bufio.NewWriter(w)
+	n := m.NX * m.NY * m.NZ
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n%s\nASCII\n", title)
+	fmt.Fprintf(bw, "DATASET STRUCTURED_POINTS\n")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", m.NX, m.NY, m.NZ)
+	fmt.Fprintf(bw, "ORIGIN 0 0 0\nSPACING 1 1 1\n")
+	fmt.Fprintf(bw, "POINT_DATA %d\n", n)
+
+	// VTK structured points iterate x fastest, then y, then z.
+	fmt.Fprintf(bw, "SCALARS density double 1\nLOOKUP_TABLE default\n")
+	for z := 0; z < m.NZ; z++ {
+		for y := 0; y < m.NY; y++ {
+			for x := 0; x < m.NX; x++ {
+				fmt.Fprintf(bw, "%g\n", m.Rho[m.Idx(x, y, z)])
+			}
+		}
+	}
+	fmt.Fprintf(bw, "VECTORS velocity double\n")
+	for z := 0; z < m.NZ; z++ {
+		for y := 0; y < m.NY; y++ {
+			for x := 0; x < m.NX; x++ {
+				i := m.Idx(x, y, z)
+				fmt.Fprintf(bw, "%g %g %g\n", m.Ux[i], m.Uy[i], m.Uz[i])
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("vis: writing VTK: %w", err)
+	}
+	return nil
+}
+
+// WriteTecplot writes the field as a Tecplot ASCII POINT-format zone with
+// variables x, y, z, rho, u, v, w.
+func WriteTecplot(w io.Writer, m *core.MacroField, title string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "TITLE = \"%s\"\n", title)
+	fmt.Fprintf(bw, "VARIABLES = \"x\", \"y\", \"z\", \"rho\", \"u\", \"v\", \"w\"\n")
+	fmt.Fprintf(bw, "ZONE I=%d, J=%d, K=%d, DATAPACKING=POINT\n", m.NX, m.NY, m.NZ)
+	for z := 0; z < m.NZ; z++ {
+		for y := 0; y < m.NY; y++ {
+			for x := 0; x < m.NX; x++ {
+				i := m.Idx(x, y, z)
+				fmt.Fprintf(bw, "%d %d %d %g %g %g %g\n",
+					x, y, z, m.Rho[i], m.Ux[i], m.Uy[i], m.Uz[i])
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("vis: writing Tecplot: %w", err)
+	}
+	return nil
+}
+
+// Point2 is a point of a 2-D streamline in slice coordinates.
+type Point2 struct{ X, Y float64 }
+
+// Streamlines2D integrates streamlines of the in-plane velocity on the
+// plane axis=pos, starting from the given seeds, with second-order
+// (midpoint) steps of size h. Integration stops when a line leaves the
+// domain, enters a solid (zero-density) cell, or stalls. These are the
+// streamlines of the paper's Fig. 18(1).
+func Streamlines2D(m *core.MacroField, axis Axis, pos int, seeds []Point2, h float64, maxSteps int) [][]Point2 {
+	u := ComponentSlice(m, axis, pos, inPlane(axis, 0))
+	v := ComponentSlice(m, axis, pos, inPlane(axis, 1))
+	rho := RhoSlice(m, axis, pos)
+
+	sample := func(s *Slice, x, y float64) (float64, bool) {
+		// Bilinear interpolation on cell centres.
+		if x < 0 || y < 0 || x > float64(s.W-1) || y > float64(s.H-1) {
+			return 0, false
+		}
+		i0, j0 := int(x), int(y)
+		i1, j1 := i0+1, j0+1
+		if i1 >= s.W {
+			i1 = i0
+		}
+		if j1 >= s.H {
+			j1 = j0
+		}
+		fx, fy := x-float64(i0), y-float64(j0)
+		return s.At(i0, j0)*(1-fx)*(1-fy) + s.At(i1, j0)*fx*(1-fy) +
+			s.At(i0, j1)*(1-fx)*fy + s.At(i1, j1)*fx*fy, true
+	}
+
+	var out [][]Point2
+	for _, seed := range seeds {
+		line := []Point2{seed}
+		p := seed
+		for step := 0; step < maxSteps; step++ {
+			r, ok := sample(rho, p.X, p.Y)
+			if !ok || r < 0.5 {
+				// Outside, or inside/adjacent to a solid cell
+				// (solid cells carry zero density; interpolation
+				// dips below ½ within one cell of them).
+				break
+			}
+			ux, ok1 := sample(u, p.X, p.Y)
+			uy, ok2 := sample(v, p.X, p.Y)
+			if !ok1 || !ok2 {
+				break
+			}
+			speed := ux*ux + uy*uy
+			if speed < 1e-20 {
+				break // stagnation
+			}
+			// Midpoint step.
+			mx, my := p.X+0.5*h*ux, p.Y+0.5*h*uy
+			ux2, ok3 := sample(u, mx, my)
+			uy2, ok4 := sample(v, mx, my)
+			if !ok3 || !ok4 {
+				break
+			}
+			p = Point2{p.X + h*ux2, p.Y + h*uy2}
+			line = append(line, p)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// inPlane maps a slice axis to the velocity components lying in the plane
+// (matching the i/j ordering of extract).
+func inPlane(axis Axis, k int) int {
+	switch axis {
+	case AxisX: // plane (y, z)
+		return []int{1, 2}[k]
+	case AxisY: // plane (x, z)
+		return []int{0, 2}[k]
+	default: // AxisZ: plane (x, y)
+		return []int{0, 1}[k]
+	}
+}
+
+// DrawStreamlines rasterises streamlines onto a slice-sized scalar mask
+// (1 on the line, 0 elsewhere) that can be blended or rendered with
+// WritePPM.
+func DrawStreamlines(w, h int, lines [][]Point2) *Slice {
+	s := &Slice{W: w, H: h, Data: make([]float64, w*h)}
+	for _, line := range lines {
+		for _, p := range line {
+			i, j := int(p.X+0.5), int(p.Y+0.5)
+			if i >= 0 && i < w && j >= 0 && j < h {
+				s.Data[j*w+i] = 1
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package vis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteVTK(t *testing.T) {
+	m := solidRotation(4, 3, 2, 0.01)
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, "test field"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET STRUCTURED_POINTS",
+		"DIMENSIONS 4 3 2",
+		"POINT_DATA 24",
+		"SCALARS density double 1",
+		"VECTORS velocity double",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// 24 density lines + 24 vector lines between the markers.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	counting := false
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "LOOKUP_TABLE") {
+			counting = true
+			continue
+		}
+		if strings.HasPrefix(line, "VECTORS") {
+			break
+		}
+		if counting {
+			n++
+		}
+	}
+	if n != 24 {
+		t.Errorf("VTK has %d density values, want 24", n)
+	}
+}
+
+func TestWriteTecplot(t *testing.T) {
+	m := solidRotation(3, 3, 2, 0.01)
+	var buf bytes.Buffer
+	if err := WriteTecplot(&buf, m, "tp"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ZONE I=3, J=3, K=2, DATAPACKING=POINT") {
+		t.Errorf("Tecplot header wrong:\n%s", out[:120])
+	}
+	lines := strings.Count(out, "\n")
+	// 3 header lines + 18 data rows.
+	if lines != 3+18 {
+		t.Errorf("Tecplot has %d lines, want 21", lines)
+	}
+	// First data row is the origin point with rho=1.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for i := 0; i < 4; i++ {
+		sc.Scan()
+	}
+	var x, y, z int
+	var rho, u, v, w float64
+	if _, err := fmt.Sscan(sc.Text(), &x, &y, &z, &rho, &u, &v, &w); err != nil {
+		t.Fatalf("parsing data row %q: %v", sc.Text(), err)
+	}
+	if x != 0 || y != 0 || z != 0 || rho != 1 {
+		t.Errorf("first row = %s", sc.Text())
+	}
+}
+
+// TestStreamlinesSolidRotation: streamlines of a solid rotation close on
+// themselves (circles): after one period the line returns near its seed.
+func TestStreamlinesSolidRotation(t *testing.T) {
+	const n = 33
+	omega := 0.02
+	m := solidRotation(n, n, 1, omega)
+	seed := Point2{X: float64(n-1)/2 + 8, Y: float64(n-1) / 2}
+	// One revolution takes 2π/ω time units; with h=1 each step advances
+	// one time unit.
+	period := int(2*math.Pi/omega + 0.5)
+	lines := Streamlines2D(m, AxisZ, 0, []Point2{seed}, 1, period)
+	if len(lines) != 1 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	line := lines[0]
+	if len(line) < period-5 {
+		t.Fatalf("line stopped early: %d points", len(line))
+	}
+	// Radius is conserved along the line (midpoint integrator drift is
+	// small).
+	cx, cy := float64(n-1)/2, float64(n-1)/2
+	r0 := math.Hypot(seed.X-cx, seed.Y-cy)
+	for i, p := range line {
+		r := math.Hypot(p.X-cx, p.Y-cy)
+		if math.Abs(r-r0) > 0.35 {
+			t.Fatalf("radius drifted at point %d: %v vs %v", i, r, r0)
+		}
+	}
+	// The final point has completed roughly one revolution: close to the
+	// seed.
+	last := line[len(line)-1]
+	if math.Hypot(last.X-seed.X, last.Y-seed.Y) > 2.5 {
+		t.Errorf("streamline did not close: end %v vs seed %v", last, seed)
+	}
+}
+
+func TestStreamlineStopsAtSolid(t *testing.T) {
+	m := solidRotation(16, 16, 1, 0)
+	// Uniform +x flow with a solid column at x=10.
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			i := m.Idx(x, y, 0)
+			m.Ux[i] = 0.05
+			m.Uy[i] = 0
+			if x == 10 {
+				m.Rho[i] = 0 // solid marker
+			}
+		}
+	}
+	lines := Streamlines2D(m, AxisZ, 0, []Point2{{X: 2, Y: 8}}, 1, 1000)
+	last := lines[0][len(lines[0])-1]
+	if last.X > 11 {
+		t.Errorf("streamline passed through the solid: end %v", last)
+	}
+	if len(lines[0]) < 5 {
+		t.Errorf("streamline stopped immediately: %d points", len(lines[0]))
+	}
+}
+
+func TestDrawStreamlines(t *testing.T) {
+	lines := [][]Point2{{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1}}}
+	s := DrawStreamlines(6, 4, lines)
+	if s.At(2, 1) != 1 || s.At(0, 0) != 0 {
+		t.Error("raster wrong")
+	}
+	// Out-of-range points are clipped, not panicking.
+	DrawStreamlines(2, 2, [][]Point2{{{X: -5, Y: 99}}})
+}

@@ -1,0 +1,107 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+
+	"sunwaylb/internal/core"
+)
+
+// Statistics accumulates time-averaged turbulence statistics over a run —
+// mean velocity, velocity variance (the diagonal Reynolds stresses) and
+// turbulent kinetic energy — using Welford's numerically stable online
+// update. This is the post-processing an LES like the paper's urban wind
+// case (§V-C) feeds into wind-resource assessment.
+type Statistics struct {
+	NX, NY, NZ int
+	n          int
+	meanU      [3][]float64
+	m2U        [3][]float64
+}
+
+// NewStatistics allocates an accumulator matching the field dimensions.
+func NewStatistics(nx, ny, nz int) *Statistics {
+	s := &Statistics{NX: nx, NY: ny, NZ: nz}
+	for c := 0; c < 3; c++ {
+		s.meanU[c] = make([]float64, nx*ny*nz)
+		s.m2U[c] = make([]float64, nx*ny*nz)
+	}
+	return s
+}
+
+// Add accumulates one snapshot; dimensions must match.
+func (s *Statistics) Add(m *core.MacroField) error {
+	if m.NX != s.NX || m.NY != s.NY || m.NZ != s.NZ {
+		return fmt.Errorf("vis: statistics field %d×%d×%d does not match %d×%d×%d",
+			m.NX, m.NY, m.NZ, s.NX, s.NY, s.NZ)
+	}
+	s.n++
+	comp := [3][]float64{m.Ux, m.Uy, m.Uz}
+	for c := 0; c < 3; c++ {
+		mean, m2, u := s.meanU[c], s.m2U[c], comp[c]
+		for i := range u {
+			delta := u[i] - mean[i]
+			mean[i] += delta / float64(s.n)
+			m2[i] += delta * (u[i] - mean[i])
+		}
+	}
+	return nil
+}
+
+// Samples returns the number of accumulated snapshots.
+func (s *Statistics) Samples() int { return s.n }
+
+// Mean returns the time-averaged velocity field.
+func (s *Statistics) Mean() *core.MacroField {
+	out := &core.MacroField{
+		NX: s.NX, NY: s.NY, NZ: s.NZ,
+		Rho: make([]float64, s.NX*s.NY*s.NZ),
+		Ux:  append([]float64(nil), s.meanU[0]...),
+		Uy:  append([]float64(nil), s.meanU[1]...),
+		Uz:  append([]float64(nil), s.meanU[2]...),
+	}
+	for i := range out.Rho {
+		out.Rho[i] = 1
+	}
+	return out
+}
+
+// Variance returns the velocity variance ⟨u′_c u′_c⟩ of one component
+// (0=x, 1=y, 2=z) — the diagonal Reynolds stresses.
+func (s *Statistics) Variance(c int) []float64 {
+	out := make([]float64, len(s.m2U[c]))
+	if s.n < 2 {
+		return out
+	}
+	for i, v := range s.m2U[c] {
+		out[i] = v / float64(s.n-1)
+	}
+	return out
+}
+
+// TKE returns the turbulent kinetic energy field k = ½ Σ_c ⟨u′_c u′_c⟩.
+func (s *Statistics) TKE() []float64 {
+	out := make([]float64, s.NX*s.NY*s.NZ)
+	if s.n < 2 {
+		return out
+	}
+	for c := 0; c < 3; c++ {
+		for i, v := range s.m2U[c] {
+			out[i] += 0.5 * v / float64(s.n-1)
+		}
+	}
+	return out
+}
+
+// TurbulenceIntensity returns sqrt(2k/3)/uRef at one cell of the macro
+// index space, a standard wind-engineering metric.
+func (s *Statistics) TurbulenceIntensity(i int, uRef float64) float64 {
+	if uRef == 0 || s.n < 2 {
+		return 0
+	}
+	k := 0.0
+	for c := 0; c < 3; c++ {
+		k += 0.5 * s.m2U[c][i] / float64(s.n-1)
+	}
+	return math.Sqrt(2*k/3) / uRef
+}

@@ -1,0 +1,147 @@
+package vis
+
+import (
+	"math"
+	"testing"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/lattice"
+)
+
+func constantField(nx, ny, nz int, ux float64) *core.MacroField {
+	m := &core.MacroField{
+		NX: nx, NY: ny, NZ: nz,
+		Rho: make([]float64, nx*ny*nz),
+		Ux:  make([]float64, nx*ny*nz),
+		Uy:  make([]float64, nx*ny*nz),
+		Uz:  make([]float64, nx*ny*nz),
+	}
+	for i := range m.Ux {
+		m.Rho[i] = 1
+		m.Ux[i] = ux
+	}
+	return m
+}
+
+func TestStatisticsMeanAndVariance(t *testing.T) {
+	s := NewStatistics(3, 2, 2)
+	// A deterministic oscillation: ux alternates 0.04 ± 0.01.
+	for i := 0; i < 100; i++ {
+		v := 0.04 + 0.01*float64(1-2*(i%2))
+		if err := s.Add(constantField(3, 2, 2, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Samples() != 100 {
+		t.Fatalf("samples = %d", s.Samples())
+	}
+	mean := s.Mean()
+	if math.Abs(mean.Ux[0]-0.04) > 1e-12 {
+		t.Errorf("mean ux = %v, want 0.04", mean.Ux[0])
+	}
+	// Variance of ±0.01 alternation: 0.0001 (sample variance ≈ 1e-4).
+	varX := s.Variance(0)
+	if math.Abs(varX[0]-1e-4*100.0/99.0) > 1e-9 {
+		t.Errorf("var ux = %v, want ≈1.0101e-4", varX[0])
+	}
+	if v := s.Variance(1); v[0] != 0 {
+		t.Errorf("uy variance = %v, want 0", v[0])
+	}
+	// TKE = ½ var(ux) here.
+	k := s.TKE()
+	if math.Abs(k[0]-varX[0]/2) > 1e-12 {
+		t.Errorf("TKE = %v, want %v", k[0], varX[0]/2)
+	}
+	ti := s.TurbulenceIntensity(0, 0.04)
+	want := math.Sqrt(2*k[0]/3) / 0.04
+	if math.Abs(ti-want) > 1e-12 {
+		t.Errorf("TI = %v, want %v", ti, want)
+	}
+}
+
+func TestStatisticsDegenerate(t *testing.T) {
+	s := NewStatistics(2, 2, 1)
+	if v := s.Variance(0); v[0] != 0 {
+		t.Error("variance of zero samples must be 0")
+	}
+	if k := s.TKE(); k[0] != 0 {
+		t.Error("TKE of zero samples must be 0")
+	}
+	if s.TurbulenceIntensity(0, 1) != 0 {
+		t.Error("TI of zero samples must be 0")
+	}
+	if err := s.Add(constantField(3, 3, 3, 0)); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+}
+
+// TestStatisticsOnLES: accumulate statistics over a real turbulent-ish LES
+// run; the TKE behind an obstacle exceeds the TKE in the free stream.
+func TestStatisticsOnLES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long physics test")
+	}
+	l, err := core.NewLattice(&lattice.D3Q19, 48, 16, 1, 0.52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Smagorinsky = 0.17
+	// Sustain the flow through the periodic box with a body force.
+	l.Force = [3]float64{8e-6, 0, 0}
+	// A bluff plate generating an unsteady wake.
+	for y := 5; y <= 10; y++ {
+		l.SetWall(12, y, 0)
+	}
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 48; x++ {
+			if l.CellTypeAt(x, y, 0) == core.Fluid {
+				uy := 0.0
+				if x > 12 && x < 20 && y > 8 {
+					uy = 0.01
+				}
+				l.SetCell(x, y, 0, 1, 0.1, uy, 0)
+			}
+		}
+	}
+	stats := NewStatistics(48, 16, 1)
+	for s := 0; s < 1500; s++ {
+		l.PeriodicAll()
+		l.StepFused()
+		if s > 500 {
+			if err := stats.Add(l.ComputeMacro()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	k := stats.TKE()
+	m := stats.Mean()
+	// The mean wake velocity lags the bypass flow (recirculation).
+	if m.Ux[m.Idx(14, 8, 0)] >= m.Ux[m.Idx(14, 1, 0)] {
+		t.Errorf("mean wake velocity should lag the bypass: %v vs %v",
+			m.Ux[m.Idx(14, 8, 0)], m.Ux[m.Idx(14, 1, 0)])
+	}
+	// Turbulence is produced in the plate's shear layers: the global TKE
+	// maximum sits downstream of the plate, off the wake centreline, and
+	// the field is strongly inhomogeneous.
+	maxK, maxI, sumK := 0.0, 0, 0.0
+	for i, v := range k {
+		sumK += v
+		if v > maxK {
+			maxK, maxI = v, i
+		}
+	}
+	meanK := sumK / float64(len(k))
+	if maxK < 1.5*meanK {
+		t.Errorf("TKE field too homogeneous: max %v vs mean %v", maxK, meanK)
+	}
+	mz := maxI % m.NZ
+	mx := (maxI / m.NZ) % m.NX
+	my := maxI / (m.NZ * m.NX)
+	_ = mz
+	if mx <= 12 {
+		t.Errorf("TKE maximum at x=%d, want downstream of the plate (x>12)", mx)
+	}
+	if my >= 6 && my <= 9 {
+		t.Errorf("TKE maximum at y=%d sits in the bubble core, want the shear layers", my)
+	}
+}

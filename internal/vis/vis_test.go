@@ -1,0 +1,197 @@
+package vis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sunwaylb/internal/core"
+)
+
+// solidRotation builds a macro field with u = ω × r around the z axis —
+// known vorticity 2ω and positive Q everywhere.
+func solidRotation(nx, ny, nz int, omega float64) *core.MacroField {
+	m := &core.MacroField{
+		NX: nx, NY: ny, NZ: nz,
+		Rho: make([]float64, nx*ny*nz),
+		Ux:  make([]float64, nx*ny*nz),
+		Uy:  make([]float64, nx*ny*nz),
+		Uz:  make([]float64, nx*ny*nz),
+	}
+	cx, cy := float64(nx-1)/2, float64(ny-1)/2
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for z := 0; z < nz; z++ {
+				i := m.Idx(x, y, z)
+				m.Rho[i] = 1
+				m.Ux[i] = -omega * (float64(y) - cy)
+				m.Uy[i] = omega * (float64(x) - cx)
+			}
+		}
+	}
+	return m
+}
+
+// pureShear builds u = (γy, 0, 0): zero Q… actually Q = −γ²/4 < 0 (strain
+// equals rotation gives Q=0 only for irrotational strain; simple shear has
+// ‖S‖²=‖Ω‖², so Q = 0). Used to check the sign conventions.
+func pureShear(nx, ny, nz int, gamma float64) *core.MacroField {
+	m := solidRotation(nx, ny, nz, 0)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			for z := 0; z < nz; z++ {
+				i := m.Idx(x, y, z)
+				m.Ux[i] = gamma * float64(y)
+				m.Uy[i] = 0
+			}
+		}
+	}
+	return m
+}
+
+func TestVorticitySolidRotation(t *testing.T) {
+	omega := 0.01
+	m := solidRotation(9, 9, 3, omega)
+	w := VorticityZ(m)
+	// Interior points: ω_z = 2ω exactly (linear field, central diffs).
+	got := w[m.Idx(4, 4, 1)]
+	if math.Abs(got-2*omega) > 1e-12 {
+		t.Errorf("vorticity = %v, want %v", got, 2*omega)
+	}
+}
+
+func TestQCriterionSigns(t *testing.T) {
+	rot := QCriterion(solidRotation(9, 9, 3, 0.01))
+	m := solidRotation(9, 9, 3, 0.01)
+	if q := rot[m.Idx(4, 4, 1)]; q <= 0 {
+		t.Errorf("solid rotation Q = %v, want > 0", q)
+	}
+	shear := QCriterion(pureShear(9, 9, 3, 0.01))
+	if q := shear[m.Idx(4, 4, 1)]; math.Abs(q) > 1e-12 {
+		t.Errorf("simple shear Q = %v, want 0", q)
+	}
+}
+
+func TestSlices(t *testing.T) {
+	m := solidRotation(5, 7, 3, 0.02)
+	s := SpeedSlice(m, AxisZ, 1)
+	if s.W != 5 || s.H != 7 {
+		t.Fatalf("z slice dims %d×%d", s.W, s.H)
+	}
+	// The rotation centre is slow, the corner fast.
+	if s.At(2, 3) > s.At(0, 0) {
+		t.Error("speed profile of solid rotation wrong")
+	}
+	sx := RhoSlice(m, AxisX, 2)
+	if sx.W != 7 || sx.H != 3 {
+		t.Fatalf("x slice dims %d×%d", sx.W, sx.H)
+	}
+	lo, hi := sx.MinMax()
+	if lo != 1 || hi != 1 {
+		t.Errorf("rho slice range [%v,%v], want [1,1]", lo, hi)
+	}
+	sy := ComponentSlice(m, AxisY, 3, 0)
+	if sy.W != 5 || sy.H != 3 {
+		t.Fatalf("y slice dims %d×%d", sy.W, sy.H)
+	}
+}
+
+func TestFieldSlice(t *testing.T) {
+	m := solidRotation(4, 4, 4, 0.01)
+	q := QCriterion(m)
+	s := FieldSlice(m, q, AxisZ, 2)
+	if s.W != 4 || s.H != 4 {
+		t.Fatal("field slice dims")
+	}
+	if s.At(1, 1) != q[m.Idx(1, 1, 2)] {
+		t.Error("field slice values wrong")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	m := solidRotation(8, 6, 3, 0.02)
+	s := SpeedSlice(m, AxisZ, 1)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, s, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !strings.HasPrefix(string(data), "P6\n8 6\n255\n") {
+		t.Errorf("PPM header wrong: %q", data[:20])
+	}
+	wantLen := len("P6\n8 6\n255\n") + 8*6*3
+	if len(data) != wantLen {
+		t.Errorf("PPM length %d, want %d", len(data), wantLen)
+	}
+	// Constant slice must not divide by zero.
+	var buf2 bytes.Buffer
+	if err := WritePPM(&buf2, RhoSlice(m, AxisZ, 1), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivergingColormapEnds(t *testing.T) {
+	r, g, b := diverging(0)
+	if r != 0 || g != 0 || b != 255 {
+		t.Errorf("t=0 -> (%d,%d,%d), want blue", r, g, b)
+	}
+	r, g, b = diverging(1)
+	if r != 255 || g != 0 || b != 0 {
+		t.Errorf("t=1 -> (%d,%d,%d), want red", r, g, b)
+	}
+	r, g, b = diverging(0.5)
+	if r != 255 || g != 255 || b != 255 {
+		t.Errorf("t=0.5 -> (%d,%d,%d), want white", r, g, b)
+	}
+	// Clamping.
+	if r, _, _ := diverging(-3); r != 0 {
+		t.Error("clamp low failed")
+	}
+	if _, g, _ := diverging(7); g != 0 {
+		t.Error("clamp high failed")
+	}
+}
+
+func TestMIP(t *testing.T) {
+	m := solidRotation(6, 5, 4, 0.01)
+	q := QCriterion(m)
+	s := MIP(m, q, AxisZ)
+	if s.W != 6 || s.H != 5 {
+		t.Fatalf("MIP dims %dx%d", s.W, s.H)
+	}
+	// The projection holds the per-column maximum.
+	want := math.Inf(-1)
+	for z := 0; z < 4; z++ {
+		if v := q[m.Idx(2, 2, z)]; v > want {
+			want = v
+		}
+	}
+	if s.At(2, 2) != want {
+		t.Errorf("MIP(2,2) = %v, want %v", s.At(2, 2), want)
+	}
+	sx := MIP(m, q, AxisX)
+	if sx.W != 5 || sx.H != 4 {
+		t.Fatalf("MIP x dims %dx%d", sx.W, sx.H)
+	}
+	sy := MIP(m, q, AxisY)
+	if sy.W != 6 || sy.H != 4 {
+		t.Fatalf("MIP y dims %dx%d", sy.W, sy.H)
+	}
+}
+
+func TestIsoCount(t *testing.T) {
+	field := []float64{-1, 0, 0.5, 2, 3}
+	if got := IsoCount(field, 0); got != 3 {
+		t.Errorf("IsoCount = %d, want 3", got)
+	}
+	if got := IsoCount(field, 10); got != 0 {
+		t.Errorf("IsoCount above max = %d", got)
+	}
+	// Solid rotation has positive Q everywhere in the interior.
+	m := solidRotation(8, 8, 3, 0.01)
+	q := QCriterion(m)
+	if IsoCount(q, 0) == 0 {
+		t.Error("solid rotation must have Q>0 cells")
+	}
+}
