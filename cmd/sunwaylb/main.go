@@ -14,6 +14,9 @@
 //	sunwaylb -preset cylinder -steps 4000 -out cyl
 //	sunwaylb -preset channel -decomp 2x2 -steps 500
 //	sunwaylb -preset cavity -checkpoint-every 500 -checkpoint state.cpk
+//	sunwaylb -preset channel -decomp 2x2 -steps 500 -checkpoint-every 100 \
+//	    -checkpoint state.cpk -max-restarts 2 \
+//	    -fault-plan 'seed=42;crash@rank=1,step=250'
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"sunwaylb/internal/boundary"
 	"sunwaylb/internal/config"
 	"sunwaylb/internal/core"
+	"sunwaylb/internal/fault"
 	"sunwaylb/internal/geometry"
 	"sunwaylb/internal/lattice"
 	"sunwaylb/internal/perf"
@@ -49,10 +53,13 @@ func main() {
 		decomp     = flag.String("decomp", "", "run distributed as PXxPY simulated MPI ranks (e.g. 2x2)")
 		useSunway  = flag.Bool("sunway", false, "with -decomp: run each rank's kernel on a simulated SW26010 core group")
 		out        = flag.String("out", "", "output prefix for PPM slices")
-		cpPath     = flag.String("checkpoint", "", "checkpoint file path")
-		cpEvery    = flag.Int("checkpoint-every", 0, "checkpoint interval in steps")
-		restore    = flag.String("restore", "", "resume from a checkpoint file")
-		reportSecs = flag.Float64("report", 2, "progress report interval in seconds")
+		cpPath      = flag.String("checkpoint", "", "checkpoint file path")
+		cpEvery     = flag.Int("checkpoint-every", 0, "checkpoint interval in steps")
+		restore     = flag.String("restore", "", "resume from a checkpoint file")
+		faultPlan   = flag.String("fault-plan", "", "with -decomp: deterministic fault plan, e.g. 'seed=42;crash@rank=1,step=50;corrupt@ckpt=2' (see internal/fault)")
+		maxRestarts = flag.Int("max-restarts", 0, "with -decomp: recovery budget of the self-healing supervisor")
+		allowShrink = flag.Bool("allow-shrink", false, "with -decomp: re-decompose onto fewer ranks after a rank death")
+		reportSecs  = flag.Float64("report", 2, "progress report interval in seconds")
 	)
 	flag.Parse()
 
@@ -77,13 +84,24 @@ func main() {
 	}
 
 	if *decomp != "" {
-		if *restore != "" || *cpPath != "" {
-			log.Fatal("sunwaylb: checkpointing is supported in single-process mode only")
+		d := distOpts{
+			decomp:      *decomp,
+			out:         *out,
+			useSunway:   *useSunway,
+			cpPath:      *cpPath,
+			cpEvery:     *cpEvery,
+			restore:     *restore,
+			faultPlan:   *faultPlan,
+			maxRestarts: *maxRestarts,
+			allowShrink: *allowShrink,
 		}
-		if err := runDistributed(cs, *decomp, *out, *useSunway); err != nil {
+		if err := runDistributed(cs, d); err != nil {
 			log.Fatalf("sunwaylb: %v", err)
 		}
 		return
+	}
+	if *faultPlan != "" {
+		log.Fatal("sunwaylb: -fault-plan requires -decomp (faults target simulated MPI ranks)")
 	}
 	if err := runLocal(cs, *out, *cpPath, *cpEvery, *restore, *reportSecs); err != nil {
 		log.Fatalf("sunwaylb: %v", err)
@@ -389,10 +407,30 @@ func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, re
 	return nil
 }
 
-func runDistributed(cs *caseSetup, decomp, out string, useSunway bool) error {
+// distOpts bundles the distributed-run flags.
+type distOpts struct {
+	decomp      string
+	out         string
+	useSunway   bool
+	cpPath      string
+	cpEvery     int
+	restore     string
+	faultPlan   string
+	maxRestarts int
+	allowShrink bool
+}
+
+// supervised reports whether the run needs the self-healing supervisor
+// (any checkpointing, restore, fault injection or recovery budget).
+func (d distOpts) supervised() bool {
+	return d.cpPath != "" || d.cpEvery > 0 || d.restore != "" ||
+		d.faultPlan != "" || d.maxRestarts > 0 || d.allowShrink
+}
+
+func runDistributed(cs *caseSetup, d distOpts) error {
 	var px, py int
-	if _, err := fmt.Sscanf(strings.ToLower(decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
-		return fmt.Errorf("bad -decomp %q, want e.g. 2x2", decomp)
+	if _, err := fmt.Sscanf(strings.ToLower(d.decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
+		return fmt.Errorf("bad -decomp %q, want e.g. 2x2", d.decomp)
 	}
 	opts := psolve.Options{
 		GNX: cs.cfg.NX, GNY: cs.cfg.NY, GNZ: cs.cfg.NZ,
@@ -406,7 +444,7 @@ func runDistributed(cs *caseSetup, decomp, out string, useSunway bool) error {
 		Init:        cs.init,
 		OnTheFly:    true,
 	}
-	if useSunway {
+	if d.useSunway {
 		opts.OnTheFly = false
 		opts.Stepper = func(lat *core.Lattice) (psolve.Stepper, error) {
 			return swlb.New(lat, sunway.SW26010, swlb.DefaultOptions())
@@ -417,17 +455,63 @@ func runDistributed(cs *caseSetup, decomp, out string, useSunway bool) error {
 		fmt.Printf("%s: %d×%d×%d cells over %d×%d simulated MPI ranks, %d steps\n",
 			cs.cfg.Name, cs.cfg.NX, cs.cfg.NY, cs.cfg.NZ, px, py, cs.cfg.Steps)
 	}
+
 	start := time.Now()
-	m, err := psolve.Run(opts, cs.cfg.Steps)
-	if err != nil {
-		return err
+	var m *core.MacroField
+	var err error
+	startStep := 0
+	if d.supervised() {
+		if d.restore != "" {
+			lat, rerr := swio.Restart(d.restore)
+			if rerr != nil {
+				return rerr
+			}
+			opts.Restore = lat
+			startStep = lat.Step()
+			fmt.Printf("restored %q at step %d\n", d.restore, startStep)
+		}
+		var inj *fault.Injector
+		if d.faultPlan != "" {
+			plan, perr := fault.ParsePlan(d.faultPlan)
+			if perr != nil {
+				return perr
+			}
+			inj = fault.NewInjector(plan)
+			fmt.Printf("fault plan: %s\n", plan)
+		}
+		var stats perf.RecoveryStats
+		m, stats, err = psolve.Supervise(psolve.SupervisorOptions{
+			Opts:            opts,
+			Steps:           cs.cfg.Steps,
+			CheckpointEvery: d.cpEvery,
+			CheckpointPath:  d.cpPath,
+			MaxRestarts:     d.maxRestarts,
+			AllowShrink:     d.allowShrink,
+			Injector:        inj,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		if inj != nil {
+			fmt.Printf("faults injected: %s\n", inj.Stats())
+		}
+		if !stats.Clean() {
+			fmt.Printf("recovery: %s\n", stats)
+		}
+	} else {
+		m, err = psolve.Run(opts, cs.cfg.Steps)
+		if err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start).Seconds()
 	cells := int64(cs.cfg.NX) * int64(cs.cfg.NY) * int64(cs.cfg.NZ)
+	doneSteps := cs.cfg.Steps - startStep
 	fmt.Printf("completed %d steps in %.2f s: %s aggregate\n",
-		cs.cfg.Steps, elapsed, perf.Rate(cells*int64(cs.cfg.Steps), elapsed))
-	if out != "" {
-		return writeImages(m, out)
+		doneSteps, elapsed, perf.Rate(cells*int64(doneSteps), elapsed))
+	if d.out != "" {
+		return writeImages(m, d.out)
 	}
 	return nil
 }

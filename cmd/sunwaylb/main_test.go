@@ -65,11 +65,46 @@ func TestCLISmoke(t *testing.T) {
 		t.Errorf("missing image: %v", err)
 	}
 
+	// Supervised chaos run: a fault plan kills rank 1 mid-run; the
+	// supervisor restores from the periodic checkpoint and finishes.
+	chaosCp := filepath.Join(dir, "chaos.cpk")
+	out = run("-preset", "channel", "-nx", "24", "-ny", "8", "-nz", "8",
+		"-steps", "20", "-decomp", "2x1",
+		"-checkpoint", chaosCp, "-checkpoint-every", "5", "-max-restarts", "2",
+		"-fault-plan", "seed=7;crash@rank=1,step=12")
+	if !strings.Contains(out, "completed") {
+		t.Errorf("chaos run did not complete:\n%s", out)
+	}
+	if !strings.Contains(out, "restarts=1") {
+		t.Errorf("chaos run reported no recovery:\n%s", out)
+	}
+	if !strings.Contains(out, "crashes=1") {
+		t.Errorf("chaos run reported no injected crash:\n%s", out)
+	}
+	if _, err := os.Stat(chaosCp); err != nil {
+		t.Errorf("supervised checkpoint missing: %v", err)
+	}
+
+	// Distributed restore resumes from the supervised checkpoint.
+	out = run("-preset", "channel", "-nx", "24", "-ny", "8", "-nz", "8",
+		"-steps", "25", "-decomp", "2x1", "-restore", chaosCp)
+	if !strings.Contains(out, "restored") {
+		t.Errorf("distributed restore did not resume:\n%s", out)
+	}
+
 	// Bad flags fail cleanly.
 	if _, err := exec.Command(bin, "-preset", "nope").CombinedOutput(); err == nil {
 		t.Error("unknown preset must exit non-zero")
 	}
 	if _, err := exec.Command(bin, "-preset", "cavity", "-decomp", "9z9").CombinedOutput(); err == nil {
 		t.Error("malformed -decomp must exit non-zero")
+	}
+	if _, err := exec.Command(bin, "-preset", "cavity",
+		"-fault-plan", "crash@rank=0,step=1").CombinedOutput(); err == nil {
+		t.Error("-fault-plan without -decomp must exit non-zero")
+	}
+	if _, err := exec.Command(bin, "-preset", "cavity", "-decomp", "2x1",
+		"-fault-plan", "bogus@x=1").CombinedOutput(); err == nil {
+		t.Error("malformed -fault-plan must exit non-zero")
 	}
 }

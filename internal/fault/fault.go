@@ -1,0 +1,309 @@
+// Package fault is a deterministic fault-injection runtime for chaos
+// testing the distributed solver. At the paper's target scale (160 000
+// processes, §V-C) node loss, link errors and silent data corruption are
+// routine operating conditions, not exceptions; the checkpoint/restart
+// controller of §IV-B only earns its keep if the failure paths are
+// actually exercised. This package supplies the failures: a seeded
+// Injector evaluates a composable Plan — rank crashes at a given step,
+// per-link message drop/duplicate/bit-flip, straggler slow-down
+// multipliers, and checkpoint-file corruption — with every decision
+// derived from a counter-indexed hash of the seed, so a failure scenario
+// replays bit-identically regardless of goroutine scheduling.
+//
+// The Injector plugs into internal/mpi as a FaultHook (message faults),
+// into internal/psolve's supervisor (crashes, checkpoint corruption) and
+// into internal/network (straggler-inflated step times). It has no
+// dependency on any of them.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// ErrInjectedCrash marks a rank death caused by the injector (as opposed
+// to a genuine solver failure). The supervisor uses it to decide that
+// shrinking recovery is applicable.
+var ErrInjectedCrash = errors.New("fault: injected rank crash")
+
+// Crash kills one rank at the start of the given step. Each entry fires
+// at most once, so a supervised restart that replays the same step does
+// not die again (the simulated node has been "replaced").
+type Crash struct {
+	Rank int
+	Step int
+}
+
+// Link describes message faults on a directed (src, dst) link. Src/Dst
+// of -1 match any rank. Probabilities are evaluated independently per
+// message; Max bounds how many times this entry may fire in total
+// (0 = unlimited).
+type Link struct {
+	Src, Dst int
+	// Drop is the probability a message is silently discarded.
+	Drop float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Flip is the probability one payload bit is inverted in transit
+	// (silent data corruption).
+	Flip float64
+	// Max caps the number of faults this entry injects (0 = unlimited).
+	Max int
+}
+
+// Straggler multiplies one rank's modelled compute time.
+type Straggler struct {
+	Rank   int
+	Factor float64
+}
+
+// Plan is a composable, fully deterministic fault scenario.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// Crashes kill ranks at given steps (one-shot each).
+	Crashes []Crash
+	// Links inject message drop/duplicate/bit-flip faults.
+	Links []Link
+	// Stragglers slow ranks down in the performance model.
+	Stragglers []Straggler
+	// CorruptCkpts lists 1-based checkpoint-write indices whose files
+	// are corrupted after writing (one-shot each).
+	CorruptCkpts []int
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return len(p.Crashes) == 0 && len(p.Links) == 0 &&
+		len(p.Stragglers) == 0 && len(p.CorruptCkpts) == 0
+}
+
+// Stats counts the faults an Injector has actually delivered.
+type Stats struct {
+	Crashes    int
+	Drops      int
+	Dups       int
+	Flips      int
+	CkptsCorrupted int
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("crashes=%d drops=%d dups=%d flips=%d ckpts-corrupted=%d",
+		s.Crashes, s.Drops, s.Dups, s.Flips, s.CkptsCorrupted)
+}
+
+// Injector evaluates a Plan. It is safe for concurrent use by every rank
+// goroutine of a world, and it is stateful: one-shot faults stay fired
+// across supervised restarts, which is exactly the semantics of a real
+// machine (the node that died has been replaced, the flipped bit has
+// passed by).
+type Injector struct {
+	plan Plan
+
+	mu          sync.Mutex
+	crashFired  []bool
+	linkFired   []int            // per plan entry: times fired
+	linkCount   map[[2]int]uint64 // per observed (src,dst): messages seen
+	ckptFired   map[int]bool
+	stats       Stats
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(p Plan) *Injector {
+	return &Injector{
+		plan:       p,
+		crashFired: make([]bool, len(p.Crashes)),
+		linkFired:  make([]int, len(p.Links)),
+		linkCount:  make(map[[2]int]uint64),
+		ckptFired:  make(map[int]bool),
+	}
+}
+
+// Plan returns the plan the injector evaluates.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash mixes the seed with an arbitrary decision coordinate. Decisions
+// are pure functions of (seed, coordinates), never of evaluation order,
+// which is what makes concurrent runs reproducible.
+func (in *Injector) hash(vs ...uint64) uint64 {
+	h := splitmix64(uint64(in.plan.Seed) ^ 0x5357_4c42) // "SWLB"
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// u01 returns a uniform [0,1) draw for a decision coordinate.
+func (in *Injector) u01(vs ...uint64) float64 {
+	return float64(in.hash(vs...)>>11) / float64(1<<53)
+}
+
+// CrashNow reports whether the given rank must die before executing the
+// given step. Each plan entry fires once.
+func (in *Injector) CrashNow(rank, step int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, c := range in.plan.Crashes {
+		if !in.crashFired[i] && c.Rank == rank && c.Step == step {
+			in.crashFired[i] = true
+			in.stats.Crashes++
+			return true
+		}
+	}
+	return false
+}
+
+// OnSend implements the mpi.FaultHook contract structurally: it decides
+// the fate of one message on the (src, dst) link and returns the number
+// of copies to deliver (0 = dropped, 1 = normal, 2 = duplicated). A
+// bit-flip mutates data (or aux when data is empty) in place.
+func (in *Injector) OnSend(src, dst, tag int, data []float64, aux []byte) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := [2]int{src, dst}
+	n := in.linkCount[key]
+	in.linkCount[key] = n + 1
+
+	copies := 1
+	for i, lf := range in.plan.Links {
+		if lf.Src >= 0 && lf.Src != src {
+			continue
+		}
+		if lf.Dst >= 0 && lf.Dst != dst {
+			continue
+		}
+		if lf.Max > 0 && in.linkFired[i] >= lf.Max {
+			continue
+		}
+		fi := uint64(i)
+		s, d := uint64(src), uint64(dst)
+		switch {
+		case lf.Drop > 0 && in.u01(fi, 1, s, d, n) < lf.Drop:
+			in.linkFired[i]++
+			in.stats.Drops++
+			return 0
+		case lf.Dup > 0 && in.u01(fi, 2, s, d, n) < lf.Dup:
+			in.linkFired[i]++
+			in.stats.Dups++
+			copies = 2
+		case lf.Flip > 0 && in.u01(fi, 3, s, d, n) < lf.Flip:
+			in.linkFired[i]++
+			in.stats.Flips++
+			in.flipBit(data, aux, in.hash(fi, 4, s, d, n))
+		}
+	}
+	return copies
+}
+
+// flipBit inverts one deterministic bit of the payload.
+func (in *Injector) flipBit(data []float64, aux []byte, h uint64) {
+	if len(data) > 0 {
+		i := int(h % uint64(len(data)))
+		bit := uint((h >> 32) % 52) // mantissa bits: corrupts, never Inf/NaN by itself
+		data[i] = math.Float64frombits(math.Float64bits(data[i]) ^ (1 << bit))
+		return
+	}
+	if len(aux) > 0 {
+		i := int(h % uint64(len(aux)))
+		aux[i] ^= byte(1 << ((h >> 32) % 8))
+	}
+}
+
+// StragglerFactor returns the compute-time multiplier of a rank (1 when
+// the rank is not a straggler).
+func (in *Injector) StragglerFactor(rank int) float64 {
+	for _, s := range in.plan.Stragglers {
+		if s.Rank == rank && s.Factor > 1 {
+			return s.Factor
+		}
+	}
+	return 1
+}
+
+// StragglerMultipliers returns the per-rank multipliers for an n-rank
+// world, ready for network.Topology.StepTimeWithStragglers.
+func (in *Injector) StragglerMultipliers(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	for _, s := range in.plan.Stragglers {
+		if s.Rank >= 0 && s.Rank < n && s.Factor > 1 {
+			out[s.Rank] = s.Factor
+		}
+	}
+	return out
+}
+
+// CorruptCheckpointBytes flips one deterministic bit of a serialised
+// checkpoint if the plan corrupts the writeIndex-th write (1-based).
+// It reports whether a corruption was applied.
+func (in *Injector) CorruptCheckpointBytes(data []byte, writeIndex int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.ckptMatchLocked(writeIndex) || len(data) == 0 {
+		return false
+	}
+	h := in.hash(0xc0, uint64(writeIndex))
+	data[h%uint64(len(data))] ^= byte(1 << ((h >> 32) % 8))
+	in.stats.CkptsCorrupted++
+	return true
+}
+
+// CorruptCheckpointFile flips one deterministic bit of the file at path
+// if the plan corrupts the writeIndex-th checkpoint write (1-based).
+// It reports whether a corruption was applied.
+func (in *Injector) CorruptCheckpointFile(path string, writeIndex int) (bool, error) {
+	in.mu.Lock()
+	match := in.ckptMatchLocked(writeIndex)
+	in.mu.Unlock()
+	if !match {
+		return false, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("fault: corrupting checkpoint: %w", err)
+	}
+	if len(data) == 0 {
+		return false, nil
+	}
+	h := in.hash(0xc0, uint64(writeIndex))
+	data[h%uint64(len(data))] ^= byte(1 << ((h >> 32) % 8))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return false, fmt.Errorf("fault: corrupting checkpoint: %w", err)
+	}
+	in.mu.Lock()
+	in.stats.CkptsCorrupted++
+	in.mu.Unlock()
+	return true, nil
+}
+
+// ckptMatchLocked consumes a matching one-shot corruption entry.
+func (in *Injector) ckptMatchLocked(writeIndex int) bool {
+	for _, k := range in.plan.CorruptCkpts {
+		if k == writeIndex && !in.ckptFired[k] {
+			in.ckptFired[k] = true
+			return true
+		}
+	}
+	return false
+}

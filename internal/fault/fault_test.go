@@ -1,0 +1,277 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParsePlanFull(t *testing.T) {
+	p, err := ParsePlan("seed=42;crash@rank=2,step=13;drop@src=0,dst=1,p=0.3,max=3;" +
+		"dup@p=0.1;flip@src=-1,dst=2,p=0.05;straggle@rank=1,x=4;corrupt@ckpt=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed:    42,
+		Crashes: []Crash{{Rank: 2, Step: 13}},
+		Links: []Link{
+			{Src: 0, Dst: 1, Drop: 0.3, Max: 3},
+			{Src: -1, Dst: -1, Dup: 0.1},
+			{Src: -1, Dst: 2, Flip: 0.05},
+		},
+		Stragglers:   []Straggler{{Rank: 1, Factor: 4}},
+		CorruptCkpts: []int{2},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+}
+
+// TestPlanStringRoundTrip: Plan.String renders a DSL that parses back to
+// the same plan (so logged plans are replayable).
+func TestPlanStringRoundTrip(t *testing.T) {
+	orig, err := ParsePlan("seed=7;crash@rank=0,step=5;drop@src=1,dst=0,p=0.25,max=2;straggle@rank=3,x=2.5;corrupt@ckpt=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParsePlan(orig.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", orig.String(), err)
+	}
+	if !reflect.DeepEqual(orig, again) {
+		t.Errorf("round trip changed the plan:\n  orig  %+v\n  again %+v", orig, again)
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Errorf("empty string parsed to non-empty plan %+v", p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus@x=1",
+		"crash@rank=1",          // missing step
+		"drop@src=0,dst=1",      // missing p
+		"drop@src=0,dst=1,p=2",  // p out of range
+		"straggle@rank=1,x=0.5", // x < 1
+		"corrupt@ckpt=0",        // ckpt < 1
+		"seed=abc",
+		"crash@rank",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a bad plan", bad)
+		}
+	}
+}
+
+// TestCrashOneShot: a crash entry fires exactly once, so a supervised
+// replay of the same step does not die again.
+func TestCrashOneShot(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{{Rank: 1, Step: 5}}})
+	if in.CrashNow(0, 5) || in.CrashNow(1, 4) {
+		t.Error("crash fired for wrong rank/step")
+	}
+	if !in.CrashNow(1, 5) {
+		t.Error("crash did not fire at its coordinates")
+	}
+	if in.CrashNow(1, 5) {
+		t.Error("crash fired twice (must be one-shot)")
+	}
+	if s := in.Stats(); s.Crashes != 1 {
+		t.Errorf("stats.Crashes = %d, want 1", s.Crashes)
+	}
+}
+
+// TestOnSendDeterminism: two injectors with the same seed make identical
+// per-message decisions; a different seed diverges somewhere.
+func TestOnSendDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Links: []Link{{Src: -1, Dst: -1, Drop: 0.3}}}
+	run := func(p Plan) []int {
+		in := NewInjector(p)
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = in.OnSend(0, 1, 0, []float64{1, 2, 3}, nil)
+		}
+		return out
+	}
+	a, b := run(plan), run(plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault decisions")
+	}
+	drops := 0
+	for _, c := range a {
+		if c == 0 {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 90 {
+		t.Errorf("drop rate %d/200 implausible for p=0.3", drops)
+	}
+	plan.Seed = 43
+	if reflect.DeepEqual(a, run(plan)) {
+		t.Error("different seeds produced identical decisions")
+	}
+}
+
+// TestOnSendMaxBudget: Max bounds the total faults of one entry.
+func TestOnSendMaxBudget(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Links: []Link{{Src: -1, Dst: -1, Drop: 1, Max: 2}}})
+	drops := 0
+	for i := 0; i < 10; i++ {
+		if in.OnSend(0, 1, 0, []float64{1}, nil) == 0 {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Errorf("dropped %d messages, want exactly Max=2", drops)
+	}
+}
+
+// TestFlipMutatesPayload: a certain flip changes exactly the payload (in
+// place) and never produces Inf/NaN on its own.
+func TestFlipMutatesPayload(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, Links: []Link{{Src: -1, Dst: -1, Flip: 1, Max: 1}}})
+	data := []float64{1.5, -2.25, 0.125}
+	orig := append([]float64(nil), data...)
+	if c := in.OnSend(0, 1, 0, data, nil); c != 1 {
+		t.Fatalf("flip returned %d copies, want 1", c)
+	}
+	changed := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			changed++
+			if math.IsInf(data[i], 0) || math.IsNaN(data[i]) {
+				t.Errorf("flip produced non-finite %v", data[i])
+			}
+		}
+	}
+	if changed != 1 {
+		t.Errorf("flip changed %d values, want exactly 1", changed)
+	}
+	if s := in.Stats(); s.Flips != 1 {
+		t.Errorf("stats.Flips = %d, want 1", s.Flips)
+	}
+}
+
+// TestFlipAux: with an empty float payload the flip lands in the byte
+// sidecar instead.
+func TestFlipAux(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Links: []Link{{Src: -1, Dst: -1, Flip: 1, Max: 1}}})
+	aux := []byte{0, 0, 0, 0}
+	in.OnSend(0, 1, 0, nil, aux)
+	changed := 0
+	for _, b := range aux {
+		if b != 0 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("aux flip changed %d bytes, want 1", changed)
+	}
+}
+
+// TestLinkMatching: src/dst filters restrict an entry to its link; -1
+// wildcards match any rank.
+func TestLinkMatching(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Links: []Link{{Src: 0, Dst: 1, Drop: 1}}})
+	if c := in.OnSend(1, 0, 0, []float64{1}, nil); c != 1 {
+		t.Error("entry for link 0→1 fired on link 1→0")
+	}
+	if c := in.OnSend(0, 2, 0, []float64{1}, nil); c != 1 {
+		t.Error("entry for link 0→1 fired on link 0→2")
+	}
+	if c := in.OnSend(0, 1, 0, []float64{1}, nil); c != 0 {
+		t.Error("entry for link 0→1 did not fire on its own link")
+	}
+}
+
+func TestStragglerMultipliers(t *testing.T) {
+	in := NewInjector(Plan{Stragglers: []Straggler{{Rank: 1, Factor: 4}, {Rank: 9, Factor: 3}}})
+	if f := in.StragglerFactor(1); f != 4 {
+		t.Errorf("StragglerFactor(1) = %v, want 4", f)
+	}
+	if f := in.StragglerFactor(0); f != 1 {
+		t.Errorf("StragglerFactor(0) = %v, want 1", f)
+	}
+	got := in.StragglerMultipliers(4) // rank 9 is out of range
+	want := []float64{1, 4, 1, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("StragglerMultipliers(4) = %v, want %v", got, want)
+	}
+}
+
+// TestCorruptCheckpointBytes: one-shot, deterministic single-byte
+// corruption of the matching write index only.
+func TestCorruptCheckpointBytes(t *testing.T) {
+	mk := func() []byte { return []byte{1, 2, 3, 4, 5, 6, 7, 8} }
+	in := NewInjector(Plan{Seed: 5, CorruptCkpts: []int{2}})
+	b1 := mk()
+	if in.CorruptCheckpointBytes(b1, 1) {
+		t.Error("write 1 corrupted but plan targets write 2")
+	}
+	b2 := mk()
+	if !in.CorruptCheckpointBytes(b2, 2) {
+		t.Fatal("write 2 not corrupted")
+	}
+	diff := 0
+	for i := range b2 {
+		if b2[i] != mk()[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption changed %d bytes, want 1", diff)
+	}
+	if in.CorruptCheckpointBytes(mk(), 2) {
+		t.Error("write-2 corruption fired twice (must be one-shot)")
+	}
+	// Same seed ⇒ same corrupted byte.
+	in2 := NewInjector(Plan{Seed: 5, CorruptCkpts: []int{2}})
+	b3 := mk()
+	in2.CorruptCheckpointBytes(b3, 2)
+	if !reflect.DeepEqual(b2, b3) {
+		t.Error("same seed corrupted different bytes")
+	}
+}
+
+func TestCorruptCheckpointFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.cpk")
+	orig := []byte("checkpoint-payload-bytes")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(Plan{Seed: 5, CorruptCkpts: []int{1}})
+	ok, err := in.CorruptCheckpointFile(path, 1)
+	if err != nil || !ok {
+		t.Fatalf("corrupt: ok=%v err=%v", ok, err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("file corruption changed %d bytes, want 1", diff)
+	}
+	if s := in.Stats(); s.CkptsCorrupted != 1 {
+		t.Errorf("stats.CkptsCorrupted = %d, want 1", s.CkptsCorrupted)
+	}
+	// Non-matching index touches nothing and is not an error.
+	if ok, err := in.CorruptCheckpointFile(path, 3); err != nil || ok {
+		t.Errorf("non-matching index: ok=%v err=%v, want no-op", ok, err)
+	}
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan decodes the compact fault-plan DSL used by the sunwaylb CLI's
+// -fault-plan flag. A plan is a ';'-separated list of clauses:
+//
+//	seed=SEED                         RNG seed (default 1)
+//	crash@rank=R,step=S               kill rank R before step S (one-shot)
+//	drop@src=A,dst=B,p=P[,max=M]      drop messages on link A→B with prob P
+//	dup@src=A,dst=B,p=P[,max=M]       duplicate messages with prob P
+//	flip@src=A,dst=B,p=P[,max=M]      flip one payload bit with prob P
+//	straggle@rank=R,x=F               rank R's compute is F× slower (model)
+//	corrupt@ckpt=K                    corrupt the K-th checkpoint write
+//
+// src/dst may be -1 (or omitted) to match any rank. Example:
+//
+//	seed=42;crash@rank=2,step=13;corrupt@ckpt=2;straggle@rank=1,x=4
+func ParsePlan(s string) (Plan, error) {
+	p := Plan{Seed: 1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, args, _ := strings.Cut(clause, "@")
+		kv, err := parseArgs(args)
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		switch {
+		case strings.HasPrefix(kind, "seed="):
+			v, err := strconv.ParseInt(strings.TrimPrefix(kind, "seed="), 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad seed in %q: %w", clause, err)
+			}
+			p.Seed = v
+		case kind == "crash":
+			r, okR := kv["rank"]
+			st, okS := kv["step"]
+			if !okR || !okS {
+				return Plan{}, fmt.Errorf("fault: crash clause %q needs rank= and step=", clause)
+			}
+			p.Crashes = append(p.Crashes, Crash{Rank: int(r), Step: int(st)})
+		case kind == "drop" || kind == "dup" || kind == "flip":
+			prob, ok := kv["p"]
+			if !ok || prob < 0 || prob > 1 {
+				return Plan{}, fmt.Errorf("fault: %s clause %q needs p= in [0,1]", kind, clause)
+			}
+			lf := Link{Src: intOr(kv, "src", -1), Dst: intOr(kv, "dst", -1), Max: intOr(kv, "max", 0)}
+			switch kind {
+			case "drop":
+				lf.Drop = prob
+			case "dup":
+				lf.Dup = prob
+			case "flip":
+				lf.Flip = prob
+			}
+			p.Links = append(p.Links, lf)
+		case kind == "straggle":
+			r, okR := kv["rank"]
+			x, okX := kv["x"]
+			if !okR || !okX || x < 1 {
+				return Plan{}, fmt.Errorf("fault: straggle clause %q needs rank= and x=≥1", clause)
+			}
+			p.Stragglers = append(p.Stragglers, Straggler{Rank: int(r), Factor: x})
+		case kind == "corrupt":
+			k, ok := kv["ckpt"]
+			if !ok || k < 1 {
+				return Plan{}, fmt.Errorf("fault: corrupt clause %q needs ckpt=≥1", clause)
+			}
+			p.CorruptCkpts = append(p.CorruptCkpts, int(k))
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown clause %q (want seed=|crash@|drop@|dup@|flip@|straggle@|corrupt@)", clause)
+		}
+	}
+	return p, nil
+}
+
+func parseArgs(args string) (map[string]float64, error) {
+	kv := make(map[string]float64)
+	if strings.TrimSpace(args) == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad key=value pair %q", pair)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", pair, err)
+		}
+		kv[strings.TrimSpace(k)] = f
+	}
+	return kv, nil
+}
+
+func intOr(kv map[string]float64, key string, def int) int {
+	if v, ok := kv[key]; ok {
+		return int(v)
+	}
+	return def
+}
+
+// String renders the plan back into the DSL (parseable by ParsePlan).
+func (p Plan) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	for _, c := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash@rank=%d,step=%d", c.Rank, c.Step))
+	}
+	for _, l := range p.Links {
+		emit := func(kind string, prob float64) {
+			s := fmt.Sprintf("%s@src=%d,dst=%d,p=%g", kind, l.Src, l.Dst, prob)
+			if l.Max > 0 {
+				s += fmt.Sprintf(",max=%d", l.Max)
+			}
+			parts = append(parts, s)
+		}
+		if l.Drop > 0 {
+			emit("drop", l.Drop)
+		}
+		if l.Dup > 0 {
+			emit("dup", l.Dup)
+		}
+		if l.Flip > 0 {
+			emit("flip", l.Flip)
+		}
+	}
+	for _, s := range p.Stragglers {
+		parts = append(parts, fmt.Sprintf("straggle@rank=%d,x=%g", s.Rank, s.Factor))
+	}
+	for _, k := range p.CorruptCkpts {
+		parts = append(parts, fmt.Sprintf("corrupt@ckpt=%d", k))
+	}
+	return strings.Join(parts, ";")
+}

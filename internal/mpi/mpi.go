@@ -9,11 +9,19 @@
 // with the serial solver — the functional-correctness half of the
 // extreme-scale substitution (the performance half lives in
 // internal/network and internal/scaling).
+//
+// The runtime also models failure (see failure.go): ranks can be marked
+// dead, the whole world can be torn down, receives can carry deadlines,
+// and a FaultHook can drop, duplicate or corrupt messages in transit. No
+// blocking operation hangs forever once its peer is unreachable — it
+// returns (or panics into the Run recovery with) a typed error instead,
+// which is what the self-healing supervisor in internal/psolve builds on.
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Message is the payload of a point-to-point transfer: a float64 body
@@ -35,22 +43,25 @@ type mailbox struct {
 }
 
 // put delivers a message: to the oldest waiting receiver if any,
-// otherwise onto the queue.
+// otherwise onto the queue. Delivery happens under the mailbox lock
+// (waiter channels are buffered, so the send cannot block), which lets
+// cancel reason about whether a waiter has been handed a message.
 func (mb *mailbox) put(m Message) {
 	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if len(mb.waiters) > 0 {
 		w := mb.waiters[0]
 		mb.waiters = mb.waiters[1:]
-		mb.mu.Unlock()
 		w <- m
 		return
 	}
 	mb.queue = append(mb.queue, m)
-	mb.mu.Unlock()
 }
 
 // get returns a channel that will yield the next message in stream order.
-func (mb *mailbox) get() <-chan Message {
+// A receiver that gives up (timeout, dead peer) must call cancel with the
+// same channel so a later message is not swallowed by an abandoned waiter.
+func (mb *mailbox) get() chan Message {
 	ch := make(chan Message, 1)
 	mb.mu.Lock()
 	if len(mb.queue) > 0 {
@@ -63,6 +74,37 @@ func (mb *mailbox) get() <-chan Message {
 	mb.waiters = append(mb.waiters, ch)
 	mb.mu.Unlock()
 	return ch
+}
+
+// tryGet pops the head of the queue without registering a waiter.
+func (mb *mailbox) tryGet() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+// cancel deregisters an abandoned waiter. If a message was already
+// delivered into the channel, it is requeued at the head so stream order
+// is preserved for the next receiver.
+func (mb *mailbox) cancel(ch chan Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, w := range mb.waiters {
+		if w == ch {
+			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			return
+		}
+	}
+	select {
+	case m := <-ch:
+		mb.queue = append([]Message{m}, mb.queue...)
+	default:
+	}
 }
 
 // World owns the communication state for a fixed number of ranks.
@@ -78,6 +120,15 @@ type World struct {
 		count int
 		gen   int
 	}
+
+	// Failure state (see failure.go).
+	fmu         sync.Mutex
+	down        bool
+	cause       error         // first failure cause (nil while healthy)
+	dead        map[int]error // rank → why unreachable (nil = clean exit)
+	notify      chan struct{} // closed and replaced on every state change
+	recvTimeout time.Duration
+	hook        FaultHook
 }
 
 // internal collective tags live in a reserved negative range so they never
@@ -95,7 +146,12 @@ func NewWorld(size int) (*World, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpi: world size %d < 1", size)
 	}
-	w := &World{size: size, boxes: make(map[chanKey]*mailbox)}
+	w := &World{
+		size:   size,
+		boxes:  make(map[chanKey]*mailbox),
+		dead:   make(map[int]error),
+		notify: make(chan struct{}),
+	}
 	w.barrier.cond = sync.NewCond(&w.barrier.Mutex)
 	return w, nil
 }
@@ -116,6 +172,19 @@ func (w *World) box(src, dst, tag int) *mailbox {
 	return mb
 }
 
+// deliver hands a message to the transport, consulting the fault hook for
+// user messages (collectives on negative tags are modelled as reliable).
+func (w *World) deliver(src, dst, tag int, m Message) {
+	copies := 1
+	if h := w.faultHook(); h != nil && tag >= 0 {
+		copies = h.OnSend(src, dst, tag, m.Data, m.Aux)
+	}
+	mb := w.box(src, dst, tag)
+	for i := 0; i < copies; i++ {
+		mb.put(m)
+	}
+}
+
 // Comm is one rank's handle on the world.
 type Comm struct {
 	world *World
@@ -127,6 +196,9 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.world.size }
+
+// World returns the underlying world (for failure control).
+func (c *Comm) World() *World { return c.world }
 
 // validate panics on out-of-range peers or negative user tags; these are
 // programming errors, not runtime conditions.
@@ -143,28 +215,70 @@ func (c *Comm) validate(peer, tag int) {
 // Send never blocks (MPI buffered-send semantics).
 func (c *Comm) Send(dst, tag int, m Message) {
 	c.validate(dst, tag)
-	c.world.box(c.rank, dst, tag).put(m)
+	c.world.deliver(c.rank, dst, tag, m)
 }
 
 // Recv blocks until a message with the given source and tag arrives.
-// Receives on one (src, tag) stream complete in message order.
+// Receives on one (src, tag) stream complete in message order. If the
+// peer dies, exits, the world is torn down, or the world receive deadline
+// expires, Recv aborts the calling rank with a typed error that Run and
+// RunWorld convert into the rank's error return — it never hangs forever.
+// Use RecvE for an explicit error return.
 func (c *Comm) Recv(src, tag int) Message {
+	m, err := c.RecvE(src, tag)
+	if err != nil {
+		panic(rankPanic{err})
+	}
+	return m
+}
+
+// RecvE is Recv with an explicit error: ErrRankDead when the source rank
+// died or exited with no more queued messages, ErrWorldDown after
+// teardown, ErrTimeout past the world receive deadline.
+func (c *Comm) RecvE(src, tag int) (Message, error) {
 	c.validate(src, tag)
-	return <-c.world.box(src, c.rank, tag).get()
+	return c.recvAny(src, tag, c.world.timeout())
+}
+
+// RecvTimeout is RecvE with an explicit deadline overriding the world
+// default (0 = wait forever, subject to failure detection).
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, error) {
+	c.validate(src, tag)
+	return c.recvAny(src, tag, d)
+}
+
+// recvInternal receives on a reserved collective tag, aborting the rank
+// on failure like Recv.
+func (c *Comm) recvInternal(src, tag int) Message {
+	m, err := c.recvAny(src, tag, c.world.timeout())
+	if err != nil {
+		panic(rankPanic{err})
+	}
+	return m
 }
 
 // Request represents an outstanding non-blocking operation.
 type Request struct {
 	done chan struct{}
 	msg  Message
-	recv bool
+	err  error
 }
 
 // Wait blocks until the operation completes; for receives it returns the
-// message.
+// message. A failed receive aborts the rank (see Recv); use WaitE for an
+// explicit error.
 func (r *Request) Wait() Message {
 	<-r.done
+	if r.err != nil {
+		panic(rankPanic{r.err})
+	}
 	return r.msg
+}
+
+// WaitE blocks until the operation completes and returns its outcome.
+func (r *Request) WaitE() (Message, error) {
+	<-r.done
+	return r.msg, r.err
 }
 
 // Isend starts a non-blocking send. The returned request completes when
@@ -174,19 +288,23 @@ func (r *Request) Wait() Message {
 func (c *Comm) Isend(dst, tag int, m Message) *Request {
 	c.validate(dst, tag)
 	r := &Request{done: make(chan struct{})}
-	c.world.box(c.rank, dst, tag).put(m)
+	c.world.deliver(c.rank, dst, tag, m)
 	close(r.done)
 	return r
 }
 
 // Irecv starts a non-blocking receive. Requests posted on the same
-// (src, tag) stream match arriving messages in posting order.
+// (src, tag) stream match arriving messages in posting order. The
+// receiving goroutine terminates (with an error recorded on the request)
+// when the peer becomes unreachable, so failure paths leak no goroutines.
 func (c *Comm) Irecv(src, tag int) *Request {
 	c.validate(src, tag)
-	r := &Request{done: make(chan struct{}), recv: true}
-	ch := c.world.box(src, c.rank, tag).get()
+	r := &Request{done: make(chan struct{})}
+	mb := c.world.box(src, c.rank, tag)
+	ch := mb.get() // register now: waiters match in posting order
+	timeout := c.world.timeout()
 	go func() {
-		r.msg = <-ch
+		r.msg, r.err = c.recvOn(mb, src, tag, ch, timeout)
 		close(r.done)
 	}()
 	return r
@@ -201,23 +319,39 @@ func WaitAll(reqs ...*Request) {
 	}
 }
 
-// Barrier blocks until every rank has entered it.
+// Barrier blocks until every rank has entered it, aborting the rank if
+// the world fails or a rank becomes unreachable (a barrier with a dead
+// member can never complete). Use BarrierE for an explicit error.
 func (c *Comm) Barrier() {
-	b := &c.world.barrier
+	if err := c.BarrierE(); err != nil {
+		panic(rankPanic{err})
+	}
+}
+
+// BarrierE is Barrier with an explicit error return.
+func (c *Comm) BarrierE() error {
+	w := c.world
+	b := &w.barrier
 	b.Lock()
 	gen := b.gen
 	b.count++
-	if b.count == c.world.size {
+	if b.count == w.size {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
 		b.Unlock()
-		return
+		return nil
 	}
 	for gen == b.gen {
+		if err := w.unreachableErr(); err != nil {
+			b.count--
+			b.Unlock()
+			return fmt.Errorf("mpi: barrier cannot complete: %w", err)
+		}
 		b.cond.Wait()
 	}
 	b.Unlock()
+	return nil
 }
 
 // AllreduceSum returns the sum of v over all ranks, on every rank.
@@ -253,16 +387,16 @@ func (c *Comm) allreduce(v float64, op func(a, b float64) float64) float64 {
 	if c.rank == 0 {
 		acc := v
 		for r := 1; r < w.size; r++ {
-			m := <-w.box(r, 0, tagReduce).get()
+			m := c.recvInternal(r, tagReduce)
 			acc = op(acc, m.Data[0])
 		}
 		for r := 1; r < w.size; r++ {
-			w.box(0, r, tagBcast).put(Message{Data: []float64{acc}})
+			w.deliver(0, r, tagBcast, Message{Data: []float64{acc}})
 		}
 		return acc
 	}
-	w.box(c.rank, 0, tagReduce).put(Message{Data: []float64{v}})
-	m := <-w.box(0, c.rank, tagBcast).get()
+	w.deliver(c.rank, 0, tagReduce, Message{Data: []float64{v}})
+	m := c.recvInternal(0, tagBcast)
 	return m.Data[0]
 }
 
@@ -275,12 +409,12 @@ func (c *Comm) Bcast(root int, m Message) Message {
 	if c.rank == root {
 		for r := 0; r < w.size; r++ {
 			if r != root {
-				w.box(root, r, tagBcast).put(m)
+				w.deliver(root, r, tagBcast, m)
 			}
 		}
 		return m
 	}
-	return <-w.box(root, c.rank, tagBcast).get()
+	return c.recvInternal(root, tagBcast)
 }
 
 // Gather collects one message from every rank at root; non-root ranks get
@@ -292,12 +426,12 @@ func (c *Comm) Gather(root int, m Message) []Message {
 		out[root] = m
 		for r := 0; r < w.size; r++ {
 			if r != root {
-				out[r] = <-w.box(r, root, tagGather).get()
+				out[r] = c.recvInternal(r, tagGather)
 			}
 		}
 		return out
 	}
-	w.box(c.rank, root, tagGather).put(m)
+	w.deliver(c.rank, root, tagGather, m)
 	return nil
 }
 
@@ -310,13 +444,13 @@ func (c *Comm) Allgather(m Message) []Message {
 		if r == c.rank {
 			continue
 		}
-		w.box(c.rank, r, tagAllgather).put(m)
+		w.deliver(c.rank, r, tagAllgather, m)
 	}
 	for r := 0; r < w.size; r++ {
 		if r == c.rank {
 			continue
 		}
-		out[r] = <-w.box(r, c.rank, tagAllgather).get()
+		out[r] = c.recvInternal(r, tagAllgather)
 	}
 	return out
 }
@@ -333,12 +467,12 @@ func (c *Comm) Alltoall(msgs []Message) []Message {
 	out[c.rank] = msgs[c.rank]
 	for r := 0; r < w.size; r++ {
 		if r != c.rank {
-			w.box(c.rank, r, tagAlltoall).put(msgs[r])
+			w.deliver(c.rank, r, tagAlltoall, msgs[r])
 		}
 	}
 	for r := 0; r < w.size; r++ {
 		if r != c.rank {
-			out[r] = <-w.box(r, c.rank, tagAlltoall).get()
+			out[r] = c.recvInternal(r, tagAlltoall)
 		}
 	}
 	return out
@@ -351,12 +485,33 @@ func Run(size int, body func(c *Comm) error) error {
 	if err != nil {
 		return err
 	}
-	errs := make([]error, size)
+	return RunWorld(w, body)
+}
+
+// RunWorld executes body on every rank of an existing world (letting the
+// caller install fault hooks or receive deadlines first). A rank that
+// returns an error — or whose blocking operation aborts on a failure —
+// is marked dead so peers waiting on it unblock with ErrRankDead instead
+// of deadlocking; a rank that returns nil is marked exited, with the same
+// effect once its queued messages are drained. The first non-nil error
+// (by rank order) is returned.
+func RunWorld(w *World, body func(c *Comm) error) error {
+	errs := make([]error, w.size)
 	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
+	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					rp, ok := p.(rankPanic)
+					if !ok {
+						panic(p) // genuine bug: crash loudly as before
+					}
+					errs[rank] = rp.err
+				}
+				w.markExit(rank, errs[rank])
+			}()
 			errs[rank] = body(&Comm{world: w, rank: rank})
 		}(r)
 	}

@@ -1,0 +1,41 @@
+package network
+
+// Straggler modelling. LBM steps are bulk-synchronous: every rank must
+// finish its halo exchange before any rank can proceed, so one slow rank
+// ("straggler" — a thermally throttled processor, a node sharing its
+// supernode with a noisy neighbour) sets the pace of the whole machine.
+// fault.Injector.StragglerMultipliers supplies per-rank slow-down factors;
+// these helpers fold them into the modelled step time used by
+// internal/scaling-style extrapolation.
+
+// WorstStraggler returns the largest multiplier (≥ 1) in mults; an empty
+// or all-fast slice yields 1.
+func WorstStraggler(mults []float64) float64 {
+	worst := 1.0
+	for _, m := range mults {
+		if m > worst {
+			worst = m
+		}
+	}
+	return worst
+}
+
+// StepTimeWithStragglers returns the modelled wall-clock time of one
+// bulk-synchronous step: the slowest rank's inflated compute time, plus
+// the halo-exchange time, plus the end-of-step allreduce that makes the
+// straggler globally visible. compute and halo are the fault-free
+// per-rank times; mults holds one multiplier per rank (1 = nominal).
+func (t Topology) StepTimeWithStragglers(compute, halo float64, mults []float64) float64 {
+	return WorstStraggler(mults)*compute + halo + t.AllreduceTime(len(mults))
+}
+
+// StragglerSlowdown returns the modelled step-time ratio of a run with
+// stragglers to the fault-free run — the number a chaos experiment
+// compares against its measured throughput loss.
+func (t Topology) StragglerSlowdown(compute, halo float64, mults []float64) float64 {
+	base := compute + halo + t.AllreduceTime(len(mults))
+	if base <= 0 {
+		return 1
+	}
+	return t.StepTimeWithStragglers(compute, halo, mults) / base
+}

@@ -1,0 +1,61 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorstStraggler(t *testing.T) {
+	if w := WorstStraggler(nil); w != 1 {
+		t.Errorf("WorstStraggler(nil) = %v, want 1", w)
+	}
+	if w := WorstStraggler([]float64{1, 1, 1}); w != 1 {
+		t.Errorf("all-fast = %v, want 1", w)
+	}
+	if w := WorstStraggler([]float64{1, 4, 2.5, 1}); w != 4 {
+		t.Errorf("worst = %v, want 4", w)
+	}
+}
+
+// TestStepTimeWithStragglers: one slow rank paces the whole bulk-
+// synchronous step — the inflated time is worst×compute plus the
+// unchanged halo and allreduce terms.
+func TestStepTimeWithStragglers(t *testing.T) {
+	topo := TaihuLightNet
+	const compute, halo = 2e-3, 3e-4
+	mults := []float64{1, 1, 4, 1}
+
+	base := topo.StepTimeWithStragglers(compute, halo, []float64{1, 1, 1, 1})
+	slow := topo.StepTimeWithStragglers(compute, halo, mults)
+
+	wantBase := compute + halo + topo.AllreduceTime(4)
+	if math.Abs(base-wantBase) > 1e-15 {
+		t.Errorf("fault-free step = %v, want %v", base, wantBase)
+	}
+	if got, want := slow-base, 3*compute; math.Abs(got-want) > 1e-12 {
+		t.Errorf("straggler penalty = %v, want 3×compute = %v", got, want)
+	}
+}
+
+// TestStragglerSlowdown: the slowdown ratio is >1 with a straggler,
+// exactly 1 without, and approaches the straggler factor as compute
+// dominates the step.
+func TestStragglerSlowdown(t *testing.T) {
+	topo := NewSunwayNet
+	if s := topo.StragglerSlowdown(1e-3, 1e-4, []float64{1, 1}); s != 1 {
+		t.Errorf("fault-free slowdown = %v, want 1", s)
+	}
+	s := topo.StragglerSlowdown(1e-3, 1e-4, []float64{1, 3})
+	if s <= 1 || s >= 3 {
+		t.Errorf("slowdown = %v, want in (1, 3)", s)
+	}
+	// Compute-dominated limit: the ratio tends to the straggler factor.
+	sc := topo.StragglerSlowdown(10, 1e-6, []float64{1, 3})
+	if math.Abs(sc-3) > 0.01 {
+		t.Errorf("compute-dominated slowdown = %v, want ≈ 3", sc)
+	}
+	// Degenerate base never divides by zero.
+	if s := (Topology{}).StragglerSlowdown(0, 0, nil); s != 1 {
+		t.Errorf("degenerate slowdown = %v, want 1", s)
+	}
+}

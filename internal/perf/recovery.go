@@ -1,0 +1,54 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+)
+
+// RecoveryStats accounts for the fault-tolerance overhead of a supervised
+// run — the §IV-B checkpoint/restart controller's scorecard. LostSteps ×
+// the per-step LUPS rate gives the recomputation cost of a failure;
+// Restarts and TimeToRecover bound the control-plane overhead; the
+// checkpoint counters show how often the health gate and the integrity
+// verification earned their keep.
+type RecoveryStats struct {
+	// Restarts counts supervised world teardown + restore cycles.
+	Restarts int
+	// LostSteps is the total forward progress discarded by rollbacks
+	// (furthest step reached minus the step resumed from, summed over
+	// restarts).
+	LostSteps int
+	// Shrinks counts restarts that re-decomposed onto fewer ranks.
+	Shrinks int
+	// CheckpointsWritten counts verified-good checkpoints accepted as
+	// rollback targets.
+	CheckpointsWritten int
+	// CheckpointsRejected counts checkpoints refused by the health gate
+	// or failing read-back verification (corruption).
+	CheckpointsRejected int
+	// TimeToRecover is the wall-clock time spent in rollback machinery
+	// (teardown, re-decomposition, restore), excluding step replay —
+	// replay cost is LostSteps at the solver's step rate.
+	TimeToRecover time.Duration
+}
+
+// Clean reports whether the run needed no recovery at all.
+func (r RecoveryStats) Clean() bool {
+	return r.Restarts == 0 && r.CheckpointsRejected == 0
+}
+
+// String implements fmt.Stringer.
+func (r RecoveryStats) String() string {
+	return fmt.Sprintf("restarts=%d (shrinks=%d), lost steps=%d, checkpoints %d good/%d rejected, recovery time %v",
+		r.Restarts, r.Shrinks, r.LostSteps, r.CheckpointsWritten, r.CheckpointsRejected,
+		r.TimeToRecover.Round(time.Microsecond))
+}
+
+// ReplayCost returns the modelled recomputation time of the lost steps
+// for a domain of cells advancing at the given rate.
+func (r RecoveryStats) ReplayCost(cells int64, rate LUPS) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return float64(r.LostSteps) * float64(cells) / float64(rate)
+}

@@ -1,0 +1,118 @@
+package psolve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/swio"
+)
+
+// latticesIdentical asserts bit-identical populations, flags and step.
+func latticesIdentical(t *testing.T, tag string, a, b *core.Lattice) {
+	t.Helper()
+	if a.Step() != b.Step() {
+		t.Errorf("%s: step %d != %d", tag, a.Step(), b.Step())
+	}
+	if a.NX != b.NX || a.NY != b.NY || a.NZ != b.NZ {
+		t.Fatalf("%s: dims %d×%d×%d != %d×%d×%d", tag, a.NX, a.NY, a.NZ, b.NX, b.NY, b.NZ)
+	}
+	fa, fb := a.Src(), b.Src()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("%s: population %d differs (%g != %g)", tag, i, fa[i], fb[i])
+		}
+	}
+	for i := range a.Flags {
+		if a.Flags[i] != b.Flags[i] {
+			t.Fatalf("%s: flag %d differs", tag, i)
+		}
+	}
+}
+
+// TestGatherCheckpointRestoreRoundTrip is the satellite round-trip:
+// GatherLattice → swio.WriteCheckpoint → swio.ReadCheckpoint →
+// Options.Restore must reproduce populations, flags and step counter
+// bit-identically on 1-, 4- and 8-rank worlds.
+func TestGatherCheckpointRestoreRoundTrip(t *testing.T) {
+	base := chaosBase()
+	const steps = 9
+
+	for _, grid := range []struct{ px, py int }{{1, 1}, {2, 2}, {4, 2}} {
+		grid := grid
+		ranks := grid.px * grid.py
+		t.Run(fmt.Sprintf("%dranks", ranks), func(t *testing.T) {
+			opts := base
+			opts.PX, opts.PY = grid.px, grid.py
+
+			// Phase 1: run, gather, serialise through the checkpoint codec.
+			var gathered *core.Lattice
+			var blob []byte
+			err := mpi.Run(ranks, func(c *mpi.Comm) error {
+				s, err := New(c, opts)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < steps; i++ {
+					s.Step()
+				}
+				g, err := s.GatherLattice(0)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					gathered = g
+					var buf bytes.Buffer
+					if err := swio.WriteCheckpoint(&buf, g); err != nil {
+						return err
+					}
+					blob = buf.Bytes()
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gathered.Step() != steps {
+				t.Fatalf("gathered step = %d, want %d", gathered.Step(), steps)
+			}
+
+			// Codec round trip is bit-exact.
+			decoded, err := swio.ReadCheckpoint(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatal(err)
+			}
+			latticesIdentical(t, "decode", gathered, decoded)
+
+			// Phase 2: restore into a fresh world of the same shape and
+			// gather again — scatter/gather through Options.Restore loses
+			// nothing.
+			ropts := opts
+			ropts.Restore = decoded
+			var regathered *core.Lattice
+			err = mpi.Run(ranks, func(c *mpi.Comm) error {
+				s, err := New(c, ropts)
+				if err != nil {
+					return err
+				}
+				if s.Lat.Step() != steps {
+					return fmt.Errorf("rank %d restored at step %d, want %d", c.Rank(), s.Lat.Step(), steps)
+				}
+				g, err := s.GatherLattice(0)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					regathered = g
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			latticesIdentical(t, "restore+regather", gathered, regathered)
+		})
+	}
+}

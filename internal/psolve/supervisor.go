@@ -1,0 +1,264 @@
+package psolve
+
+// Self-healing run supervisor: the recovery loop around the §IV-B
+// checkpoint/restart controller. A supervised run takes periodic
+// health-gated checkpoints (a diverged state is never accepted as a
+// rollback target), verifies every checkpoint by reading it back through
+// the CRC-validated decoder, and on any failure — a crashed rank, a
+// timed-out or failed collective, a diverged health check — tears the
+// world down, optionally re-decomposes onto fewer ranks (shrinking
+// recovery), restores from the last verified-good checkpoint and
+// resumes. Because the solver is deterministic, replayed steps are
+// bit-identical to the steps the failure destroyed.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/fault"
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/perf"
+	"sunwaylb/internal/swio"
+)
+
+// SupervisorOptions configures a supervised distributed run.
+type SupervisorOptions struct {
+	// Opts is the base solver configuration. Opts.Restore, if set,
+	// seeds the supervisor's last-good state (resume + rollback base).
+	Opts Options
+	// Steps is the target step count.
+	Steps int
+	// CheckpointEvery takes a health-gated checkpoint every N completed
+	// steps (0 disables checkpointing: every failure restarts from the
+	// beginning).
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file (atomic rename + retry).
+	// Empty keeps verified checkpoints in memory only.
+	CheckpointPath string
+	// MaxRestarts bounds the recovery budget; the run fails once a
+	// restart would exceed it.
+	MaxRestarts int
+	// AllowShrink re-decomposes onto one fewer rank after a rank-death
+	// failure (shrinking recovery), down to MinRanks.
+	AllowShrink bool
+	// MinRanks floors shrinking recovery (default 1).
+	MinRanks int
+	// Injector, if non-nil, drives deterministic fault injection: rank
+	// crashes, message faults (via the mpi hook) and checkpoint
+	// corruption.
+	Injector *fault.Injector
+	// RecvTimeout bounds every receive; 0 defaults to 5 s when an
+	// injector is present (dropped messages must become ErrTimeout, not
+	// hangs) and to no deadline otherwise.
+	RecvTimeout time.Duration
+	// Retry is the checkpoint-write retry policy (zero = defaults).
+	Retry swio.RetryPolicy
+	// Logf receives recovery-path diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Supervise runs a distributed simulation to completion under the
+// recovery loop and returns the gathered global field plus recovery
+// metrics. The returned error is non-nil only when the restart budget is
+// exhausted or the configuration is unusable.
+func Supervise(o SupervisorOptions) (*core.MacroField, perf.RecoveryStats, error) {
+	var stats perf.RecoveryStats
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if o.Steps <= 0 {
+		return nil, stats, fmt.Errorf("psolve: supervisor needs Steps > 0")
+	}
+	opts := o.Opts
+	if opts.PX == 0 || opts.PY == 0 {
+		opts.PX, opts.PY = mpi.FactorGrid(1, opts.GNX, opts.GNY)
+	}
+	minRanks := o.MinRanks
+	if minRanks < 1 {
+		minRanks = 1
+	}
+	// lastGood is the rollback target: only ever a state that passed the
+	// health gate and read back through CRC validation (or the caller's
+	// explicit restore seed).
+	lastGood := opts.Restore
+	opts.Restore = nil
+	ranks := opts.PX * opts.PY
+	writeAttempts := 0 // checkpoint writes across all attempts (1-based index for fault plans)
+
+	for attempt := 0; ; attempt++ {
+		w, err := mpi.NewWorld(ranks)
+		if err != nil {
+			return nil, stats, err
+		}
+		if o.Injector != nil {
+			w.SetFaultHook(o.Injector)
+		}
+		timeout := o.RecvTimeout
+		if timeout == 0 && o.Injector != nil {
+			timeout = 5 * time.Second
+		}
+		if timeout > 0 {
+			w.SetRecvTimeout(timeout)
+		}
+
+		runOpts := opts
+		runOpts.Restore = lastGood
+		resumeStep := 0
+		if lastGood != nil {
+			resumeStep = lastGood.Step()
+		}
+
+		var result *core.MacroField
+		var maxStep atomic.Int64
+		maxStep.Store(int64(resumeStep))
+
+		body := func(c *mpi.Comm) error {
+			s, err := New(c, runOpts)
+			if err != nil {
+				return err
+			}
+			for s.Lat.Step() < o.Steps {
+				step := s.Lat.Step()
+				if o.Injector != nil && o.Injector.CrashNow(c.Rank(), step) {
+					cerr := fmt.Errorf("rank %d at step %d: %w", c.Rank(), step, fault.ErrInjectedCrash)
+					c.Crash(cerr)
+					return cerr
+				}
+				s.Step()
+				for done := int64(s.Lat.Step()); ; {
+					cur := maxStep.Load()
+					if done <= cur || maxStep.CompareAndSwap(cur, done) {
+						break
+					}
+				}
+				if o.CheckpointEvery > 0 && s.Lat.Step()%o.CheckpointEvery == 0 && s.Lat.Step() < o.Steps {
+					// Collective: every rank gathers, root validates and
+					// publishes while the others proceed.
+					g, gerr := s.GatherLattice(0)
+					if gerr != nil {
+						return gerr
+					}
+					if c.Rank() == 0 {
+						if cerr := superviseCheckpoint(&o, c, g, &stats, &writeAttempts, &lastGood, logf); cerr != nil {
+							return cerr
+						}
+					}
+				}
+			}
+			if g := s.GatherMacro(0); g != nil {
+				result = g
+			}
+			return nil
+		}
+
+		runErr := mpi.RunWorld(w, body)
+		if runErr == nil {
+			return result, stats, nil
+		}
+		cause := w.FailureCause()
+		if cause == nil {
+			cause = runErr
+		}
+		if attempt >= o.MaxRestarts {
+			return nil, stats, fmt.Errorf("psolve: giving up after %d restarts (%s): %w",
+				stats.Restarts, stats.String(), runErr)
+		}
+
+		// Rollback: account lost progress, optionally shrink, resume
+		// from the last verified-good state.
+		rollback := time.Now()
+		stats.Restarts++
+		nextResume := 0
+		if lastGood != nil {
+			nextResume = lastGood.Step()
+		}
+		if lost := int(maxStep.Load()) - nextResume; lost > 0 {
+			stats.LostSteps += lost
+		}
+		rankLoss := errors.Is(cause, fault.ErrInjectedCrash) || errors.Is(cause, mpi.ErrRankDead)
+		if o.AllowShrink && rankLoss && ranks > minRanks {
+			ranks--
+			opts.PX, opts.PY = mpi.FactorGrid(ranks, opts.GNX, opts.GNY)
+			stats.Shrinks++
+			logf("supervisor: shrinking recovery onto %d ranks (%d×%d)", ranks, opts.PX, opts.PY)
+		}
+		logf("supervisor: restart %d/%d after %v; resuming from step %d (lost %d steps)",
+			stats.Restarts, o.MaxRestarts, cause, nextResume, stats.LostSteps)
+		stats.TimeToRecover += time.Since(rollback)
+	}
+}
+
+// superviseCheckpoint runs on rank 0 at a checkpoint boundary: health
+// gate, durable write (with retry), optional injected corruption, and
+// read-back verification. Only a state that survives all of it becomes
+// the new rollback target; a corrupted write keeps the previous one.
+func superviseCheckpoint(o *SupervisorOptions, c *mpi.Comm, g *core.Lattice,
+	stats *perf.RecoveryStats, writeAttempts *int, lastGood **core.Lattice,
+	logf func(string, ...any)) error {
+	if _, herr := g.CheckHealth(); herr != nil {
+		// Never checkpoint a diverged state — and a diverged state also
+		// means the run itself is unusable: tear down and roll back
+		// (after SDC the replay is clean; genuine instability exhausts
+		// the restart budget instead of writing garbage).
+		stats.CheckpointsRejected++
+		err := fmt.Errorf("psolve: health gate refused checkpoint at step %d: %w", g.Step(), herr)
+		c.Abort(err)
+		return err
+	}
+	*writeAttempts++
+	idx := *writeAttempts
+
+	var restored *core.Lattice
+	if o.CheckpointPath != "" {
+		if err := swio.CheckpointRetry(o.CheckpointPath, g, o.Retry); err != nil {
+			return err
+		}
+		if o.Injector != nil {
+			corrupted, err := o.Injector.CorruptCheckpointFile(o.CheckpointPath, idx)
+			if err != nil {
+				return err
+			}
+			if corrupted {
+				logf("supervisor: fault plan corrupted checkpoint write %d", idx)
+			}
+		}
+		var err error
+		if restored, err = swio.Restart(o.CheckpointPath); err != nil {
+			stats.CheckpointsRejected++
+			logf("supervisor: checkpoint %d failed verification (%v); keeping step-%d rollback target",
+				idx, err, lastGoodStep(*lastGood))
+			return nil
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := swio.WriteCheckpoint(&buf, g); err != nil {
+			return err
+		}
+		data := buf.Bytes()
+		if o.Injector != nil && o.Injector.CorruptCheckpointBytes(data, idx) {
+			logf("supervisor: fault plan corrupted in-memory checkpoint %d", idx)
+		}
+		var err error
+		if restored, err = swio.ReadCheckpoint(bytes.NewReader(data)); err != nil {
+			stats.CheckpointsRejected++
+			logf("supervisor: checkpoint %d failed verification (%v); keeping step-%d rollback target",
+				idx, err, lastGoodStep(*lastGood))
+			return nil
+		}
+	}
+	*lastGood = restored
+	stats.CheckpointsWritten++
+	return nil
+}
+
+func lastGoodStep(l *core.Lattice) int {
+	if l == nil {
+		return 0
+	}
+	return l.Step()
+}

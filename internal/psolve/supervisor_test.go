@@ -1,0 +1,171 @@
+package psolve
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sunwaylb/internal/fault"
+)
+
+// chaosBase is the shared physical problem for the supervisor tests:
+// fully periodic with an obstacle crossing rank boundaries, matching the
+// checkpoint tests.
+func chaosBase() Options {
+	return Options{
+		GNX: 18, GNY: 14, GNZ: 8,
+		Tau:       0.7,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Walls: func(gx, gy, gz int) bool { return gx == 9 && gy == 7 && gz >= 2 && gz <= 5 },
+		Init:  shearInit,
+	}
+}
+
+// TestSupervisorRecovers is the acceptance chaos scenario: a fixed-seed
+// fault plan kills rank 3 mid-run and corrupts the second checkpoint
+// file. The supervisor must detect both — the corruption at write
+// verification (keeping the step-5 rollback target), the crash via the
+// typed mpi errors — restore from the last verified-good checkpoint,
+// finish the run, and produce a final field bit-identical to a
+// fault-free reference (deterministic step replay).
+func TestSupervisorRecovers(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 2
+	const steps = 30
+
+	ref, err := Run(opts, steps)
+	if err != nil {
+		t.Fatalf("fault-free reference: %v", err)
+	}
+
+	plan, err := fault.ParsePlan("seed=42;crash@rank=3,step=13;corrupt@ckpt=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(plan)
+	path := filepath.Join(t.TempDir(), "chaos.cpk")
+	got, stats, err := Supervise(SupervisorOptions{
+		Opts:            opts,
+		Steps:           steps,
+		CheckpointEvery: 5,
+		CheckpointPath:  path,
+		MaxRestarts:     2,
+		Injector:        inj,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats: %s)", err, stats)
+	}
+	if got == nil {
+		t.Fatal("supervised run returned no field")
+	}
+	if n, worst := fieldsEqual(ref, got); n != 0 {
+		t.Fatalf("supervised run differs from fault-free reference in %d values (worst %g)", n, worst)
+	}
+
+	if stats.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", stats.Restarts)
+	}
+	if stats.CheckpointsRejected < 1 {
+		t.Errorf("checkpoints rejected = %d, want ≥ 1 (injected corruption)", stats.CheckpointsRejected)
+	}
+	// Crash at step 13 rolls back to the step-5 checkpoint (the step-10
+	// one was corrupted): 8 steps of lost progress.
+	if stats.LostSteps != 8 {
+		t.Errorf("lost steps = %d, want 8", stats.LostSteps)
+	}
+	fs := inj.Stats()
+	if fs.Crashes != 1 || fs.CkptsCorrupted != 1 {
+		t.Errorf("injector fired crashes=%d ckpts=%d, want 1/1", fs.Crashes, fs.CkptsCorrupted)
+	}
+}
+
+// TestSupervisorShrinkingRecovery: after a rank death with AllowShrink,
+// the run re-decomposes onto fewer ranks and still reproduces the
+// fault-free result exactly (restart on a different process grid).
+func TestSupervisorShrinkingRecovery(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 2
+	const steps = 20
+
+	ref, err := Run(opts, steps)
+	if err != nil {
+		t.Fatalf("fault-free reference: %v", err)
+	}
+
+	inj := fault.NewInjector(fault.Plan{
+		Seed:    7,
+		Crashes: []fault.Crash{{Rank: 1, Step: 9}},
+	})
+	got, stats, err := Supervise(SupervisorOptions{
+		Opts:            opts,
+		Steps:           steps,
+		CheckpointEvery: 4, // in-memory checkpoints
+		MaxRestarts:     1,
+		AllowShrink:     true,
+		Injector:        inj,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats: %s)", err, stats)
+	}
+	if stats.Restarts != 1 || stats.Shrinks != 1 {
+		t.Errorf("restarts=%d shrinks=%d, want 1/1", stats.Restarts, stats.Shrinks)
+	}
+	if n, worst := fieldsEqual(ref, got); n != 0 {
+		t.Fatalf("shrunk recovery differs from reference in %d values (worst %g)", n, worst)
+	}
+}
+
+// TestSupervisorHealthGate: a supersonic initial condition diverges; the
+// health gate must refuse to checkpoint it and the run must fail once the
+// restart budget is spent — never writing a garbage rollback target.
+func TestSupervisorHealthGate(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 1
+	opts.Init = func(gx, gy, gz int) (float64, float64, float64, float64) {
+		return 1, 0.9, 0, 0 // far above the lattice sound speed
+	}
+	_, stats, err := Supervise(SupervisorOptions{
+		Opts:            opts,
+		Steps:           10,
+		CheckpointEvery: 2,
+		MaxRestarts:     1,
+		Logf:            t.Logf,
+	})
+	if err == nil {
+		t.Fatal("diverged run must exhaust the restart budget and fail")
+	}
+	if !strings.Contains(err.Error(), "health gate") {
+		t.Errorf("error should carry the health-gate cause, got: %v", err)
+	}
+	if stats.CheckpointsWritten != 0 {
+		t.Errorf("%d diverged checkpoints were accepted", stats.CheckpointsWritten)
+	}
+	if stats.CheckpointsRejected < 1 {
+		t.Errorf("health gate rejected %d checkpoints, want ≥ 1", stats.CheckpointsRejected)
+	}
+}
+
+// TestSupervisorRestartBudget: a crash with no checkpoints and a zero
+// restart budget must surface the injected-crash cause.
+func TestSupervisorRestartBudget(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 1
+	inj := fault.NewInjector(fault.Plan{Crashes: []fault.Crash{{Rank: 0, Step: 3}}})
+	_, stats, err := Supervise(SupervisorOptions{
+		Opts:     opts,
+		Steps:    10,
+		Injector: inj,
+	})
+	if err == nil {
+		t.Fatal("want failure with MaxRestarts=0")
+	}
+	if !errors.Is(err, fault.ErrInjectedCrash) {
+		t.Errorf("error should wrap the injected crash, got: %v", err)
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("restarts = %d, want 0", stats.Restarts)
+	}
+}

@@ -2,6 +2,7 @@ package swio
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"sunwaylb/internal/core"
@@ -32,6 +33,59 @@ func FuzzReadCheckpoint(f *testing.F) {
 			if lat.NX < 1 || lat.NY < 1 || lat.NZ < 1 {
 				t.Fatalf("accepted invalid dimensions %d×%d×%d", lat.NX, lat.NY, lat.NZ)
 			}
+		}
+	})
+}
+
+// FuzzCheckpointMutation: every effective single-byte corruption or
+// truncation of a well-formed checkpoint must be rejected with
+// ErrCorrupt — never a panic, never a silently restored lattice. Every
+// byte of the V2 format is either covered by a record CRC or is part of
+// one, so there is no offset where a flip can hide.
+func FuzzCheckpointMutation(f *testing.F) {
+	l, err := core.NewLattice(&lattice.D3Q19, 4, 3, 5, 0.77)
+	if err != nil {
+		f.Fatal(err)
+	}
+	l.SetWall(1, 1, 2)
+	l.SetStep(12)
+	var good bytes.Buffer
+	if err := WriteCheckpoint(&good, l); err != nil {
+		f.Fatal(err)
+	}
+	golden := good.Bytes()
+
+	f.Add(uint(0), byte(0x01), uint(len(golden)))             // flip magic
+	f.Add(uint(8), byte(0x80), uint(len(golden)))             // flip a header dim
+	f.Add(uint(88), byte(0x01), uint(len(golden)))            // flip the header CRC
+	f.Add(uint(200), byte(0x40), uint(len(golden)))           // flip a flag byte
+	f.Add(uint(len(golden)-1), byte(0xff), uint(len(golden))) // flip the last CRC byte
+	f.Add(uint(0), byte(0), uint(40))                         // truncate mid-header
+	f.Add(uint(0), byte(0), uint(len(golden)-4))              // drop the trailing CRC
+
+	f.Fuzz(func(t *testing.T, pos uint, mask byte, keep uint) {
+		data := append([]byte(nil), golden...)
+		mutated := false
+		if int(pos) >= 0 && int(pos) < len(data) && mask != 0 {
+			data[pos] ^= mask
+			mutated = true
+		}
+		if int(keep) >= 0 && int(keep) < len(data) {
+			data = data[:keep]
+			mutated = true
+		}
+		lat, err := ReadCheckpointLimit(bytes.NewReader(data), int64(len(golden))+1024)
+		if !mutated {
+			if err != nil {
+				t.Fatalf("unmutated checkpoint rejected: %v", err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("mutation (pos=%d mask=%#x keep=%d) silently accepted (lat=%v)", pos, mask, keep, lat != nil)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mutation error %v does not wrap ErrCorrupt", err)
 		}
 	})
 }

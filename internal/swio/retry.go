@@ -1,0 +1,68 @@
+package swio
+
+import (
+	"fmt"
+	"time"
+
+	"sunwaylb/internal/core"
+)
+
+// RetryPolicy bounds how persistently a transient I/O failure is retried.
+// On the real machine a checkpoint write competes with 160 000 ranks for
+// the global file system; transient ENOSPC/EIO-style failures are
+// expected and retried with exponential backoff rather than aborting a
+// multi-hour run.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (≥ 1).
+	Attempts int
+	// BaseDelay is the sleep after the first failure; it doubles per
+	// retry up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the supervisor's default: 4 attempts, 5 ms → 40 ms.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+
+// norm fills zero fields with defaults so the zero value is usable.
+func (p RetryPolicy) norm() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = DefaultRetryPolicy.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// Do runs op until it succeeds or the attempt budget is exhausted,
+// sleeping with exponential backoff between tries. The last error is
+// returned annotated with the attempt count.
+func (p RetryPolicy) Do(op func() error) error {
+	p = p.norm()
+	var err error
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= p.Attempts {
+			return fmt.Errorf("swio: giving up after %d attempts: %w", attempt, err)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// CheckpointRetry is Checkpoint with bounded retry: the atomic
+// temp-file + rename publication is retried under the policy, so a
+// transiently failing file system costs backoff time, not the run.
+func CheckpointRetry(path string, l *core.Lattice, p RetryPolicy) error {
+	return p.Do(func() error { return Checkpoint(path, l) })
+}

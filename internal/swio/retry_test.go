@@ -1,0 +1,83 @@
+package swio
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRetryPolicyEventualSuccess: a transiently failing op succeeds once
+// the flake clears, within the attempt budget.
+func TestRetryPolicyEventualSuccess(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient EIO")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+}
+
+// TestRetryPolicyExhaustion: a permanently failing op returns the last
+// error, annotated with the attempt count, after exactly Attempts tries.
+func TestRetryPolicyExhaustion(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	sentinel := errors.New("disk full")
+	calls := 0
+	err := p.Do(func() error { calls++; return sentinel })
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap the last failure", err)
+	}
+}
+
+// TestRetryPolicyZeroValue: the zero policy normalises to the defaults
+// instead of never retrying or dividing by zero.
+func TestRetryPolicyZeroValue(t *testing.T) {
+	n := RetryPolicy{}.norm()
+	if n != DefaultRetryPolicy.norm() {
+		t.Errorf("zero policy normalised to %+v, want defaults %+v", n, DefaultRetryPolicy)
+	}
+	calls := 0
+	RetryPolicy{BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}.Do(func() error {
+		calls++
+		return errors.New("x")
+	})
+	if calls != DefaultRetryPolicy.Attempts {
+		t.Errorf("zero-Attempts policy tried %d times, want default %d", calls, DefaultRetryPolicy.Attempts)
+	}
+}
+
+// TestCheckpointRetry: the retried checkpoint write lands atomically and
+// restarts cleanly; an unwritable path fails with the attempt count.
+func TestCheckpointRetry(t *testing.T) {
+	l := buildState(t)
+	path := filepath.Join(t.TempDir(), "r.cpk")
+	p := RetryPolicy{Attempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	if err := CheckpointRetry(path, l, p); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restart(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Step() != l.Step() {
+		t.Errorf("restored step %d, want %d", restored.Step(), l.Step())
+	}
+
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "r.cpk")
+	if err := CheckpointRetry(bad, l, p); err == nil {
+		t.Error("checkpoint into a missing directory must fail after retries")
+	}
+}

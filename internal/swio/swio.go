@@ -4,12 +4,22 @@
 // ranks are organised into groups whose leaders aggregate and write data
 // (the pattern used on the real machine to avoid overwhelming the global
 // file system with 160000 writers).
+//
+// Checkpoints are written in a record-checksummed format (one CRC32-C per
+// header/flags/populations record) so corruption is detected before the
+// corrupted record is interpreted, published atomically (temp file +
+// rename) and re-readable with allocation bombs rejected. Every
+// corruption failure wraps ErrCorrupt, which is what the self-healing
+// supervisor in internal/psolve keys its rollback on.
 package swio
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"hash/crc64"
 	"io"
 	"math"
@@ -19,21 +29,40 @@ import (
 	"sunwaylb/internal/lattice"
 )
 
-// checkpointMagic identifies SunwayLB checkpoint files.
-const checkpointMagic = 0x53574c42_43504b31 // "SWLB" "CPK1"
+// Checkpoint magics: "SWLB" + version tag. V1 used one trailing CRC64
+// over the whole file; V2 checksums each record (header, flags,
+// populations) separately with CRC32-C, so a flipped bit is caught before
+// the record it lives in is interpreted. The reader accepts both.
+const (
+	checkpointMagicV1 = 0x53574c42_43504b31 // "SWLB" "CPK1"
+	checkpointMagicV2 = 0x53574c42_43504b32 // "SWLB" "CPK2"
+)
+
+// ErrCorrupt marks a checkpoint that failed integrity validation (bad
+// magic, truncation, or a CRC mismatch). Test with errors.Is.
+var ErrCorrupt = errors.New("checkpoint corrupt")
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
+// crc32c is the Castagnoli polynomial (hardware-accelerated on most CPUs).
+var crc32c = crc32.MakeTable(crc32.Castagnoli)
+
+// corruptf builds an ErrCorrupt-wrapping error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("swio: %s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
 // WriteCheckpoint serialises the full solver state — dimensions, step
 // count, relaxation parameters, cell flags and the current populations —
-// with a trailing CRC64 for fault detection.
+// in the V2 record-checksummed format.
 func WriteCheckpoint(w io.Writer, l *core.Lattice) error {
 	bw := bufio.NewWriter(w)
-	crc := crc64.New(crcTable)
-	mw := io.MultiWriter(bw, crc)
 
+	// Header record: magic + 10 parameter words + CRC32-C.
+	crc := crc32.New(crc32c)
+	mw := io.MultiWriter(bw, crc)
 	head := []uint64{
-		checkpointMagic,
+		checkpointMagicV2,
 		uint64(l.NX), uint64(l.NY), uint64(l.NZ),
 		uint64(l.Desc.Q),
 		uint64(l.Step()),
@@ -48,8 +77,14 @@ func WriteCheckpoint(w io.Writer, l *core.Lattice) error {
 			return fmt.Errorf("swio: writing checkpoint header: %w", err)
 		}
 	}
-	// Flags for the full allocated extent (halo walls matter for
-	// restart).
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("swio: writing checkpoint header CRC: %w", err)
+	}
+
+	// Flags record: the full allocated extent (halo walls matter for
+	// restart) + CRC32-C.
+	crc.Reset()
+	mw = io.MultiWriter(bw, crc)
 	flags := make([]byte, l.N)
 	for i, f := range l.Flags {
 		flags[i] = byte(f)
@@ -57,17 +92,22 @@ func WriteCheckpoint(w io.Writer, l *core.Lattice) error {
 	if _, err := mw.Write(flags); err != nil {
 		return fmt.Errorf("swio: writing checkpoint flags: %w", err)
 	}
-	// Populations of the current buffer.
-	src := l.Src()
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("swio: writing checkpoint flags CRC: %w", err)
+	}
+
+	// Populations record: the current buffer + CRC32-C.
+	crc.Reset()
+	mw = io.MultiWriter(bw, crc)
 	buf := make([]byte, 8)
-	for _, v := range src {
+	for _, v := range l.Src() {
 		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
 		if _, err := mw.Write(buf); err != nil {
 			return fmt.Errorf("swio: writing checkpoint populations: %w", err)
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
-		return fmt.Errorf("swio: writing checkpoint CRC: %w", err)
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("swio: writing checkpoint populations CRC: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("swio: flushing checkpoint: %w", err)
@@ -83,56 +123,93 @@ func WriteCheckpoint(w io.Writer, l *core.Lattice) error {
 const DefaultCheckpointLimit = 4 << 30
 
 // ReadCheckpoint reconstructs a lattice from a checkpoint, validating the
-// magic number and CRC. The returned lattice resumes at the recorded step
-// count.
+// magic number and record checksums. The returned lattice resumes at the
+// recorded step count. Corruption of any kind yields an error wrapping
+// ErrCorrupt — never a panic, never a silently wrong lattice.
 func ReadCheckpoint(r io.Reader) (*core.Lattice, error) {
 	return ReadCheckpointLimit(r, DefaultCheckpointLimit)
 }
 
 // ReadCheckpointLimit is ReadCheckpoint with an explicit upper bound on
-// the serialized size the header may claim.
+// the serialized size the header may claim. It accepts both the V1
+// (whole-file CRC64) and V2 (per-record CRC32-C) formats.
 func ReadCheckpointLimit(r io.Reader, maxBytes int64) (*core.Lattice, error) {
 	br := bufio.NewReader(r)
-	crc := crc64.New(crcTable)
-	tr := io.TeeReader(br, crc)
+	var magic uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, corruptf("reading checkpoint magic: %v", err)
+	}
+	switch magic {
+	case checkpointMagicV1:
+		return readV1(br, maxBytes)
+	case checkpointMagicV2:
+		return readV2(br, maxBytes)
+	}
+	return nil, corruptf("bad checkpoint magic %#x", magic)
+}
 
-	head := make([]uint64, 11)
-	for i := range head {
-		if err := binary.Read(tr, binary.LittleEndian, &head[i]); err != nil {
-			return nil, fmt.Errorf("swio: reading checkpoint header: %w", err)
-		}
-	}
-	if head[0] != checkpointMagic {
-		return nil, fmt.Errorf("swio: bad checkpoint magic %#x", head[0])
-	}
-	nx, ny, nz, q := int(head[1]), int(head[2]), int(head[3]), int(head[4])
+// checkDims validates header-claimed dimensions against the size budget
+// before anything is allocated. extra is the per-format framing overhead.
+func checkDims(nx, ny, nz, q int, maxBytes, extra int64) error {
 	if q != lattice.D3Q19.Q {
-		return nil, fmt.Errorf("swio: checkpoint uses Q=%d, only D3Q19 supported", q)
+		return corruptf("checkpoint uses Q=%d, only D3Q19 supported", q)
 	}
 	if nx < 1 || ny < 1 || nz < 1 {
-		return nil, fmt.Errorf("swio: checkpoint claims invalid dimensions %d×%d×%d", nx, ny, nz)
+		return corruptf("checkpoint claims invalid dimensions %d×%d×%d", nx, ny, nz)
 	}
-	// Size sanity before allocating: header + flags + populations + CRC.
 	alloc := int64(nx+2) * int64(ny+2) * int64(nz+2)
-	need := 11*8 + alloc + alloc*int64(q)*8 + 8 // header + flags + populations + CRC
+	need := extra + alloc + alloc*int64(q)*8
 	if alloc <= 0 || need <= 0 || need > maxBytes {
-		return nil, fmt.Errorf("swio: checkpoint claims %d×%d×%d (%d bytes), above the %d-byte limit (corrupt header?)",
+		return corruptf("checkpoint claims %d×%d×%d (%d bytes), above the %d-byte limit (corrupt header?)",
 			nx, ny, nz, need, maxBytes)
 	}
-	tau := math.Float64frombits(head[6])
+	return nil
+}
+
+// buildLattice materialises a lattice from decoded header words
+// (indexed as in the on-disk layout, magic excluded).
+func buildLattice(head []uint64) (*core.Lattice, error) {
+	nx, ny, nz := int(head[0]), int(head[1]), int(head[2])
+	tau := math.Float64frombits(head[5])
 	l, err := core.NewLattice(&lattice.D3Q19, nx, ny, nz, tau)
 	if err != nil {
 		return nil, fmt.Errorf("swio: rebuilding lattice: %w", err)
 	}
-	l.Smagorinsky = math.Float64frombits(head[7])
+	l.Smagorinsky = math.Float64frombits(head[6])
 	l.Force = [3]float64{
+		math.Float64frombits(head[7]),
 		math.Float64frombits(head[8]),
 		math.Float64frombits(head[9]),
-		math.Float64frombits(head[10]),
+	}
+	return l, nil
+}
+
+// readV1 decodes the legacy whole-file-CRC64 format (magic already
+// consumed; it is re-fed into the checksum here).
+func readV1(br *bufio.Reader, maxBytes int64) (*core.Lattice, error) {
+	crc := crc64.New(crcTable)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], checkpointMagicV1)
+	crc.Write(b8[:])
+	tr := io.TeeReader(br, crc)
+
+	head := make([]uint64, 10)
+	for i := range head {
+		if err := binary.Read(tr, binary.LittleEndian, &head[i]); err != nil {
+			return nil, corruptf("reading checkpoint header: %v", err)
+		}
+	}
+	nx, ny, nz, q := int(head[0]), int(head[1]), int(head[2]), int(head[3])
+	if err := checkDims(nx, ny, nz, q, maxBytes, 11*8+8); err != nil {
+		return nil, err
+	}
+	l, err := buildLattice(head)
+	if err != nil {
+		return nil, err
 	}
 	flags := make([]byte, l.N)
 	if _, err := io.ReadFull(tr, flags); err != nil {
-		return nil, fmt.Errorf("swio: reading checkpoint flags: %w", err)
+		return nil, corruptf("reading checkpoint flags: %v", err)
 	}
 	for i, f := range flags {
 		l.Flags[i] = core.CellType(f)
@@ -141,19 +218,89 @@ func ReadCheckpointLimit(r io.Reader, maxBytes int64) (*core.Lattice, error) {
 	buf := make([]byte, 8)
 	for i := range src {
 		if _, err := io.ReadFull(tr, buf); err != nil {
-			return nil, fmt.Errorf("swio: reading checkpoint populations: %w", err)
+			return nil, corruptf("reading checkpoint populations: %v", err)
 		}
 		src[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
 	}
 	sum := crc.Sum64()
 	var stored uint64
 	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
-		return nil, fmt.Errorf("swio: reading checkpoint CRC: %w", err)
+		return nil, corruptf("reading checkpoint CRC: %v", err)
 	}
 	if stored != sum {
-		return nil, fmt.Errorf("swio: checkpoint CRC mismatch: stored %#x computed %#x (corrupt file)", stored, sum)
+		return nil, corruptf("checkpoint CRC mismatch: stored %#x computed %#x (corrupt file)", stored, sum)
 	}
-	l.SetStep(int(head[5]))
+	l.SetStep(int(head[4]))
+	return l, nil
+}
+
+// readRecordCRC verifies one record's trailing CRC32-C.
+func readRecordCRC(br *bufio.Reader, crc hash.Hash32, record string) error {
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return corruptf("reading checkpoint %s CRC: %v", record, err)
+	}
+	if stored != crc.Sum32() {
+		return corruptf("checkpoint %s CRC mismatch: stored %#x computed %#x", record, stored, crc.Sum32())
+	}
+	return nil
+}
+
+// readV2 decodes the record-checksummed format. The header CRC is
+// verified before the dimensions it claims are used to allocate, so a
+// flipped header bit can never trigger a bogus allocation.
+func readV2(br *bufio.Reader, maxBytes int64) (*core.Lattice, error) {
+	crc := crc32.New(crc32c)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], checkpointMagicV2)
+	crc.Write(b8[:])
+	tr := io.TeeReader(br, crc)
+
+	head := make([]uint64, 10)
+	for i := range head {
+		if err := binary.Read(tr, binary.LittleEndian, &head[i]); err != nil {
+			return nil, corruptf("reading checkpoint header: %v", err)
+		}
+	}
+	if err := readRecordCRC(br, crc, "header"); err != nil {
+		return nil, err
+	}
+	nx, ny, nz, q := int(head[0]), int(head[1]), int(head[2]), int(head[3])
+	if err := checkDims(nx, ny, nz, q, maxBytes, 11*8+3*4); err != nil {
+		return nil, err
+	}
+	l, err := buildLattice(head)
+	if err != nil {
+		return nil, err
+	}
+
+	crc.Reset()
+	tr = io.TeeReader(br, crc)
+	flags := make([]byte, l.N)
+	if _, err := io.ReadFull(tr, flags); err != nil {
+		return nil, corruptf("reading checkpoint flags: %v", err)
+	}
+	if err := readRecordCRC(br, crc, "flags"); err != nil {
+		return nil, err
+	}
+	for i, f := range flags {
+		l.Flags[i] = core.CellType(f)
+	}
+
+	crc.Reset()
+	tr = io.TeeReader(br, crc)
+	src := l.Src()
+	buf := make([]byte, 8)
+	for i := range src {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, corruptf("reading checkpoint populations: %v", err)
+		}
+		src[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	if err := readRecordCRC(br, crc, "populations"); err != nil {
+		return nil, err
+	}
+	l.SetStep(int(head[4]))
 	return l, nil
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI tiers for SunwayLB-Go.
+#
+#   tier 1  — build + full test suite (the repo's acceptance gate)
+#   tier 2  — vet + race detector on every package
+#   chaos   — race-checked chaos smoke: the supervisor must survive a
+#             deterministic rank kill + checkpoint corruption
+#
+# Usage: scripts/ci.sh [tier1|tier2|chaos|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tier1() {
+    echo "== tier 1: build + tests =="
+    go build ./...
+    go test ./...
+}
+
+tier2() {
+    echo "== tier 2: vet + race =="
+    go vet ./...
+    go test -race ./...
+}
+
+chaos() {
+    echo "== chaos smoke: supervised recovery under fault injection =="
+    go test -race -run TestSupervisorRecovers -timeout 120s ./internal/psolve
+    go test -race -run 'TestRecvFromExitedRank|TestAbortUnblocksEveryone' -timeout 120s ./internal/mpi
+}
+
+case "${1:-all}" in
+    tier1) tier1 ;;
+    tier2) tier2 ;;
+    chaos) chaos ;;
+    all)   tier1; tier2; chaos ;;
+    *) echo "usage: $0 [tier1|tier2|chaos|all]" >&2; exit 2 ;;
+esac
+echo "ok"
