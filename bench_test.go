@@ -22,6 +22,7 @@ import (
 	"sunwaylb/internal/scaling"
 	"sunwaylb/internal/sunway"
 	"sunwaylb/internal/swlb"
+	"sunwaylb/internal/trace"
 )
 
 // BenchmarkFig08_OptimizationAblation regenerates the Fig. 8 staircase and
@@ -288,4 +289,56 @@ func BenchmarkDistributedHaloExchange(b *testing.B) {
 	}
 	cells := int64(opts.GNX) * int64(opts.GNY) * int64(opts.GNZ)
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLUPS")
+}
+
+// --- Tracing overhead (internal/trace) ---
+
+// benchTracedStep times a 2×2-rank distributed step loop under the given
+// tracer. The Disabled/Enabled pair quantifies the instrumentation cost:
+// with a nil tracer every trace call is one nil-checked branch, so
+// Disabled must match BenchmarkDistributedHaloExchange within noise.
+func benchTracedStep(b *testing.B, tracer *trace.Tracer) {
+	opts := psolve.Options{
+		GNX: 64, GNY: 64, GNZ: 32,
+		PX: 2, PY: 2,
+		Tau:       0.8,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Trace: tracer,
+	}
+	w, err := mpi.NewWorld(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SetTracer(tracer)
+	err = mpi.RunWorld(w, func(c *mpi.Comm) error {
+		s, err := psolve.New(c, opts)
+		if err != nil {
+			return err
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := int64(opts.GNX) * int64(opts.GNY) * int64(opts.GNZ)
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLUPS")
+	if tracer != nil {
+		b.ReportMetric(float64(len(tracer.Events()))/float64(b.N), "events/step")
+	}
+}
+
+// BenchmarkStepTraceDisabled is the nil-tracer baseline.
+func BenchmarkStepTraceDisabled(b *testing.B) { benchTracedStep(b, nil) }
+
+// BenchmarkStepTraceEnabled records full per-rank timelines into a
+// bounded ring (so arbitrarily long -benchtime runs stay flat on memory).
+func BenchmarkStepTraceEnabled(b *testing.B) {
+	benchTracedStep(b, trace.New(trace.Options{MaxEventsPerRank: 1 << 15}))
 }

@@ -29,7 +29,16 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig8|fig11|fig13|fig14|fig15|fig16|fig17|roofline|ablation|all")
+	jsonOut := flag.String("json", "", "run the measured benchmark cases and write machine-readable results (e.g. BENCH_results.json)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func(){
 		"fig8":     fig8,

@@ -1,0 +1,222 @@
+package main
+
+// Machine-readable benchmark mode (-json): runs a small fixed set of
+// *measured* cases — as opposed to the model-driven figures — and writes
+// BENCH_results.json so the repo accumulates a perf trajectory across
+// commits. Each case reports the perf.Monitor digest (MLUPS, mean/p50/p99
+// step time) plus case-specific counters; the distributed case derives its
+// per-step samples from the trace subsystem's rank-0 step spans, so the
+// bench output and the timeline tooling agree by construction.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/perf"
+	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/sunway"
+	"sunwaylb/internal/swlb"
+	"sunwaylb/internal/trace"
+)
+
+// CaseResult is one measured benchmark case.
+type CaseResult struct {
+	Name     string           `json:"name"`
+	Summary  perf.Summary     `json:"summary"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// BenchResults is the BENCH_results.json document.
+type BenchResults struct {
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Cases     []CaseResult `json:"cases"`
+}
+
+const (
+	benchN     = 40 // kernel-case cube edge
+	benchSteps = 20
+)
+
+// benchLattice builds a periodic fluid cube at equilibrium.
+func benchLattice(nx, ny, nz int) (*core.Lattice, error) {
+	l, err := core.NewLattice(&lattice.D3Q19, nx, ny, nz, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	l.InitEquilibrium(1, 0.02, 0.01, 0.005)
+	return l, nil
+}
+
+// runKernel times the single-rank fused kernel (sequential or parallel).
+func runKernel(parallel bool) (CaseResult, error) {
+	name := "kernel-fused"
+	if parallel {
+		name = "kernel-parallel"
+	}
+	l, err := benchLattice(benchN, benchN, benchN)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	cells := int64(benchN) * benchN * benchN
+	mon := perf.NewMonitor(cells)
+	for s := 0; s < benchSteps; s++ {
+		l.PeriodicAll()
+		mon.StepStart()
+		if parallel {
+			l.StepFusedParallel(0)
+		} else {
+			l.StepFused()
+		}
+		mon.StepEnd()
+	}
+	return CaseResult{
+		Name:     name,
+		Summary:  mon.SummaryStats(),
+		Counters: map[string]int64{"cells": cells},
+	}, nil
+}
+
+// runSunwayCG times the simulated SW26010 core group on one subdomain;
+// the samples are the engine's modelled step times and the counters are
+// its cumulative DMA / register-communication traffic.
+func runSunwayCG() (CaseResult, error) {
+	const nx, ny, nz = 32, 32, 64
+	l, err := benchLattice(nx, ny, nz)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	eng, err := swlb.New(l, sunway.SW26010, swlb.DefaultOptions())
+	if err != nil {
+		return CaseResult{}, err
+	}
+	mon := perf.NewMonitor(int64(nx) * ny * nz)
+	for s := 0; s < benchSteps; s++ {
+		l.PeriodicAll()
+		mon.Record(eng.Step())
+	}
+	return CaseResult{
+		Name:    "sunway-sim-cg",
+		Summary: mon.SummaryStats(),
+		Counters: map[string]int64{
+			"dma_bytes":      eng.CG.Counters.DMABytes,
+			"intercpe_bytes": eng.CG.Counters.InterCPEBytes,
+			"clean_columns":  int64(eng.CleanColumns()),
+			"mixed_columns":  int64(eng.MixedColumns()),
+		},
+	}, nil
+}
+
+// runDistributed times a 2×2-rank periodic run. Per-step wall samples are
+// extracted from the trace subsystem (rank-0 step spans) rather than
+// re-instrumenting the solver, so this case also exercises the tracer
+// end-to-end.
+func runDistributed() (CaseResult, error) {
+	const gnx, gny, gnz = 48, 48, 24
+	tracer := trace.New(trace.Options{})
+	opts := psolve.Options{
+		GNX: gnx, GNY: gny, GNZ: gnz,
+		PX: 2, PY: 2,
+		Tau:       0.6,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+			return 1, 0.02, 0.01, 0.005
+		},
+		Trace: tracer,
+	}
+	if _, err := psolve.Run(opts, benchSteps); err != nil {
+		return CaseResult{}, err
+	}
+	mon := perf.NewMonitor(int64(gnx) * gny * gnz)
+	events := tracer.Events()
+	for _, d := range stepDurations(events, 0) {
+		mon.Record(d)
+	}
+	return CaseResult{
+		Name:    "distributed-2x2",
+		Summary: mon.SummaryStats(),
+		Counters: map[string]int64{
+			"ranks":        4,
+			"trace_events": int64(len(events)),
+		},
+	}, nil
+}
+
+// stepDurations pairs Begin/End events on the given rank's wall-clock
+// step track into per-step durations, in recording order. The step track
+// also carries nested compute/bc spans, so the span name is tracked
+// through the nesting stack and only "step" spans are reported.
+func stepDurations(events []trace.Event, rank int) []float64 {
+	type frame struct {
+		name string
+		ts   float64
+	}
+	var out []float64
+	var open []frame
+	for _, e := range events {
+		if e.Rank != rank || e.Clock != trace.Wall || e.Track != trace.TrackStep {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindBegin:
+			open = append(open, frame{e.Name, e.TS})
+		case trace.KindEnd:
+			if n := len(open); n > 0 {
+				f := open[n-1]
+				open = open[:n-1]
+				if f.name == "step" {
+					out = append(out, e.TS-f.ts)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runJSON executes every measured case and writes the results document.
+func runJSON(path string) error {
+	res := BenchResults{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	type step struct {
+		name string
+		run  func() (CaseResult, error)
+	}
+	for _, s := range []step{
+		{"kernel-fused", func() (CaseResult, error) { return runKernel(false) }},
+		{"kernel-parallel", func() (CaseResult, error) { return runKernel(true) }},
+		{"sunway-sim-cg", runSunwayCG},
+		{"distributed-2x2", runDistributed},
+	} {
+		c, err := s.run()
+		if err != nil {
+			return fmt.Errorf("benchsuite: case %s: %w", s.name, err)
+		}
+		fmt.Printf("%-18s %6.2f MLUPS  mean %.3g s/step (p50 %.3g, p99 %.3g)\n",
+			c.Name, c.Summary.MLUPS, c.Summary.MeanSec, c.Summary.P50Sec, c.Summary.P99Sec)
+		res.Cases = append(res.Cases, c)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", path, len(res.Cases))
+	return nil
+}

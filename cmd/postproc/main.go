@@ -6,6 +6,11 @@
 // Usage:
 //
 //	postproc -in state.cpk [-field speed|rho|ux|uy|uz|vorticity|q] [-axis x|y|z] [-pos n] [-out slice.ppm]
+//	postproc -tracestat run.trace.json
+//
+// The -tracestat mode reads a Chrome trace-event timeline written by
+// `sunwaylb -trace`, validates it, and prints the aggregate analysis
+// (per-phase time shares, critical path, load imbalance, stragglers).
 package main
 
 import (
@@ -16,20 +21,28 @@ import (
 	"os"
 
 	"sunwaylb/internal/swio"
+	"sunwaylb/internal/trace"
 	"sunwaylb/internal/vis"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		in     = flag.String("in", "", "checkpoint file (required)")
-		field  = flag.String("field", "speed", "field: speed|rho|ux|uy|uz|vorticity|q")
-		axis   = flag.String("axis", "z", "slice normal: x|y|z")
-		pos    = flag.Int("pos", -1, "slice position (-1 = middle)")
-		out    = flag.String("out", "", "output file (empty = stats only)")
-		format = flag.String("format", "ppm", "output format: ppm|vtk|tecplot")
+		in        = flag.String("in", "", "checkpoint file (required unless -tracestat)")
+		field     = flag.String("field", "speed", "field: speed|rho|ux|uy|uz|vorticity|q")
+		axis      = flag.String("axis", "z", "slice normal: x|y|z")
+		pos       = flag.Int("pos", -1, "slice position (-1 = middle)")
+		out       = flag.String("out", "", "output file (empty = stats only)")
+		format    = flag.String("format", "ppm", "output format: ppm|vtk|tecplot")
+		traceStat = flag.String("tracestat", "", "analyze a Chrome trace written by sunwaylb -trace (bypasses -in)")
 	)
 	flag.Parse()
+	if *traceStat != "" {
+		if err := runTraceStat(*traceStat); err != nil {
+			log.Fatalf("postproc: %v", err)
+		}
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -126,4 +139,25 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%s)\n", *out, *format)
 	}
+}
+
+// runTraceStat loads a Chrome trace-event JSON file, checks the
+// exporter's invariants (well-nested spans, monotonic timestamps,
+// terminated flows) and prints the aggregate timeline analysis.
+func runTraceStat(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadChrome(f)
+	if err != nil {
+		return err
+	}
+	if err := trace.Validate(events); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("trace %s: %d events, valid\n", path, len(events))
+	fmt.Print(trace.Analyze(events).String())
+	return nil
 }

@@ -38,28 +38,45 @@ import (
 	"sunwaylb/internal/sunway"
 	"sunwaylb/internal/swio"
 	"sunwaylb/internal/swlb"
+	"sunwaylb/internal/trace"
 	"sunwaylb/internal/vis"
 )
 
 func main() {
 	log.SetFlags(0)
+
+	// Case selection and size/step overrides.
 	var (
-		preset     = flag.String("preset", "", "built-in case: cavity|channel|cylinder|urban|suboff")
-		caseFile   = flag.String("case", "", "JSON case file (dimensions, tau/Re, steps)")
-		nx         = flag.Int("nx", 0, "override x cells")
-		ny         = flag.Int("ny", 0, "override y cells")
-		nz         = flag.Int("nz", 0, "override z cells")
-		steps      = flag.Int("steps", 0, "override time steps")
-		decomp     = flag.String("decomp", "", "run distributed as PXxPY simulated MPI ranks (e.g. 2x2)")
-		useSunway  = flag.Bool("sunway", false, "with -decomp: run each rank's kernel on a simulated SW26010 core group")
-		out        = flag.String("out", "", "output prefix for PPM slices")
+		preset   = flag.String("preset", "", "built-in case: cavity|channel|cylinder|urban|suboff")
+		caseFile = flag.String("case", "", "JSON case file (dimensions, tau/Re, steps)")
+		nx       = flag.Int("nx", 0, "override x cells")
+		ny       = flag.Int("ny", 0, "override y cells")
+		nz       = flag.Int("nz", 0, "override z cells")
+		steps    = flag.Int("steps", 0, "override time steps")
+	)
+
+	// Execution model.
+	var (
+		decomp    = flag.String("decomp", "", "run distributed as PXxPY simulated MPI ranks (e.g. 2x2)")
+		useSunway = flag.Bool("sunway", false, "with -decomp: run each rank's kernel on a simulated SW26010 core group")
+	)
+
+	// Checkpoint/restart and fault tolerance.
+	var (
 		cpPath      = flag.String("checkpoint", "", "checkpoint file path")
 		cpEvery     = flag.Int("checkpoint-every", 0, "checkpoint interval in steps")
 		restore     = flag.String("restore", "", "resume from a checkpoint file")
 		faultPlan   = flag.String("fault-plan", "", "with -decomp: deterministic fault plan, e.g. 'seed=42;crash@rank=1,step=50;corrupt@ckpt=2' (see internal/fault)")
 		maxRestarts = flag.Int("max-restarts", 0, "with -decomp: recovery budget of the self-healing supervisor")
 		allowShrink = flag.Bool("allow-shrink", false, "with -decomp: re-decompose onto fewer ranks after a rank death")
-		reportSecs  = flag.Float64("report", 2, "progress report interval in seconds")
+	)
+
+	// Output and observability.
+	var (
+		out        = flag.String("out", "", "output prefix for PPM slices")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON timeline (open in Perfetto / chrome://tracing)")
+		traceBuf   = flag.Int("trace-buf", 0, "with -trace: max buffered events per rank, ring-overwritten beyond (0 = unbounded)")
+		reportSecs = flag.Float64("report", 2, "progress report interval in seconds")
 	)
 	flag.Parse()
 
@@ -83,6 +100,11 @@ func main() {
 		log.Fatalf("sunwaylb: %v", err)
 	}
 
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Options{MaxEventsPerRank: *traceBuf})
+	}
+
 	if *decomp != "" {
 		d := distOpts{
 			decomp:      *decomp,
@@ -94,8 +116,12 @@ func main() {
 			faultPlan:   *faultPlan,
 			maxRestarts: *maxRestarts,
 			allowShrink: *allowShrink,
+			tracer:      tracer,
 		}
 		if err := runDistributed(cs, d); err != nil {
+			log.Fatalf("sunwaylb: %v", err)
+		}
+		if err := finishTrace(tracer, *tracePath); err != nil {
 			log.Fatalf("sunwaylb: %v", err)
 		}
 		return
@@ -103,9 +129,40 @@ func main() {
 	if *faultPlan != "" {
 		log.Fatal("sunwaylb: -fault-plan requires -decomp (faults target simulated MPI ranks)")
 	}
-	if err := runLocal(cs, *out, *cpPath, *cpEvery, *restore, *reportSecs); err != nil {
+	if err := runLocal(cs, *out, *cpPath, *cpEvery, *restore, *reportSecs, tracer); err != nil {
 		log.Fatalf("sunwaylb: %v", err)
 	}
+	if err := finishTrace(tracer, *tracePath); err != nil {
+		log.Fatalf("sunwaylb: %v", err)
+	}
+}
+
+// finishTrace serialises the recorded timeline as Chrome trace-event
+// JSON and prints the aggregate analysis (per-phase shares, imbalance,
+// stragglers). A nil tracer is a no-op.
+func finishTrace(tracer *trace.Tracer, path string) error {
+	if tracer == nil {
+		return nil
+	}
+	events := tracer.Events()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace %s (%d events", path, len(events))
+	if d := tracer.Dropped(); d > 0 {
+		fmt.Printf(", %d overwritten", d)
+	}
+	fmt.Println("); open in https://ui.perfetto.dev")
+	fmt.Print(trace.Analyze(events).String())
+	return nil
 }
 
 // caseSetup bundles everything a preset defines.
@@ -322,7 +379,7 @@ func builtinPreset(name string) (*caseSetup, error) {
 	return nil, fmt.Errorf("unknown preset %q (cavity|channel|cylinder|urban|suboff)", name)
 }
 
-func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, reportSecs float64) error {
+func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, reportSecs float64, tracer *trace.Tracer) error {
 	var lat *core.Lattice
 	var err error
 	startStep := 0
@@ -373,14 +430,30 @@ func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, re
 
 	cells := int64(lat.FluidCells())
 	mon := perf.NewMonitor(cells)
+	tr := tracer.ForRank(0) // local runs trace as rank 0; nil-safe
 	lastReport := time.Now()
 	for s := startStep + 1; s <= cs.cfg.Steps; s++ {
+		var endStep func()
+		if tr != nil {
+			endStep = tr.Scope(trace.TrackStep, "step")
+		}
 		bcs.Apply(lat)
 		mon.StepStart()
 		lat.StepFusedParallel(0)
 		mon.StepEnd()
+		if endStep != nil {
+			endStep()
+		}
 		if cpEvery > 0 && cpPath != "" && s%cpEvery == 0 {
-			if err := swio.Checkpoint(cpPath, lat); err != nil {
+			var endCkpt func()
+			if tr != nil {
+				endCkpt = tr.Scope(trace.TrackCkpt, "ckpt-write")
+			}
+			err := swio.Checkpoint(cpPath, lat)
+			if endCkpt != nil {
+				endCkpt()
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -418,6 +491,7 @@ type distOpts struct {
 	faultPlan   string
 	maxRestarts int
 	allowShrink bool
+	tracer      *trace.Tracer
 }
 
 // supervised reports whether the run needs the self-healing supervisor
@@ -443,6 +517,7 @@ func runDistributed(cs *caseSetup, d distOpts) error {
 		Walls:       cs.walls,
 		Init:        cs.init,
 		OnTheFly:    true,
+		Trace:       d.tracer,
 	}
 	if d.useSunway {
 		opts.OnTheFly = false

@@ -22,6 +22,8 @@ import (
 	"math"
 	"os"
 	"sync"
+
+	"sunwaylb/internal/trace"
 )
 
 // ErrInjectedCrash marks a rank death caused by the injector (as opposed
@@ -83,10 +85,10 @@ func (p Plan) Empty() bool {
 
 // Stats counts the faults an Injector has actually delivered.
 type Stats struct {
-	Crashes    int
-	Drops      int
-	Dups       int
-	Flips      int
+	Crashes        int
+	Drops          int
+	Dups           int
+	Flips          int
 	CkptsCorrupted int
 }
 
@@ -104,12 +106,32 @@ func (s Stats) String() string {
 type Injector struct {
 	plan Plan
 
-	mu          sync.Mutex
-	crashFired  []bool
-	linkFired   []int            // per plan entry: times fired
-	linkCount   map[[2]int]uint64 // per observed (src,dst): messages seen
-	ckptFired   map[int]bool
-	stats       Stats
+	mu         sync.Mutex
+	crashFired []bool
+	linkFired  []int             // per plan entry: times fired
+	linkCount  map[[2]int]uint64 // per observed (src,dst): messages seen
+	ckptFired  map[int]bool
+	stats      Stats
+	tracer     *trace.Tracer
+}
+
+// SetTracer makes the injector record every delivered fault as an
+// instant event on the affected rank's fault track (nil disables).
+func (in *Injector) SetTracer(t *trace.Tracer) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tracer = t
+}
+
+// instantLocked records a fault instant; callers hold in.mu. Safe: the
+// tracer takes only its own per-rank lock and never calls back into the
+// injector.
+func (in *Injector) instantLocked(rank int, name string, v float64) {
+	if in.tracer == nil {
+		return
+	}
+	tr := in.tracer.ForRank(rank)
+	tr.InstantV(trace.Wall, trace.TrackFault, name, tr.Now(), v)
 }
 
 // NewInjector builds an injector for the plan.
@@ -166,6 +188,7 @@ func (in *Injector) CrashNow(rank, step int) bool {
 		if !in.crashFired[i] && c.Rank == rank && c.Step == step {
 			in.crashFired[i] = true
 			in.stats.Crashes++
+			in.instantLocked(rank, "fault-crash", float64(step))
 			return true
 		}
 	}
@@ -200,15 +223,18 @@ func (in *Injector) OnSend(src, dst, tag int, data []float64, aux []byte) int {
 		case lf.Drop > 0 && in.u01(fi, 1, s, d, n) < lf.Drop:
 			in.linkFired[i]++
 			in.stats.Drops++
+			in.instantLocked(src, "fault-drop", float64(dst))
 			return 0
 		case lf.Dup > 0 && in.u01(fi, 2, s, d, n) < lf.Dup:
 			in.linkFired[i]++
 			in.stats.Dups++
+			in.instantLocked(src, "fault-dup", float64(dst))
 			copies = 2
 		case lf.Flip > 0 && in.u01(fi, 3, s, d, n) < lf.Flip:
 			in.linkFired[i]++
 			in.stats.Flips++
 			in.flipBit(data, aux, in.hash(fi, 4, s, d, n))
+			in.instantLocked(src, "fault-flip", float64(dst))
 		}
 	}
 	return copies
@@ -266,6 +292,7 @@ func (in *Injector) CorruptCheckpointBytes(data []byte, writeIndex int) bool {
 	h := in.hash(0xc0, uint64(writeIndex))
 	data[h%uint64(len(data))] ^= byte(1 << ((h >> 32) % 8))
 	in.stats.CkptsCorrupted++
+	in.instantLocked(trace.RankSupervisor, "fault-ckpt-corrupt", float64(writeIndex))
 	return true
 }
 
@@ -293,6 +320,7 @@ func (in *Injector) CorruptCheckpointFile(path string, writeIndex int) (bool, er
 	}
 	in.mu.Lock()
 	in.stats.CkptsCorrupted++
+	in.instantLocked(trace.RankSupervisor, "fault-ckpt-corrupt", float64(writeIndex))
 	in.mu.Unlock()
 	return true, nil
 }

@@ -136,6 +136,51 @@ func (s Spec) NodeStepTime(nx, ny, nz int, opt Options) float64 {
 	return kernelT + commT
 }
 
+// PhaseTime is one modelled phase of a node step (trace decomposition).
+type PhaseTime struct {
+	Name string
+	Sec  float64
+}
+
+// StepPhases decomposes the NodeStepTime model into its traced phases:
+// "cpu-kernel" for the no-offload baseline; otherwise "kernel" plus the
+// halo-exchange path — "p2p" under NCCL, or the staged
+// "d2h"/"host-mpi"/"h2d" triple. The phases are the model's components
+// (each face swap counted once per direction, hence the 2× factors);
+// NodeStepTime remains the authoritative total, which under Overlap is
+// max(kernel, comm) + launch rather than the sum.
+func (s Spec) StepPhases(nx, ny, nz int, opt Options) []PhaseTime {
+	cells := float64(nx) * float64(ny) * float64(nz)
+	bytesPerCell := perf.BytesPerLUP
+	if !opt.KernelFusion {
+		bytesPerCell *= 2
+	}
+	if !opt.Offload {
+		return []PhaseTime{{Name: "cpu-kernel", Sec: cells * bytesPerCell / s.CPUBandwidth}}
+	}
+	eff := s.BaseKernelEff
+	if opt.ComputeOpt {
+		eff = s.TunedKernelEff
+	}
+	perGPU := cells / float64(s.GPUsPerNode)
+	kernelT := perGPU*bytesPerCell/(s.DeviceBandwidth*eff) + s.KernelLaunch
+	faceBytes := float64(nx) * float64(nz) * popBytes
+	phases := []PhaseTime{{Name: "kernel", Sec: kernelT}}
+	if opt.NCCL {
+		phases = append(phases, PhaseTime{Name: "p2p", Sec: 2 * faceBytes / s.P2PBandwidth})
+		return phases
+	}
+	hostBW := s.PinnedBandwidth
+	if opt.Pageable {
+		hostBW = s.PageableBandwidth
+	}
+	return append(phases,
+		PhaseTime{Name: "d2h", Sec: 2 * faceBytes / hostBW},
+		PhaseTime{Name: "host-mpi", Sec: 2 * faceBytes / s.CPUBandwidth},
+		PhaseTime{Name: "h2d", Sec: 2 * faceBytes / hostBW},
+	)
+}
+
 // NodeRate returns the node's update rate for the subdomain.
 func (s Spec) NodeRate(nx, ny, nz int, opt Options) perf.LUPS {
 	t := s.NodeStepTime(nx, ny, nz, opt)

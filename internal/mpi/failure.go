@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sunwaylb/internal/trace"
 )
 
 // Typed failure errors. Callers test with errors.Is.
@@ -76,15 +78,29 @@ func (w *World) timeout() time.Duration {
 // world's failure cause.
 func (w *World) MarkDead(rank int, cause error) {
 	w.fmu.Lock()
+	first := false
 	if _, seen := w.dead[rank]; !seen {
 		w.dead[rank] = cause
+		first = true
 	}
 	if w.cause == nil && cause != nil {
 		w.cause = cause
 	}
 	w.bumpLocked()
 	w.fmu.Unlock()
+	if first {
+		w.traceDead(rank) // after fmu release: Tracer() re-takes fmu
+	}
 	w.wakeBarrier()
+}
+
+// traceDead records a dead-rank instant on the rank's own timeline.
+// Must be called without fmu held.
+func (w *World) traceDead(rank int) {
+	if t := w.Tracer(); t != nil {
+		tr := t.ForRank(rank)
+		tr.Instant(trace.Wall, trace.TrackMPI, "rank-dead", tr.Now())
+	}
 }
 
 // markExit records a rank leaving the world: dead when err != nil,
@@ -92,14 +108,19 @@ func (w *World) MarkDead(rank int, cause error) {
 // future receives once its queue drains.
 func (w *World) markExit(rank int, err error) {
 	w.fmu.Lock()
+	first := false
 	if _, seen := w.dead[rank]; !seen {
 		w.dead[rank] = err
+		first = true
 		if w.cause == nil && err != nil {
 			w.cause = err
 		}
 		w.bumpLocked()
 	}
 	w.fmu.Unlock()
+	if first && err != nil {
+		w.traceDead(rank)
+	}
 	w.wakeBarrier()
 }
 

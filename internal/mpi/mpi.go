@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"sunwaylb/internal/trace"
 )
 
 // Message is the payload of a point-to-point transfer: a float64 body
@@ -29,6 +31,9 @@ import (
 type Message struct {
 	Data []float64
 	Aux  []byte
+	// flow carries the trace flow id linking this message's send event
+	// to its receive event (0 when tracing is off).
+	flow uint64
 }
 
 type chanKey struct{ src, dst, tag int }
@@ -129,6 +134,7 @@ type World struct {
 	notify      chan struct{} // closed and replaced on every state change
 	recvTimeout time.Duration
 	hook        FaultHook
+	tracer      *trace.Tracer
 }
 
 // internal collective tags live in a reserved negative range so they never
@@ -185,10 +191,31 @@ func (w *World) deliver(src, dst, tag int, m Message) {
 	}
 }
 
+// SetTracer installs a rank-level tracer (nil removes it): blocking
+// receives, barriers and collectives become spans, point-to-point
+// messages become cross-rank flow events and rank deaths become instants
+// on the "mpi" track. Install before RunWorld starts ranks.
+func (w *World) SetTracer(t *trace.Tracer) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.tracer = t
+}
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (w *World) Tracer() *trace.Tracer {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.tracer
+}
+
 // Comm is one rank's handle on the world.
 type Comm struct {
 	world *World
 	rank  int
+	// tr is this rank's trace handle; nil (a no-op recorder) when the
+	// world has no tracer. Bound at Comm construction so the hot paths
+	// never take the world's failure lock to trace.
+	tr *trace.RankTracer
 }
 
 // Rank returns this rank's id.
@@ -199,6 +226,11 @@ func (c *Comm) Size() int { return c.world.size }
 
 // World returns the underlying world (for failure control).
 func (c *Comm) World() *World { return c.world }
+
+// Trace returns this rank's trace handle (nil, a no-op recorder, when
+// the world has no tracer). Instrumented layers above mpi (psolve, the
+// supervisor) share the same per-rank timeline through it.
+func (c *Comm) Trace() *trace.RankTracer { return c.tr }
 
 // validate panics on out-of-range peers or negative user tags; these are
 // programming errors, not runtime conditions.
@@ -215,6 +247,10 @@ func (c *Comm) validate(peer, tag int) {
 // Send never blocks (MPI buffered-send semantics).
 func (c *Comm) Send(dst, tag int, m Message) {
 	c.validate(dst, tag)
+	if c.tr != nil {
+		m.flow = c.tr.NextFlow()
+		c.tr.FlowOut(trace.Wall, trace.TrackMPI, "msg", c.tr.Now(), m.flow, float64(dst))
+	}
 	c.world.deliver(c.rank, dst, tag, m)
 }
 
@@ -237,14 +273,33 @@ func (c *Comm) Recv(src, tag int) Message {
 // teardown, ErrTimeout past the world receive deadline.
 func (c *Comm) RecvE(src, tag int) (Message, error) {
 	c.validate(src, tag)
-	return c.recvAny(src, tag, c.world.timeout())
+	return c.recvTraced(src, tag, c.world.timeout())
 }
 
 // RecvTimeout is RecvE with an explicit deadline overriding the world
 // default (0 = wait forever, subject to failure detection).
 func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, error) {
 	c.validate(src, tag)
-	return c.recvAny(src, tag, d)
+	return c.recvTraced(src, tag, d)
+}
+
+// recvTraced wraps the blocking receive in a trace span plus the flow
+// terminator connecting the matched send's arrow.
+func (c *Comm) recvTraced(src, tag int, timeout time.Duration) (Message, error) {
+	if c.tr == nil {
+		return c.recvAny(src, tag, timeout)
+	}
+	c.tr.Begin(trace.Wall, trace.TrackMPI, "recv", c.tr.Now())
+	m, err := c.recvAny(src, tag, timeout)
+	now := c.tr.Now()
+	if err == nil && m.flow != 0 {
+		c.tr.FlowIn(trace.Wall, trace.TrackMPI, "msg", now, m.flow, float64(src))
+	}
+	if err != nil {
+		c.tr.Instant(trace.Wall, trace.TrackMPI, "recv-failed", now)
+	}
+	c.tr.End(trace.Wall, trace.TrackMPI, now)
+	return m, err
 }
 
 // recvInternal receives on a reserved collective tag, aborting the rank
@@ -287,6 +342,10 @@ func (r *Request) WaitE() (Message, error) {
 // immediately.
 func (c *Comm) Isend(dst, tag int, m Message) *Request {
 	c.validate(dst, tag)
+	if c.tr != nil {
+		m.flow = c.tr.NextFlow()
+		c.tr.FlowOut(trace.Wall, trace.TrackMPI, "msg", c.tr.Now(), m.flow, float64(dst))
+	}
 	r := &Request{done: make(chan struct{})}
 	c.world.deliver(c.rank, dst, tag, m)
 	close(r.done)
@@ -305,6 +364,12 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	timeout := c.world.timeout()
 	go func() {
 		r.msg, r.err = c.recvOn(mb, src, tag, ch, timeout)
+		// The helper goroutine records only instant-class events (flow
+		// terminators), never spans, so the rank's span timeline stays
+		// single-writer and well nested.
+		if c.tr != nil && r.err == nil && r.msg.flow != 0 {
+			c.tr.FlowIn(trace.Wall, trace.TrackMPI, "msg", c.tr.Now(), r.msg.flow, float64(src))
+		}
 		close(r.done)
 	}()
 	return r
@@ -330,6 +395,7 @@ func (c *Comm) Barrier() {
 
 // BarrierE is Barrier with an explicit error return.
 func (c *Comm) BarrierE() error {
+	defer c.tr.Scope(trace.TrackMPI, "barrier")()
 	w := c.world
 	b := &w.barrier
 	b.Lock()
@@ -380,6 +446,7 @@ func (c *Comm) AllreduceMin(v float64) float64 {
 }
 
 func (c *Comm) allreduce(v float64, op func(a, b float64) float64) float64 {
+	defer c.tr.Scope(trace.TrackMPI, "allreduce")()
 	w := c.world
 	if w.size == 1 {
 		return v
@@ -402,6 +469,7 @@ func (c *Comm) allreduce(v float64, op func(a, b float64) float64) float64 {
 
 // Bcast distributes root's message to every rank and returns it.
 func (c *Comm) Bcast(root int, m Message) Message {
+	defer c.tr.Scope(trace.TrackMPI, "bcast")()
 	w := c.world
 	if w.size == 1 {
 		return m
@@ -420,6 +488,7 @@ func (c *Comm) Bcast(root int, m Message) Message {
 // Gather collects one message from every rank at root; non-root ranks get
 // nil. The result is indexed by rank.
 func (c *Comm) Gather(root int, m Message) []Message {
+	defer c.tr.Scope(trace.TrackMPI, "gather")()
 	w := c.world
 	if c.rank == root {
 		out := make([]Message, w.size)
@@ -437,6 +506,7 @@ func (c *Comm) Gather(root int, m Message) []Message {
 
 // Allgather collects one message from every rank on every rank.
 func (c *Comm) Allgather(m Message) []Message {
+	defer c.tr.Scope(trace.TrackMPI, "allgather")()
 	w := c.world
 	out := make([]Message, w.size)
 	out[c.rank] = m
@@ -512,7 +582,7 @@ func RunWorld(w *World, body func(c *Comm) error) error {
 				}
 				w.markExit(rank, errs[rank])
 			}()
-			errs[rank] = body(&Comm{world: w, rank: rank})
+			errs[rank] = body(&Comm{world: w, rank: rank, tr: w.Tracer().ForRank(rank)})
 		}(r)
 	}
 	wg.Wait()

@@ -102,6 +102,38 @@ func (m *Monitor) Summary() string {
 		m.Steps(), m.Rate(), m.Mean(), m.Percentile(50), m.Percentile(99))
 }
 
+// Samples returns a copy of the recorded per-step durations in
+// recording order, so consumers (benchsuite, trace tooling) build on
+// the public API instead of re-deriving statistics.
+func (m *Monitor) Samples() []float64 {
+	return append([]float64(nil), m.samples...)
+}
+
+// Summary is the machine-readable digest of a monitored run, shaped for
+// JSON (the BENCH_results.json schema of cmd/benchsuite).
+type Summary struct {
+	Steps    int     `json:"steps"`
+	Cells    int64   `json:"cells"`
+	TotalSec float64 `json:"total_sec"`
+	MeanSec  float64 `json:"mean_sec"`
+	P50Sec   float64 `json:"p50_sec"`
+	P99Sec   float64 `json:"p99_sec"`
+	MLUPS    float64 `json:"mlups"`
+}
+
+// SummaryStats computes the digest from the recorded samples.
+func (m *Monitor) SummaryStats() Summary {
+	return Summary{
+		Steps:    m.Steps(),
+		Cells:    m.Cells,
+		TotalSec: m.Total(),
+		MeanSec:  m.Mean(),
+		P50Sec:   m.Percentile(50),
+		P99Sec:   m.Percentile(99),
+		MLUPS:    float64(m.Rate()) / 1e6,
+	}
+}
+
 // Reset clears all samples.
 func (m *Monitor) Reset() { m.samples = m.samples[:0]; m.running = false }
 

@@ -98,3 +98,53 @@ func TestDominantPeriod(t *testing.T) {
 		t.Error("short signal must not report a period")
 	}
 }
+
+func TestMonitorSamples(t *testing.T) {
+	m := NewMonitor(100)
+	in := []float64{0.03, 0.01, 0.02}
+	for _, s := range in {
+		m.Record(s)
+	}
+	got := m.Samples()
+	if len(got) != len(in) {
+		t.Fatalf("samples = %v, want %v", got, in)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("samples[%d] = %v, want %v (recording order)", i, got[i], in[i])
+		}
+	}
+	// The returned slice is a copy: mutating it must not touch the monitor.
+	got[0] = 99
+	if m.Samples()[0] != in[0] {
+		t.Error("Samples must return a copy")
+	}
+	if m.Total() != 0.06 {
+		t.Errorf("total changed to %v after mutating the copy", m.Total())
+	}
+}
+
+func TestMonitorSummaryStats(t *testing.T) {
+	m := NewMonitor(1000)
+	for _, s := range []float64{0.01, 0.02, 0.03, 0.04} {
+		m.Record(s)
+	}
+	sum := m.SummaryStats()
+	if sum.Steps != 4 || sum.Cells != 1000 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if math.Abs(sum.TotalSec-0.10) > 1e-12 || math.Abs(sum.MeanSec-0.025) > 1e-12 {
+		t.Errorf("total/mean = %v/%v", sum.TotalSec, sum.MeanSec)
+	}
+	if math.Abs(sum.P50Sec-m.Percentile(50)) > 1e-15 || math.Abs(sum.P99Sec-m.Percentile(99)) > 1e-15 {
+		t.Errorf("percentiles = %v/%v", sum.P50Sec, sum.P99Sec)
+	}
+	wantMLUPS := float64(m.Rate()) / 1e6
+	if math.Abs(sum.MLUPS-wantMLUPS) > 1e-12 {
+		t.Errorf("mlups = %v, want %v", sum.MLUPS, wantMLUPS)
+	}
+	// Empty monitor: zero stats (only Cells carries over), no panic.
+	if got := NewMonitor(5).SummaryStats(); got != (Summary{Cells: 5}) {
+		t.Errorf("empty monitor summary = %+v", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sunwaylb/internal/decomp"
 	"sunwaylb/internal/lattice"
 	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/trace"
 )
 
 // Exchange tags: one per face direction so streams never mix.
@@ -61,6 +62,18 @@ type Options struct {
 	// scheme is used around it. Rebuild is called once after the first
 	// halo exchange so the driver sees the final wall flags.
 	Stepper func(lat *core.Lattice) (Stepper, error)
+	// Trace, if non-nil, records per-rank timelines (steps, halo
+	// exchange, compute phases). Run installs it on the world it
+	// creates; supervised runs install it through SupervisorOptions.
+	Trace *trace.Tracer
+}
+
+// traceSetter is implemented by steppers that can record their internal
+// phases (CPE/MPE kernels, DMA counters, GPU copies) onto the rank's
+// timeline. New type-asserts it so Options.Stepper needs no signature
+// change.
+type traceSetter interface {
+	SetTrace(tr *trace.RankTracer)
 }
 
 // Stepper advances the local lattice one time step (halos already
@@ -86,6 +99,20 @@ type Solver struct {
 	// SimTime accumulates the stepper-reported (e.g. simulated Sunway)
 	// time across steps.
 	SimTime float64
+
+	// StragglerFactor inflates this rank's modelled (Sim-clock) step
+	// time; 0 or 1 means nominal speed. The supervisor sets it from the
+	// fault plan's straggle@ directives so trace.Analyze can flag the
+	// slow rank even though the injection only affects the performance
+	// model, not the host wall clock.
+	StragglerFactor float64
+
+	// tr is this rank's trace handle (nil-safe no-op when tracing is
+	// off); simCursor is the rank's position on the modelled Sim clock;
+	// lastSimDt is the most recent stepper-reported step time.
+	tr        *trace.RankTracer
+	simCursor float64
+	lastSimDt float64
 
 	// Scratch exchange buffers, reused across steps (messages are
 	// cloned before handing to the transport).
@@ -120,7 +147,10 @@ func New(c *mpi.Comm, opts Options) (*Solver, error) {
 	lat.Smagorinsky = opts.Smagorinsky
 	lat.Force = opts.Force
 
-	s := &Solver{Opts: opts, Comm: c, Cart: cart, Block: blk, Lat: lat}
+	s := &Solver{Opts: opts, Comm: c, Cart: cart, Block: blk, Lat: lat, tr: c.Trace()}
+	// Resume the modelled clock where a previous attempt (before a
+	// supervised restart) left off, so attempts lay out consecutively.
+	s.simCursor = s.tr.SimWatermark()
 	if opts.Restore != nil {
 		if err := s.restoreFrom(opts.Restore); err != nil {
 			return nil, err
@@ -138,6 +168,9 @@ func New(c *mpi.Comm, opts Options) (*Solver, error) {
 		}
 		s.stepper = st
 		s.stepperFresh = true
+		if ts, ok := st.(traceSetter); ok {
+			ts.SetTrace(s.tr)
+		}
 	}
 	return s, nil
 }
@@ -250,6 +283,9 @@ func (s *Solver) exchangeAxis(axis int) {
 		s.Lat.PeriodicAxis(axis)
 		return
 	}
+	if s.tr != nil {
+		defer s.tr.Scope(trace.TrackMPI, haloName(axis))()
+	}
 	var reqs []*mpi.Request
 	if dp >= 0 {
 		s.Lat.PackFace(plusFace, send[1], flg[1])
@@ -268,6 +304,14 @@ func (s *Solver) exchangeAxis(axis int) {
 		s.Lat.UnpackFace(plusFace, m.Data, decodeFlags(m.Aux, rfl[1]))
 	}
 	mpi.WaitAll(reqs...)
+}
+
+// haloName labels a halo-exchange span by decomposed axis.
+func haloName(axis int) string {
+	if axis == 0 {
+		return "halo-x"
+	}
+	return "halo-y"
 }
 
 // cloneMsg copies the pack buffers into a fresh message (the scratch
@@ -345,12 +389,35 @@ func (s *Solver) exchangeAsyncFinish(axis int, recvM, recvP *mpi.Request) {
 }
 
 // Step advances the distributed simulation by one time step.
+//
+// With tracing on, each step records a wall-clock "step" span plus a
+// modelled Sim-clock "step" span: the stepper-reported device time when
+// a stepper exists, the wall duration otherwise, either way inflated by
+// StragglerFactor — that is how an injected straggler (which slows the
+// performance model, not the host) becomes visible to trace.Analyze.
 func (s *Solver) Step() {
+	if s.tr != nil {
+		t0 := s.tr.Now()
+		s.tr.Begin(trace.Wall, trace.TrackStep, "step", t0)
+		// Deferred so a rank aborted mid-step (a peer died, the world
+		// went down) still closes its span during the panic unwind.
+		defer func() {
+			t1 := s.tr.Now()
+			s.tr.End(trace.Wall, trace.TrackStep, t1)
+			dt := t1 - t0 // modelled step time defaults to the wall duration
+			if s.stepper != nil {
+				dt = s.lastSimDt
+			}
+			if s.StragglerFactor > 1 {
+				dt *= s.StragglerFactor
+			}
+			s.tr.Span(trace.Sim, trace.TrackStep, "step", s.simCursor, s.simCursor+dt)
+			s.simCursor += dt
+		}()
+	}
 	if s.stepper != nil {
 		s.stepWithStepper()
-		return
-	}
-	if s.Opts.OnTheFly {
+	} else if s.Opts.OnTheFly {
 		s.stepOnTheFly()
 	} else {
 		s.stepSequential()
@@ -360,7 +427,7 @@ func (s *Solver) Step() {
 // stepWithStepper runs the sequential exchange around a custom kernel
 // driver (the simulated Sunway core group).
 func (s *Solver) stepWithStepper() {
-	s.applyLocalBCs()
+	s.tracedBCs()
 	s.exchangeAxis(0)
 	s.exchangeAxis(1)
 	if s.stepperFresh {
@@ -370,16 +437,40 @@ func (s *Solver) stepWithStepper() {
 		s.stepper.Rebuild()
 		s.stepperFresh = false
 	}
-	s.SimTime += s.stepper.Step()
+	var done func()
+	if s.tr != nil {
+		done = s.tr.Scope(trace.TrackStep, "compute")
+	}
+	dt := s.stepper.Step()
+	if done != nil {
+		done()
+	}
+	s.SimTime += dt
+	s.lastSimDt = dt
+}
+
+// tracedBCs applies the local boundary conditions under a span.
+func (s *Solver) tracedBCs() {
+	if s.tr != nil {
+		defer s.tr.Scope(trace.TrackStep, "bc")()
+	}
+	s.applyLocalBCs()
 }
 
 // stepSequential is the original scheme of Fig. 6(1): halo exchange fully
 // completes, then the whole subdomain is computed.
 func (s *Solver) stepSequential() {
-	s.applyLocalBCs()
+	s.tracedBCs()
 	s.exchangeAxis(0)
 	s.exchangeAxis(1)
+	var done func()
+	if s.tr != nil {
+		done = s.tr.Scope(trace.TrackStep, "compute")
+	}
 	s.Lat.StepFused()
+	if done != nil {
+		done()
+	}
 }
 
 // stepOnTheFly is the overlapped scheme of Fig. 6(2): the inner region
@@ -387,19 +478,36 @@ func (s *Solver) stepSequential() {
 // flight; the boundary strips follow once the halo has arrived. The final
 // state is bit-identical to stepSequential.
 func (s *Solver) stepOnTheFly() {
-	s.applyLocalBCs()
+	s.tracedBCs()
 	l := s.Lat
 	// Start the x exchange.
 	rxm, rxp, _, _ := s.exchangeAsyncStart(0)
 	// Inner region: cells whose 1-neighbourhood stays inside the
 	// interior, i.e. x∈[1,NX-1), y∈[1,NY-1).
 	if l.NX > 2 && l.NY > 2 {
+		var done func()
+		if s.tr != nil {
+			done = s.tr.Scope(trace.TrackStep, "compute-inner")
+		}
 		l.StepRegion(1, l.NX-1, 1, l.NY-1)
+		if done != nil {
+			done()
+		}
 	}
-	// Finish x; then the y exchange can pack its corners.
-	s.exchangeAsyncFinish(0, rxm, rxp)
+	// Finish x; then the y exchange can pack its corners. The span is
+	// closed by defer so an abort inside Wait still nests.
+	func() {
+		if s.tr != nil {
+			defer s.tr.Scope(trace.TrackMPI, "halo-x-wait")()
+		}
+		s.exchangeAsyncFinish(0, rxm, rxp)
+	}()
 	s.exchangeAxis(1)
 	// Boundary strips.
+	var done func()
+	if s.tr != nil {
+		done = s.tr.Scope(trace.TrackStep, "compute-boundary")
+	}
 	if l.NX > 2 && l.NY > 2 {
 		l.StepRegion(0, 1, 0, l.NY)         // west column, full y
 		l.StepRegion(l.NX-1, l.NX, 0, l.NY) // east column, full y
@@ -409,6 +517,9 @@ func (s *Solver) stepOnTheFly() {
 		l.StepRegion(0, l.NX, 0, l.NY)
 	}
 	l.CompleteStep()
+	if done != nil {
+		done()
+	}
 }
 
 // GatherMacro assembles the global macroscopic fields on rank root;
@@ -471,8 +582,13 @@ func Run(opts Options, steps int) (*core.MacroField, error) {
 	if opts.PX == 0 || opts.PY == 0 {
 		opts.PX, opts.PY = mpi.FactorGrid(1, opts.GNX, opts.GNY)
 	}
+	w, err := mpi.NewWorld(opts.PX * opts.PY)
+	if err != nil {
+		return nil, err
+	}
+	w.SetTracer(opts.Trace)
 	var result *core.MacroField
-	err := mpi.Run(opts.PX*opts.PY, func(c *mpi.Comm) error {
+	err = mpi.RunWorld(w, func(c *mpi.Comm) error {
 		s, err := New(c, opts)
 		if err != nil {
 			return err

@@ -23,6 +23,7 @@ import (
 	"sunwaylb/internal/mpi"
 	"sunwaylb/internal/perf"
 	"sunwaylb/internal/swio"
+	"sunwaylb/internal/trace"
 )
 
 // SupervisorOptions configures a supervised distributed run.
@@ -90,11 +91,20 @@ func Supervise(o SupervisorOptions) (*core.MacroField, perf.RecoveryStats, error
 	ranks := opts.PX * opts.PY
 	writeAttempts := 0 // checkpoint writes across all attempts (1-based index for fault plans)
 
+	// ctl is the control-plane timeline: restarts, shrinks and attempt
+	// markers live on the supervisor pseudo-rank, not on any solver rank.
+	ctl := opts.Trace.ForRank(trace.RankSupervisor)
+	if o.Injector != nil {
+		o.Injector.SetTracer(opts.Trace)
+	}
+
 	for attempt := 0; ; attempt++ {
+		ctl.InstantV(trace.Wall, trace.TrackCtl, "attempt", ctl.Now(), float64(attempt))
 		w, err := mpi.NewWorld(ranks)
 		if err != nil {
 			return nil, stats, err
 		}
+		w.SetTracer(opts.Trace)
 		if o.Injector != nil {
 			w.SetFaultHook(o.Injector)
 		}
@@ -122,6 +132,12 @@ func Supervise(o SupervisorOptions) (*core.MacroField, perf.RecoveryStats, error
 			if err != nil {
 				return err
 			}
+			if o.Injector != nil {
+				// Straggler injection only slows the performance model;
+				// the factor inflates the Sim-clock step spans so the
+				// trace analysis sees the slow rank.
+				s.StragglerFactor = o.Injector.StragglerFactor(c.Rank())
+			}
 			for s.Lat.Step() < o.Steps {
 				step := s.Lat.Step()
 				if o.Injector != nil && o.Injector.CrashNow(c.Rank(), step) {
@@ -139,7 +155,17 @@ func Supervise(o SupervisorOptions) (*core.MacroField, perf.RecoveryStats, error
 				if o.CheckpointEvery > 0 && s.Lat.Step()%o.CheckpointEvery == 0 && s.Lat.Step() < o.Steps {
 					// Collective: every rank gathers, root validates and
 					// publishes while the others proceed.
-					g, gerr := s.GatherLattice(0)
+					tr := c.Trace()
+					var g *core.Lattice
+					var gerr error
+					func() {
+						// Deferred close: a collective aborted by a
+						// dead peer must still nest its span.
+						if tr != nil {
+							defer tr.Scope(trace.TrackCkpt, "ckpt-gather")()
+						}
+						g, gerr = s.GatherLattice(0)
+					}()
 					if gerr != nil {
 						return gerr
 					}
@@ -185,8 +211,10 @@ func Supervise(o SupervisorOptions) (*core.MacroField, perf.RecoveryStats, error
 			ranks--
 			opts.PX, opts.PY = mpi.FactorGrid(ranks, opts.GNX, opts.GNY)
 			stats.Shrinks++
+			ctl.InstantV(trace.Wall, trace.TrackCtl, "shrink", ctl.Now(), float64(ranks))
 			logf("supervisor: shrinking recovery onto %d ranks (%d×%d)", ranks, opts.PX, opts.PY)
 		}
+		ctl.InstantV(trace.Wall, trace.TrackCtl, "restart", ctl.Now(), float64(nextResume))
 		logf("supervisor: restart %d/%d after %v; resuming from step %d (lost %d steps)",
 			stats.Restarts, o.MaxRestarts, cause, nextResume, stats.LostSteps)
 		stats.TimeToRecover += time.Since(rollback)
@@ -200,12 +228,16 @@ func Supervise(o SupervisorOptions) (*core.MacroField, perf.RecoveryStats, error
 func superviseCheckpoint(o *SupervisorOptions, c *mpi.Comm, g *core.Lattice,
 	stats *perf.RecoveryStats, writeAttempts *int, lastGood **core.Lattice,
 	logf func(string, ...any)) error {
+	tr := c.Trace()
 	if _, herr := g.CheckHealth(); herr != nil {
 		// Never checkpoint a diverged state — and a diverged state also
 		// means the run itself is unusable: tear down and roll back
 		// (after SDC the replay is clean; genuine instability exhausts
 		// the restart budget instead of writing garbage).
 		stats.CheckpointsRejected++
+		if tr != nil {
+			tr.InstantV(trace.Wall, trace.TrackCkpt, "ckpt-rejected", tr.Now(), float64(g.Step()))
+		}
 		err := fmt.Errorf("psolve: health gate refused checkpoint at step %d: %w", g.Step(), herr)
 		c.Abort(err)
 		return err
@@ -215,7 +247,15 @@ func superviseCheckpoint(o *SupervisorOptions, c *mpi.Comm, g *core.Lattice,
 
 	var restored *core.Lattice
 	if o.CheckpointPath != "" {
-		if err := swio.CheckpointRetry(o.CheckpointPath, g, o.Retry); err != nil {
+		var endWrite func()
+		if tr != nil {
+			endWrite = tr.Scope(trace.TrackCkpt, "ckpt-write")
+		}
+		err := swio.CheckpointRetry(o.CheckpointPath, g, o.Retry)
+		if endWrite != nil {
+			endWrite()
+		}
+		if err != nil {
 			return err
 		}
 		if o.Injector != nil {
@@ -227,25 +267,53 @@ func superviseCheckpoint(o *SupervisorOptions, c *mpi.Comm, g *core.Lattice,
 				logf("supervisor: fault plan corrupted checkpoint write %d", idx)
 			}
 		}
-		var err error
-		if restored, err = swio.Restart(o.CheckpointPath); err != nil {
+		var endVerify func()
+		if tr != nil {
+			endVerify = tr.Scope(trace.TrackCkpt, "ckpt-verify")
+		}
+		restored, err = swio.Restart(o.CheckpointPath)
+		if endVerify != nil {
+			endVerify()
+		}
+		if err != nil {
 			stats.CheckpointsRejected++
+			if tr != nil {
+				tr.InstantV(trace.Wall, trace.TrackCkpt, "ckpt-rejected", tr.Now(), float64(idx))
+			}
 			logf("supervisor: checkpoint %d failed verification (%v); keeping step-%d rollback target",
 				idx, err, lastGoodStep(*lastGood))
 			return nil
 		}
 	} else {
 		var buf bytes.Buffer
-		if err := swio.WriteCheckpoint(&buf, g); err != nil {
+		var endWrite func()
+		if tr != nil {
+			endWrite = tr.Scope(trace.TrackCkpt, "ckpt-write")
+		}
+		err := swio.WriteCheckpoint(&buf, g)
+		if endWrite != nil {
+			endWrite()
+		}
+		if err != nil {
 			return err
 		}
 		data := buf.Bytes()
 		if o.Injector != nil && o.Injector.CorruptCheckpointBytes(data, idx) {
 			logf("supervisor: fault plan corrupted in-memory checkpoint %d", idx)
 		}
-		var err error
-		if restored, err = swio.ReadCheckpoint(bytes.NewReader(data)); err != nil {
+		var endVerify func()
+		if tr != nil {
+			endVerify = tr.Scope(trace.TrackCkpt, "ckpt-verify")
+		}
+		restored, err = swio.ReadCheckpoint(bytes.NewReader(data))
+		if endVerify != nil {
+			endVerify()
+		}
+		if err != nil {
 			stats.CheckpointsRejected++
+			if tr != nil {
+				tr.InstantV(trace.Wall, trace.TrackCkpt, "ckpt-rejected", tr.Now(), float64(idx))
+			}
 			logf("supervisor: checkpoint %d failed verification (%v); keeping step-%d rollback target",
 				idx, err, lastGoodStep(*lastGood))
 			return nil
@@ -253,6 +321,9 @@ func superviseCheckpoint(o *SupervisorOptions, c *mpi.Comm, g *core.Lattice,
 	}
 	*lastGood = restored
 	stats.CheckpointsWritten++
+	if tr != nil {
+		tr.InstantV(trace.Wall, trace.TrackCkpt, "ckpt-accepted", tr.Now(), float64(g.Step()))
+	}
 	return nil
 }
 

@@ -1,0 +1,119 @@
+package psolve
+
+import (
+	"bytes"
+	"testing"
+
+	"sunwaylb/internal/fault"
+	"sunwaylb/internal/trace"
+)
+
+// TestSupervisedRunTraceTimeline is the tracing acceptance scenario: a
+// supervised 2×2 run with an injected crash and an injected straggler
+// must produce a timeline that (a) exports to Chrome JSON and
+// round-trips through ReadChrome+Validate, and (b) analyses to the
+// expected story — per-rank step spans, the crash/rank-death/restart
+// instants, and a straggler flag on the Sim clock for the slowed rank.
+func TestSupervisedRunTraceTimeline(t *testing.T) {
+	const steps = 30
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 2
+	tracer := trace.New(trace.Options{})
+	opts.Trace = tracer
+
+	plan, err := fault.ParsePlan("seed=42;crash@rank=1,step=13;straggle@rank=3,x=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Supervise(SupervisorOptions{
+		Opts:            opts,
+		Steps:           steps,
+		CheckpointEvery: 5,
+		MaxRestarts:     1,
+		Injector:        fault.NewInjector(plan),
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats: %s)", err, stats)
+	}
+	if got == nil {
+		t.Fatal("supervised run returned no field")
+	}
+	if stats.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", stats.Restarts)
+	}
+
+	events := tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+
+	// Export round trip: the file must parse back and validate.
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(back); err != nil {
+		t.Fatalf("exported timeline invalid: %v", err)
+	}
+
+	// Analysis tells the recovery story.
+	rep := trace.Analyze(back)
+	if rep.Steps < steps {
+		t.Fatalf("busiest rank recorded %d steps, want ≥ %d (restart replays)", rep.Steps, steps)
+	}
+	for _, name := range []string{"fault-crash", "rank-dead", "restart", "attempt", "ckpt-accepted"} {
+		if rep.Instants[name] == 0 {
+			t.Errorf("instant %q missing from analysis: %v", name, rep.Instants)
+		}
+	}
+	if rep.FlowsOut == 0 || rep.FlowsIn == 0 {
+		t.Errorf("no message flows recorded: %d/%d", rep.FlowsOut, rep.FlowsIn)
+	}
+
+	// The ×3 straggler must be flagged on the Sim clock (the wall clock
+	// measures real host time, which the model does not slow down).
+	var flagged bool
+	for _, s := range rep.Stragglers {
+		if s.Rank == 3 && s.Clock == trace.Sim {
+			flagged = true
+			if s.Ratio < 1.5 {
+				t.Errorf("straggler ratio = %g, want ≥ 1.5", s.Ratio)
+			}
+		}
+	}
+	if !flagged {
+		t.Errorf("rank 3 (×3 straggler) not flagged: %+v", rep.Stragglers)
+	}
+
+	// Per-rank step spans exist for all four ranks on both clocks.
+	seen := make(map[int]bool)
+	for _, rs := range rep.Ranks {
+		if rs.Clock == trace.Wall && rs.Steps > 0 {
+			seen[rs.Rank] = true
+		}
+	}
+	for rank := 0; rank < 4; rank++ {
+		if !seen[rank] {
+			t.Errorf("rank %d has no wall-clock step spans", rank)
+		}
+	}
+}
+
+// TestRunWithoutTracer pins the disabled path: a nil Trace option must
+// run exactly as before and record nothing.
+func TestRunWithoutTracer(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 2
+	if _, err := Run(opts, 5); err != nil {
+		t.Fatalf("untraced run failed: %v", err)
+	}
+	var tr *trace.Tracer
+	if tr.Enabled() || tr.Events() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"sunwaylb/internal/core"
 	"sunwaylb/internal/sunway"
+	"sunwaylb/internal/trace"
 )
 
 // FlopsPerCell is the floating-point work of one D3Q19 LBGK cell update
@@ -93,6 +94,21 @@ type Engine struct {
 	LastCPETime float64
 	LastMPETime float64
 	LastTime    float64
+
+	// tr records per-step MPE/CPE spans and DMA counters on the rank's
+	// Sim-clock timeline; simCursor is the engine's position on that
+	// clock. Nil tr disables recording at the cost of one branch.
+	tr        *trace.RankTracer
+	simCursor float64
+}
+
+// SetTrace binds the engine to a rank's trace handle (psolve calls it
+// through the traceSetter interface); nil disables recording. The Sim
+// cursor resumes at the rank's watermark so supervised restarts extend
+// the modelled timeline instead of overlapping it.
+func (e *Engine) SetTrace(tr *trace.RankTracer) {
+	e.tr = tr
+	e.simCursor = tr.SimWatermark()
 }
 
 // New builds an engine for the lattice on the given chip. Geometry (wall
@@ -196,6 +212,7 @@ func (e *Engine) Step() float64 {
 		e.LastCPETime = 0
 		e.LastTime = e.LastMPETime
 		l.CompleteStep()
+		e.traceStep()
 		return e.LastTime
 	}
 
@@ -216,7 +233,30 @@ func (e *Engine) Step() float64 {
 	// MPE and CPEs run concurrently; the step ends when both finish.
 	e.LastTime = math.Max(e.LastCPETime, e.LastMPETime)
 	l.CompleteStep()
+	e.traceStep()
 	return e.LastTime
+}
+
+// traceStep records the step's MPE/CPE breakdown on the Sim clock: both
+// engines start together at the cursor (they run concurrently, Fig.
+// 9(2)) on their own tracks, and the cumulative DMA / register-
+// communication traffic is sampled as counters — the paper's
+// data-movement story, per step. Recording happens on the rank
+// goroutine after the CPE join, so each track stays single-writer.
+func (e *Engine) traceStep() {
+	if e.tr == nil {
+		return
+	}
+	t0 := e.simCursor
+	if e.LastMPETime > 0 {
+		e.tr.Span(trace.Sim, trace.TrackMPE, "mpe-kernel", t0, t0+e.LastMPETime)
+	}
+	if e.LastCPETime > 0 {
+		e.tr.Span(trace.Sim, trace.TrackCPE, "cpe-kernel", t0, t0+e.LastCPETime)
+	}
+	e.simCursor = t0 + e.LastTime
+	e.tr.Counter(trace.Sim, trace.TrackDMA, "dma_bytes", e.simCursor, float64(e.CG.Counters.DMABytes))
+	e.tr.Counter(trace.Sim, trace.TrackDMA, "intercpe_bytes", e.simCursor, float64(e.CG.Counters.InterCPEBytes))
 }
 
 // StepCount returns cumulative simulated time on the core group.

@@ -1,0 +1,410 @@
+// Timeline analysis: the aggregated per-rank report of the tentpole —
+// per-phase time shares, a bulk-synchronous critical-path estimate, the
+// load-imbalance ratio, and straggler flags. This is the textual
+// counterpart of the Perfetto view: the numbers a scaling PR quotes and a
+// chaos experiment asserts on.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// StragglerThreshold is the default mean-step-time ratio above which a
+// rank is flagged as a straggler (matching the spirit of
+// internal/network's straggler model, where one slow rank paces the
+// whole bulk-synchronous machine).
+const StragglerThreshold = 1.5
+
+// PhaseShare aggregates span time for one (clock, track, name) phase
+// across all ranks.
+type PhaseShare struct {
+	Clock Clock
+	Track string
+	Name  string
+	// Total is summed span seconds across ranks; Count the span count.
+	Total float64
+	Count int
+	// Share is Total over the summed span time of the phase's clock
+	// domain (phases on one clock add up to 1 modulo nesting).
+	Share float64
+}
+
+// RankStat summarises one rank on one clock domain.
+type RankStat struct {
+	Rank  int
+	Clock Clock
+	// Busy is the summed top-level span time (nested spans count once).
+	Busy float64
+	// Steps and StepTime summarise spans on TrackStep.
+	Steps    int
+	StepTime float64
+	// MeanStep is StepTime/Steps.
+	MeanStep float64
+}
+
+// StragglerFlag marks one rank whose mean step time exceeds the across-
+// rank mean by Ratio (≥ the analysis threshold).
+type StragglerFlag struct {
+	Rank  int
+	Clock Clock
+	// MeanStep is the rank's mean step-span seconds; Ratio its multiple
+	// of the across-rank mean.
+	MeanStep float64
+	Ratio    float64
+}
+
+// Report is the aggregated timeline analysis.
+type Report struct {
+	// Ranks holds per-rank per-clock summaries (supervisor excluded),
+	// sorted by clock then rank.
+	Ranks []RankStat
+	// Phases holds per-phase time shares sorted by descending total.
+	Phases []PhaseShare
+	// Steps is the maximum step-span count observed on any rank.
+	Steps int
+	// CriticalPath estimates the run's lower-bound makespan per clock
+	// domain: the sum over step indices of the slowest rank's step span
+	// (bulk-synchronous steps cannot overlap across ranks).
+	CriticalPath map[Clock]float64
+	// Imbalance is max/mean of per-rank step time per clock domain
+	// (1 = perfectly balanced); 0 when a domain has no step spans.
+	Imbalance map[Clock]float64
+	// Stragglers lists ranks flagged against StragglerThreshold.
+	Stragglers []StragglerFlag
+	// Instants counts point events by name (crashes, drops, restarts…).
+	Instants map[string]int
+	// Flows counts started and terminated cross-rank flows.
+	FlowsOut, FlowsIn int
+	// Counters holds the last sample of each (rank, track, name) counter
+	// summed over ranks — for monotonic counters (bytes), the total.
+	Counters map[string]float64
+}
+
+// Analyze aggregates a timeline (as recorded by a Tracer or re-read by
+// ReadChrome) into a Report. Events on each (rank, clock, track) timeline
+// are sorted by timestamp first, so recording order does not matter.
+func Analyze(events []Event) *Report {
+	r := &Report{
+		CriticalPath: make(map[Clock]float64),
+		Imbalance:    make(map[Clock]float64),
+		Instants:     make(map[string]int),
+		Counters:     make(map[string]float64),
+	}
+
+	type tlKey struct {
+		rank  int
+		clock Clock
+		track string
+	}
+	timelines := make(map[tlKey][]Event)
+	var keys []tlKey
+	for _, e := range events {
+		switch e.Kind {
+		case KindInstant:
+			r.Instants[e.Name]++
+			continue
+		case KindFlowOut:
+			r.FlowsOut++
+			continue
+		case KindFlowIn:
+			r.FlowsIn++
+			continue
+		}
+		k := tlKey{e.Rank, e.Clock, e.Track}
+		if _, seen := timelines[k]; !seen {
+			keys = append(keys, k)
+		}
+		timelines[k] = append(timelines[k], e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.clock != b.clock {
+			return a.clock < b.clock
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		return a.track < b.track
+	})
+
+	type phaseKey struct {
+		clock Clock
+		track string
+		name  string
+	}
+	phases := make(map[phaseKey]*PhaseShare)
+	clockSpanTotal := make(map[Clock]float64)
+	type rcKey struct {
+		rank  int
+		clock Clock
+	}
+	rankStats := make(map[rcKey]*RankStat)
+	// stepDur[clock][rank] = ordered step-span durations.
+	stepDur := make(map[Clock]map[int][]float64)
+	lastCounter := make(map[tlKey]map[string]float64)
+
+	for _, k := range keys {
+		evs := timelines[k]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		type openSpan struct {
+			name string
+			ts   float64
+		}
+		var stack []openSpan
+		for _, e := range evs {
+			switch e.Kind {
+			case KindBegin:
+				stack = append(stack, openSpan{e.Name, e.TS})
+			case KindEnd:
+				if len(stack) == 0 {
+					continue
+				}
+				sp := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				dur := e.TS - sp.ts
+				if dur < 0 {
+					dur = 0
+				}
+				pk := phaseKey{k.clock, k.track, sp.name}
+				ps := phases[pk]
+				if ps == nil {
+					ps = &PhaseShare{Clock: k.clock, Track: k.track, Name: sp.name}
+					phases[pk] = ps
+				}
+				ps.Total += dur
+				ps.Count++
+				clockSpanTotal[k.clock] += dur
+				if len(stack) == 0 && k.rank != RankSupervisor {
+					rk := rcKey{k.rank, k.clock}
+					rs := rankStats[rk]
+					if rs == nil {
+						rs = &RankStat{Rank: k.rank, Clock: k.clock}
+						rankStats[rk] = rs
+					}
+					rs.Busy += dur
+					if k.track == TrackStep {
+						rs.Steps++
+						rs.StepTime += dur
+						if stepDur[k.clock] == nil {
+							stepDur[k.clock] = make(map[int][]float64)
+						}
+						stepDur[k.clock][k.rank] = append(stepDur[k.clock][k.rank], dur)
+					}
+				}
+			case KindCounter:
+				if lastCounter[k] == nil {
+					lastCounter[k] = make(map[string]float64)
+				}
+				lastCounter[k][e.Name] = e.Value
+			}
+		}
+	}
+
+	// Counters: sum each timeline's final sample over ranks.
+	for _, per := range lastCounter {
+		for name, v := range per {
+			r.Counters[name] += v
+		}
+	}
+
+	// Phase shares.
+	for _, ps := range phases {
+		if tot := clockSpanTotal[ps.Clock]; tot > 0 {
+			ps.Share = ps.Total / tot
+		}
+		r.Phases = append(r.Phases, *ps)
+	}
+	sort.Slice(r.Phases, func(i, j int) bool {
+		if r.Phases[i].Total != r.Phases[j].Total {
+			return r.Phases[i].Total > r.Phases[j].Total
+		}
+		a, b := r.Phases[i], r.Phases[j]
+		return a.Track+"/"+a.Name < b.Track+"/"+b.Name
+	})
+
+	// Rank stats.
+	for _, rs := range rankStats {
+		if rs.Steps > 0 {
+			rs.MeanStep = rs.StepTime / float64(rs.Steps)
+		}
+		if rs.Steps > r.Steps {
+			r.Steps = rs.Steps
+		}
+		r.Ranks = append(r.Ranks, *rs)
+	}
+	sort.Slice(r.Ranks, func(i, j int) bool {
+		if r.Ranks[i].Clock != r.Ranks[j].Clock {
+			return r.Ranks[i].Clock < r.Ranks[j].Clock
+		}
+		return r.Ranks[i].Rank < r.Ranks[j].Rank
+	})
+
+	// Critical path, imbalance and stragglers per clock domain.
+	for clock, perRank := range stepDur {
+		// Critical path: Σ_i max_r dur[r][i].
+		maxSteps := 0
+		for _, d := range perRank {
+			if len(d) > maxSteps {
+				maxSteps = len(d)
+			}
+		}
+		cp := 0.0
+		for i := 0; i < maxSteps; i++ {
+			worst := 0.0
+			for _, d := range perRank {
+				if i < len(d) && d[i] > worst {
+					worst = d[i]
+				}
+			}
+			cp += worst
+		}
+		r.CriticalPath[clock] = cp
+
+		// Imbalance: max/mean of per-rank total step time.
+		var maxT, sumT float64
+		n := 0
+		for _, d := range perRank {
+			t := 0.0
+			for _, v := range d {
+				t += v
+			}
+			sumT += t
+			if t > maxT {
+				maxT = t
+			}
+			n++
+		}
+		if n > 0 && sumT > 0 {
+			r.Imbalance[clock] = maxT / (sumT / float64(n))
+		}
+
+		// Stragglers: mean step time vs across-rank mean.
+		var meanSum float64
+		means := make(map[int]float64, len(perRank))
+		for rank, d := range perRank {
+			t := 0.0
+			for _, v := range d {
+				t += v
+			}
+			m := t / float64(len(d))
+			means[rank] = m
+			meanSum += m
+		}
+		if len(means) > 1 {
+			grand := meanSum / float64(len(means))
+			if grand > 0 {
+				for rank, m := range means {
+					if ratio := m / grand; ratio >= StragglerThreshold {
+						r.Stragglers = append(r.Stragglers, StragglerFlag{
+							Rank: rank, Clock: clock, MeanStep: m, Ratio: ratio})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(r.Stragglers, func(i, j int) bool {
+		if r.Stragglers[i].Clock != r.Stragglers[j].Clock {
+			return r.Stragglers[i].Clock < r.Stragglers[j].Clock
+		}
+		return r.Stragglers[i].Rank < r.Stragglers[j].Rank
+	})
+	return r
+}
+
+// String renders the report as the summary table the CLI prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace analysis: %d step(s) on the busiest rank\n", r.Steps)
+
+	if len(r.Ranks) > 0 {
+		fmt.Fprintf(&b, "%-6s %-5s %10s %7s %12s %12s\n",
+			"rank", "clock", "busy", "steps", "step total", "mean step")
+		for _, rs := range r.Ranks {
+			fmt.Fprintf(&b, "%-6d %-5s %9.4gs %7d %11.4gs %11.4gs\n",
+				rs.Rank, rs.Clock, rs.Busy, rs.Steps, rs.StepTime, rs.MeanStep)
+		}
+	}
+	for _, clock := range []Clock{Wall, Sim} {
+		cp, imb := r.CriticalPath[clock], r.Imbalance[clock]
+		if cp == 0 && imb == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s clock: critical path %.4gs, load imbalance %.2f×\n", clock, cp, imb)
+	}
+
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "phase shares (top %d):\n", minInt(8, len(r.Phases)))
+		fmt.Fprintf(&b, "  %-5s %-24s %10s %8s %7s\n", "clock", "track/phase", "total", "count", "share")
+		for i, p := range r.Phases {
+			if i >= 8 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-5s %-24s %9.4gs %8d %6.1f%%\n",
+				p.Clock, p.Track+"/"+p.Name, p.Total, p.Count, p.Share*100)
+		}
+	}
+
+	if len(r.Stragglers) > 0 {
+		for _, s := range r.Stragglers {
+			fmt.Fprintf(&b, "STRAGGLER rank %d (%s clock): mean step %.4gs = %.2f× the fleet mean\n",
+				s.Rank, s.Clock, s.MeanStep, s.Ratio)
+		}
+	} else if len(r.Ranks) > 0 {
+		fmt.Fprintf(&b, "no stragglers flagged (threshold %.2f×)\n", StragglerThreshold)
+	}
+
+	if len(r.Instants) > 0 {
+		names := make([]string, 0, len(r.Instants))
+		for n := range r.Instants {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "events:")
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, r.Instants[n])
+		}
+		fmt.Fprintln(&b)
+	}
+	if r.FlowsOut > 0 || r.FlowsIn > 0 {
+		fmt.Fprintf(&b, "message flows: %d sent, %d received\n", r.FlowsOut, r.FlowsIn)
+	}
+	if len(r.Counters) > 0 {
+		names := make([]string, 0, len(r.Counters))
+		for n := range r.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "counters (final, summed over ranks):")
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%.4g", n, r.Counters[n])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// HasStraggler reports whether any rank was flagged (math.IsNaN-safe
+// convenience for tests and the CLI).
+func (r *Report) HasStraggler() bool { return len(r.Stragglers) > 0 }
+
+// StepImbalance returns the worst imbalance ratio across clock domains
+// (1 when balanced, 0 when no step spans were recorded).
+func (r *Report) StepImbalance() float64 {
+	worst := 0.0
+	for _, v := range r.Imbalance {
+		if !math.IsNaN(v) && v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// stepTimeline records n uniform steps of the given duration on a rank.
+func stepTimeline(tr *Tracer, rank, n int, dur float64) {
+	r := tr.ForRank(rank)
+	ts := 0.0
+	for s := 0; s < n; s++ {
+		r.Span(Wall, TrackStep, "step", ts, ts+dur)
+		ts += dur
+	}
+}
+
+// TestAnalyzeBalanced checks the no-straggler baseline: equal ranks give
+// imbalance ≈ 1, critical path = steps × dur, and no flags.
+func TestAnalyzeBalanced(t *testing.T) {
+	tr := New(Options{})
+	for rank := 0; rank < 4; rank++ {
+		stepTimeline(tr, rank, 10, 0.01)
+	}
+	r := Analyze(tr.Events())
+	if r.Steps != 10 {
+		t.Fatalf("Steps = %d, want 10", r.Steps)
+	}
+	if got := r.Imbalance[Wall]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Imbalance = %g, want 1", got)
+	}
+	if got := r.CriticalPath[Wall]; math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("CriticalPath = %g, want 0.1", got)
+	}
+	if r.HasStraggler() {
+		t.Fatalf("balanced run flagged stragglers: %+v", r.Stragglers)
+	}
+	if len(r.Ranks) != 4 || math.Abs(r.Ranks[0].MeanStep-0.01) > 1e-9 {
+		t.Fatalf("rank stats wrong: %+v", r.Ranks)
+	}
+}
+
+// TestAnalyzeFlagsStraggler is the acceptance property: one rank 3×
+// slower than its three peers must be flagged with the right ratio
+// (3 / mean(1,1,1,3)·… = 2.0 with four ranks).
+func TestAnalyzeFlagsStraggler(t *testing.T) {
+	tr := New(Options{})
+	for rank := 0; rank < 3; rank++ {
+		stepTimeline(tr, rank, 10, 0.01)
+	}
+	stepTimeline(tr, 3, 10, 0.03) // injected straggler
+	r := Analyze(tr.Events())
+	if !r.HasStraggler() {
+		t.Fatal("3× straggler not flagged")
+	}
+	if len(r.Stragglers) != 1 {
+		t.Fatalf("flagged %d stragglers, want 1: %+v", len(r.Stragglers), r.Stragglers)
+	}
+	s := r.Stragglers[0]
+	if s.Rank != 3 || s.Clock != Wall {
+		t.Fatalf("flag = %+v, want rank 3 wall", s)
+	}
+	// mean step of the fleet = (0.01·3 + 0.03)/4 = 0.015 → ratio 2.0.
+	if math.Abs(s.Ratio-2.0) > 1e-9 {
+		t.Fatalf("Ratio = %g, want 2.0", s.Ratio)
+	}
+	if math.Abs(r.StepImbalance()-2.0) > 1e-9 {
+		t.Fatalf("StepImbalance = %g, want 2.0", r.StepImbalance())
+	}
+	if !strings.Contains(r.String(), "STRAGGLER rank 3") {
+		t.Fatalf("report text misses the flag:\n%s", r.String())
+	}
+}
+
+// TestAnalyzeBelowThresholdNotFlagged pins the threshold semantics: a
+// rank just under StragglerThreshold× the fleet mean stays unflagged.
+func TestAnalyzeBelowThresholdNotFlagged(t *testing.T) {
+	tr := New(Options{})
+	// ratios: slow rank mean 0.013, fleet mean (3·0.01+0.013)/4=0.01075
+	// → 1.21×, well under 1.5.
+	for rank := 0; rank < 3; rank++ {
+		stepTimeline(tr, rank, 10, 0.01)
+	}
+	stepTimeline(tr, 3, 10, 0.013)
+	if r := Analyze(tr.Events()); r.HasStraggler() {
+		t.Fatalf("mild skew flagged as straggler: %+v", r.Stragglers)
+	}
+}
+
+// TestAnalyzePhasesNestedOnce checks phase accounting: nested spans are
+// charged to their own phase, but rank Busy counts top-level time once.
+func TestAnalyzePhasesNestedOnce(t *testing.T) {
+	tr := New(Options{})
+	r := tr.ForRank(0)
+	r.Begin(Wall, TrackStep, "step", 0)
+	r.Span(Wall, TrackStep, "compute", 0.001, 0.009)
+	r.End(Wall, TrackStep, 0.01)
+	rep := Analyze(tr.Events())
+	var stepTotal, computeTotal float64
+	for _, p := range rep.Phases {
+		switch p.Name {
+		case "step":
+			stepTotal = p.Total
+		case "compute":
+			computeTotal = p.Total
+		}
+	}
+	if math.Abs(stepTotal-0.01) > 1e-9 || math.Abs(computeTotal-0.008) > 1e-9 {
+		t.Fatalf("phase totals step=%g compute=%g", stepTotal, computeTotal)
+	}
+	if len(rep.Ranks) != 1 || math.Abs(rep.Ranks[0].Busy-0.01) > 1e-9 {
+		t.Fatalf("Busy double-counted nested span: %+v", rep.Ranks)
+	}
+}
+
+// TestAnalyzeInstantsFlowsCounters checks the non-span aggregations.
+func TestAnalyzeInstantsFlowsCounters(t *testing.T) {
+	tr := New(Options{})
+	r0, r1 := tr.ForRank(0), tr.ForRank(1)
+	r0.Instant(Wall, TrackFault, "fault-crash", 0.1)
+	r0.Instant(Wall, TrackFault, "fault-crash", 0.2)
+	tr.ForRank(RankSupervisor).InstantV(Wall, TrackCtl, "restart", 0.3, 1)
+	id := tr.NextFlow()
+	r0.FlowOut(Wall, TrackMPI, "send", 0.1, id, 1)
+	r1.FlowIn(Wall, TrackMPI, "recv", 0.2, id, 0)
+	// Monotonic counter: the last sample per rank is summed over ranks.
+	r0.Counter(Sim, TrackDMA, "dma_bytes", 1, 100)
+	r0.Counter(Sim, TrackDMA, "dma_bytes", 2, 300)
+	r1.Counter(Sim, TrackDMA, "dma_bytes", 2, 50)
+
+	rep := Analyze(tr.Events())
+	if rep.Instants["fault-crash"] != 2 || rep.Instants["restart"] != 1 {
+		t.Fatalf("instants = %v", rep.Instants)
+	}
+	if rep.FlowsOut != 1 || rep.FlowsIn != 1 {
+		t.Fatalf("flows = %d/%d", rep.FlowsOut, rep.FlowsIn)
+	}
+	if got := rep.Counters["dma_bytes"]; got != 350 {
+		t.Fatalf("dma_bytes = %g, want 350 (last per rank, summed)", got)
+	}
+}
+
+// TestAnalyzeClockDomainsSeparate checks wall and sim step spans yield
+// independent critical paths and imbalance figures.
+func TestAnalyzeClockDomainsSeparate(t *testing.T) {
+	tr := New(Options{})
+	for rank := 0; rank < 2; rank++ {
+		r := tr.ForRank(rank)
+		r.Span(Wall, TrackStep, "step", 0, 0.01)
+		r.Span(Sim, TrackStep, "step", 0, float64(1+rank)) // sim skewed
+	}
+	rep := Analyze(tr.Events())
+	if math.Abs(rep.Imbalance[Wall]-1) > 1e-9 {
+		t.Fatalf("wall imbalance = %g, want 1", rep.Imbalance[Wall])
+	}
+	if math.Abs(rep.Imbalance[Sim]-2.0/1.5) > 1e-9 {
+		t.Fatalf("sim imbalance = %g, want %g", rep.Imbalance[Sim], 2.0/1.5)
+	}
+	if math.Abs(rep.CriticalPath[Sim]-2) > 1e-9 {
+		t.Fatalf("sim critical path = %g, want 2", rep.CriticalPath[Sim])
+	}
+}
+
+// TestAnalyzeEmpty checks the zero-input path.
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.Steps != 0 || rep.HasStraggler() || rep.StepImbalance() != 0 {
+		t.Fatalf("empty analysis not zero: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report renders nothing")
+	}
+}

@@ -1,0 +1,325 @@
+// Chrome trace-event JSON export and import. The emitted file loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing: each
+// (rank, clock) pair becomes one process row, each track one named
+// thread, spans become B/E duration events, instants i, counters C and
+// cross-rank messages s/f flow arrows. ReadChrome inverts the mapping so
+// a written trace round-trips through Analyze — which is what the CI
+// smoke tier checks.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`  // instant scope
+	BP   string         `json:"bp,omitempty"` // flow bind point
+	ID   string         `json:"id,omitempty"` // flow id
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format ({"traceEvents": [...]}),
+// the variant Perfetto and chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// processID maps a (rank, clock) pair to a stable Chrome pid. Ranks are
+// ≥ RankSupervisor (-1), so the mapping is collision-free and keeps
+// processes sorted by rank, wall before sim.
+func processID(rank int, clock Clock) int {
+	return (rank+2)*2 + int(clock)
+}
+
+// processName renders the (rank, clock) display name; parseProcessName
+// inverts it.
+func processName(rank int, clock Clock) string {
+	if rank == RankSupervisor {
+		return fmt.Sprintf("supervisor (%s clock)", clock)
+	}
+	return fmt.Sprintf("rank %d (%s clock)", rank, clock)
+}
+
+func parseProcessName(s string) (rank int, clock Clock, ok bool) {
+	var cs string
+	if _, err := fmt.Sscanf(s, "rank %d (%s clock)", &rank, &cs); err != nil {
+		if _, err := fmt.Sscanf(s, "supervisor (%s clock)", &cs); err != nil {
+			return 0, Wall, false
+		}
+		rank = RankSupervisor
+	}
+	switch cs {
+	case "wall":
+		return rank, Wall, true
+	case "sim":
+		return rank, Sim, true
+	}
+	return 0, Wall, false
+}
+
+const secToMicros = 1e6
+
+// WriteChrome serialises events as Chrome trace-event JSON. Events are
+// grouped into per-(rank, clock) processes and per-track threads, sorted
+// by timestamp within each track (stable, so same-timestamp events keep
+// recording order and span nesting survives). End events with no open
+// span on their track — possible after a ring buffer overwrote the
+// matching Begin — are dropped so the output always nests.
+func WriteChrome(w io.Writer, events []Event) error {
+	type tlKey struct {
+		rank  int
+		clock Clock
+		track string
+	}
+	// Partition into timelines, preserving per-rank recording order.
+	timelines := make(map[tlKey][]Event)
+	var keys []tlKey
+	for _, e := range events {
+		k := tlKey{e.Rank, e.Clock, e.Track}
+		if _, seen := timelines[k]; !seen {
+			keys = append(keys, k)
+		}
+		timelines[k] = append(timelines[k], e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.clock != b.clock {
+			return a.clock < b.clock
+		}
+		return a.track < b.track
+	})
+
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"generator": "sunwaylb internal/trace"},
+	}
+	// Metadata: name processes and threads, order processes by rank.
+	seenPID := make(map[int]bool)
+	tids := make(map[tlKey]int)
+	nextTID := make(map[int]int)
+	for _, k := range keys {
+		pid := processID(k.rank, k.clock)
+		if !seenPID[pid] {
+			seenPID[pid] = true
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+					Args: map[string]any{"name": processName(k.rank, k.clock)}},
+				chromeEvent{Name: "process_sort_index", Ph: "M", PID: pid,
+					Args: map[string]any{"sort_index": pid}},
+			)
+		}
+		tid := nextTID[pid]
+		nextTID[pid] = tid + 1
+		tids[k] = tid
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": k.track}})
+	}
+
+	for _, k := range keys {
+		evs := timelines[k]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		pid, tid := processID(k.rank, k.clock), tids[k]
+		depth := 0
+		var open []string // names of open spans, for orphan-End recovery
+		for _, e := range evs {
+			ce := chromeEvent{TS: e.TS * secToMicros, PID: pid, TID: tid}
+			switch e.Kind {
+			case KindBegin:
+				ce.Ph, ce.Name = "B", e.Name
+				depth++
+				open = append(open, e.Name)
+			case KindEnd:
+				if depth == 0 {
+					continue // orphaned by a ring overwrite
+				}
+				depth--
+				ce.Ph, ce.Name = "E", open[len(open)-1]
+				open = open[:len(open)-1]
+			case KindInstant:
+				ce.Ph, ce.Name, ce.S = "i", e.Name, "t"
+				if e.Value != 0 {
+					ce.Args = map[string]any{"value": e.Value}
+				}
+			case KindCounter:
+				ce.Ph, ce.Name = "C", e.Name
+				ce.Args = map[string]any{"value": e.Value}
+			case KindFlowOut:
+				ce.Ph, ce.Name, ce.Cat = "s", e.Name, "flow"
+				ce.ID = strconv.FormatUint(e.Flow, 10)
+				if e.Value != 0 {
+					ce.Args = map[string]any{"peer": e.Value}
+				}
+			case KindFlowIn:
+				ce.Ph, ce.Name, ce.Cat, ce.BP = "f", e.Name, "flow", "e"
+				ce.ID = strconv.FormatUint(e.Flow, 10)
+				if e.Value != 0 {
+					ce.Args = map[string]any{"peer": e.Value}
+				}
+			default:
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+		// Close any spans left open (e.g. a crash mid-step) at their
+		// track's last timestamp so the file always validates.
+		if depth > 0 && len(evs) > 0 {
+			last := evs[len(evs)-1].TS * secToMicros
+			for ; depth > 0; depth-- {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: open[depth-1], Ph: "E", TS: last, PID: pid, TID: tid})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadChrome parses a Chrome trace-event JSON file written by WriteChrome
+// back into events (per-timeline, timestamp-ordered). Unknown phases and
+// processes without a parseable name are skipped, so hand-edited files
+// degrade gracefully.
+func ReadChrome(r io.Reader) ([]Event, error) {
+	var ct chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ct); err != nil {
+		return nil, fmt.Errorf("trace: parsing chrome trace: %w", err)
+	}
+	type pidInfo struct {
+		rank  int
+		clock Clock
+		ok    bool
+	}
+	pids := make(map[int]pidInfo)
+	tracks := make(map[[2]int]string)
+	for _, ce := range ct.TraceEvents {
+		if ce.Ph != "M" {
+			continue
+		}
+		switch ce.Name {
+		case "process_name":
+			if name, ok := ce.Args["name"].(string); ok {
+				rank, clock, ok := parseProcessName(name)
+				pids[ce.PID] = pidInfo{rank, clock, ok}
+			}
+		case "thread_name":
+			if name, ok := ce.Args["name"].(string); ok {
+				tracks[[2]int{ce.PID, ce.TID}] = name
+			}
+		}
+	}
+	var events []Event
+	for _, ce := range ct.TraceEvents {
+		pi, known := pids[ce.PID]
+		if ce.Ph == "M" || !known || !pi.ok {
+			continue
+		}
+		track, ok := tracks[[2]int{ce.PID, ce.TID}]
+		if !ok {
+			track = fmt.Sprintf("tid%d", ce.TID)
+		}
+		e := Event{Rank: pi.rank, Clock: pi.clock, Track: track,
+			Name: ce.Name, TS: ce.TS / secToMicros}
+		switch ce.Ph {
+		case "B":
+			e.Kind = KindBegin
+		case "E":
+			e.Kind = KindEnd
+		case "i", "I":
+			e.Kind = KindInstant
+			if v, ok := ce.Args["value"].(float64); ok {
+				e.Value = v
+			}
+		case "C":
+			e.Kind = KindCounter
+			if v, ok := ce.Args["value"].(float64); ok {
+				e.Value = v
+			}
+		case "s", "f":
+			if ce.Ph == "s" {
+				e.Kind = KindFlowOut
+			} else {
+				e.Kind = KindFlowIn
+			}
+			if id, err := strconv.ParseUint(ce.ID, 10, 64); err == nil {
+				e.Flow = id
+			}
+			if v, ok := ce.Args["peer"].(float64); ok {
+				e.Value = v
+			}
+		default:
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// Validate checks the invariants the exporter guarantees: on every
+// (rank, clock, track) timeline, in slice order, timestamps are
+// monotonically non-decreasing, Begin/End pairs are strictly well nested
+// (never an End without an open Begin, never a span left open), and every
+// flow id seen on a FlowIn was started by a FlowOut.
+func Validate(events []Event) error {
+	type tlKey struct {
+		rank  int
+		clock Clock
+		track string
+	}
+	depth := make(map[tlKey]int)
+	lastTS := make(map[tlKey]float64)
+	seenTL := make(map[tlKey]bool)
+	flows := make(map[uint64]bool)
+	var flowIns []Event
+	for i, e := range events {
+		k := tlKey{e.Rank, e.Clock, e.Track}
+		if seenTL[k] && e.TS < lastTS[k] {
+			return fmt.Errorf("trace: event %d (%s on rank %d %s/%s): timestamp %g before %g",
+				i, e.Name, e.Rank, e.Clock, e.Track, e.TS, lastTS[k])
+		}
+		seenTL[k], lastTS[k] = true, e.TS
+		switch e.Kind {
+		case KindBegin:
+			depth[k]++
+		case KindEnd:
+			depth[k]--
+			if depth[k] < 0 {
+				return fmt.Errorf("trace: event %d: End without Begin on rank %d %s/%s",
+					i, e.Rank, e.Clock, e.Track)
+			}
+		case KindFlowOut:
+			flows[e.Flow] = true
+		case KindFlowIn:
+			flowIns = append(flowIns, e)
+		}
+	}
+	for k, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("trace: %d span(s) left open on rank %d %s/%s",
+				d, k.rank, k.clock, k.track)
+		}
+	}
+	for _, e := range flowIns {
+		if !flows[e.Flow] {
+			return fmt.Errorf("trace: flow %d terminates on rank %d without a start", e.Flow, e.Rank)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildSampleTracer records a small but representative timeline: two
+// ranks with nested wall spans, sim-clock kernel spans, counters, fault
+// instants and one cross-rank flow, plus a supervisor control event.
+func buildSampleTracer() *Tracer {
+	tr := New(Options{})
+	for rank := 0; rank < 2; rank++ {
+		r := tr.ForRank(rank)
+		base := float64(rank) * 0.001
+		for s := 0; s < 3; s++ {
+			t0 := base + float64(s)*0.01
+			r.Begin(Wall, TrackStep, "step", t0)
+			r.Begin(Wall, TrackStep, "compute", t0+0.001)
+			r.End(Wall, TrackStep, t0+0.008)
+			r.End(Wall, TrackStep, t0+0.009)
+			r.Span(Sim, TrackCPE, "cpe-kernel", float64(s)*0.5, float64(s)*0.5+0.4)
+			r.Counter(Sim, TrackDMA, "dma_bytes", float64(s)*0.5+0.4, float64((s+1)*380))
+		}
+	}
+	id := tr.NextFlow()
+	tr.ForRank(0).FlowOut(Wall, TrackMPI, "send", 0.002, id, 1)
+	tr.ForRank(1).FlowIn(Wall, TrackMPI, "recv", 0.003, id, 0)
+	tr.ForRank(1).Instant(Wall, TrackFault, "fault-crash", 0.02)
+	sup := tr.ForRank(RankSupervisor)
+	sup.InstantV(Wall, TrackCtl, "restart", 0.025, 2)
+	return tr
+}
+
+// TestWriteChromeParses checks the export is a syntactically valid
+// Chrome trace-event JSON object with the expected envelope and
+// per-process/thread metadata.
+func TestWriteChromeParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, buildSampleTracer().Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayUnit)
+	}
+	var meta, begins, ends, instants, counters, flowS, flowF int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "i":
+			instants++
+			if e["s"] != "t" {
+				t.Fatalf("instant without thread scope: %v", e)
+			}
+		case "C":
+			counters++
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+			if e["bp"] != "e" {
+				t.Fatalf("flow-in without bp=e bind point: %v", e)
+			}
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("spans unbalanced in export: %d B vs %d E", begins, ends)
+	}
+	if instants != 2 || counters != 6 || flowS != 1 || flowF != 1 {
+		t.Fatalf("event mix wrong: i=%d C=%d s=%d f=%d", instants, counters, flowS, flowF)
+	}
+	if meta == 0 {
+		t.Fatal("no process/thread metadata emitted")
+	}
+	if !strings.Contains(buf.String(), `"supervisor (wall clock)"`) {
+		t.Fatal("supervisor pseudo-rank missing from process names")
+	}
+}
+
+// TestChromeRoundTrip checks WriteChrome→ReadChrome preserves the
+// timeline (kinds, names, ranks, clocks, timestamps within µs rounding)
+// and that the re-read stream passes Validate — the same round trip the
+// CI trace tier and postproc -tracestat perform.
+func TestChromeRoundTrip(t *testing.T) {
+	events := buildSampleTracer().Events()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(back); err != nil {
+		t.Fatalf("round-tripped trace fails validation: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip changed event count: %d → %d", len(events), len(back))
+	}
+	// Aggregate comparison (order differs: export sorts per timeline).
+	count := func(evs []Event) map[string]int {
+		m := make(map[string]int)
+		for _, e := range evs {
+			m[e.Clock.String()+"/"+e.Track]++
+		}
+		return m
+	}
+	want, got := count(events), count(back)
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("timeline %s: %d events became %d", k, n, got[k])
+		}
+	}
+	// Analysis must agree on the headline numbers after the round trip.
+	a, b := Analyze(events), Analyze(back)
+	if a.Steps != b.Steps || a.FlowsOut != b.FlowsOut || a.FlowsIn != b.FlowsIn {
+		t.Fatalf("analysis diverged: %d/%d/%d vs %d/%d/%d",
+			a.Steps, a.FlowsOut, a.FlowsIn, b.Steps, b.FlowsOut, b.FlowsIn)
+	}
+	if a.Instants["fault-crash"] != 1 || b.Instants["fault-crash"] != 1 {
+		t.Fatal("fault instant lost in round trip")
+	}
+}
+
+// TestWriteChromeClosesOpenSpans checks a span left open by a mid-step
+// crash is auto-closed so the file still validates.
+func TestWriteChromeClosesOpenSpans(t *testing.T) {
+	tr := New(Options{})
+	r := tr.ForRank(0)
+	r.Begin(Wall, TrackStep, "step", 0)
+	r.Begin(Wall, TrackStep, "compute", 0.001) // crash here: neither closed
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(back); err != nil {
+		t.Fatalf("auto-closed export fails validation: %v", err)
+	}
+	var ends int
+	for _, e := range back {
+		if e.Kind == KindEnd {
+			ends++
+		}
+	}
+	if ends != 2 {
+		t.Fatalf("got %d auto-closing Ends, want 2", ends)
+	}
+}
+
+// TestWriteChromeDropsOrphanEnds checks an End whose Begin was lost to a
+// ring overwrite is dropped rather than corrupting nesting.
+func TestWriteChromeDropsOrphanEnds(t *testing.T) {
+	events := []Event{
+		{Rank: 0, Track: TrackStep, Clock: Wall, Kind: KindEnd, TS: 0.5},
+		{Rank: 0, Track: TrackStep, Clock: Wall, Kind: KindBegin, Name: "step", TS: 1},
+		{Rank: 0, Track: TrackStep, Clock: Wall, Kind: KindEnd, TS: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(back); err != nil {
+		t.Fatalf("orphan End leaked into export: %v", err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d events, want 2 (orphan End dropped)", len(back))
+	}
+}
+
+// TestChromeRoundTripProperty is the property test: random well-nested
+// multi-rank timelines always export to a file that re-reads and
+// validates, for any mix of spans, instants, counters and flows.
+func TestChromeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tracks := []string{TrackStep, TrackMPI, TrackCkpt}
+	for trial := 0; trial < 50; trial++ {
+		tr := New(Options{})
+		nextFlow := func() uint64 { return tr.NextFlow() }
+		for rank := 0; rank < 1+rng.Intn(4); rank++ {
+			r := tr.ForRank(rank)
+			for _, track := range tracks {
+				ts := rng.Float64() * 0.01
+				depth := 0
+				for op := 0; op < 5+rng.Intn(20); op++ {
+					ts += rng.Float64() * 0.01
+					switch rng.Intn(5) {
+					case 0:
+						r.Begin(Wall, track, "phase", ts)
+						depth++
+					case 1:
+						if depth > 0 {
+							r.End(Wall, track, ts)
+							depth--
+						}
+					case 2:
+						r.Instant(Wall, track, "mark", ts)
+					case 3:
+						r.Counter(Wall, track, "gauge", ts, rng.Float64())
+					case 4:
+						id := nextFlow()
+						r.FlowOut(Wall, track, "send", ts, id, 0)
+						tr.ForRank(rank+1).FlowIn(Wall, track, "recv", ts+0.001, id, float64(rank))
+					}
+				}
+				for ; depth > 0; depth-- { // leave some trials unbalanced
+					if rng.Intn(2) == 0 {
+						ts += rng.Float64() * 0.01
+						r.End(Wall, track, ts)
+					}
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, tr.Events()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back, err := ReadChrome(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Validate(back); err != nil {
+			t.Fatalf("trial %d: round-tripped trace invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package trace is the rank-level tracing and telemetry subsystem: a
+// low-overhead, concurrency-safe event recorder in the spirit of the PERF
+// performance monitor the paper uses on Sunway TaihuLight (§V), extended
+// from scalar aggregates to full timelines. Where internal/perf answers
+// "how fast was the run", trace answers "where did the time go, per rank,
+// per phase" — the question behind every figure of the paper's
+// data-movement story (DMA vs register communication vs MPI halo time,
+// MPE/CPE overlap, communication/computation overlap; §IV-C/D, Figs. 8–10).
+//
+// The model is the Chrome trace-event model specialised to a
+// bulk-synchronous solver:
+//
+//   - A Tracer owns one append/ring buffer per rank. Each rank goroutine
+//     writes only to its own buffer under a per-rank mutex, so recording
+//     never contends across ranks ("lock-free-ish": the lock is
+//     uncontended in the common case and protects only a slice append).
+//   - Spans (Begin/End) mark phases: step, halo exchange, collectives,
+//     checkpoint write/verify, CPE/MPE kernels, DMA, GPU copies.
+//   - Instants mark point events: injected crashes, dropped messages,
+//     dead ranks, restarts, rollbacks, shrinks.
+//   - Counters sample monotonic or gauge values: DMA bytes, register
+//     communication bytes, step rates.
+//   - Flows connect a send on one rank to the matching receive on
+//     another — the cross-rank arrows in the timeline view.
+//
+// Every event carries a clock domain: Wall for host-measured phases and
+// Sim for modelled phases (the simulated Sunway core-group clock, the GPU
+// data-path model, straggler-inflated step times). The two domains are
+// never mixed on one timeline; exporters keep them on separate tracks.
+//
+// A nil *Tracer (and the nil *RankTracer it hands out) is fully inert:
+// every method is a nil-checked no-op, so instrumented hot paths pay one
+// predictable branch when tracing is disabled.
+//
+// Exporters live in chrome.go (Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing) and analysis in analyze.go (per-phase time
+// shares, critical-path estimate, load-imbalance ratio, straggler flags).
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock identifies the time domain of an event.
+type Clock uint8
+
+const (
+	// Wall timestamps are host wall-clock seconds since the tracer
+	// started.
+	Wall Clock = iota
+	// Sim timestamps are simulated seconds on a modelled device clock
+	// (Sunway core group, GPU data path, straggler model).
+	Sim
+)
+
+// String implements fmt.Stringer.
+func (c Clock) String() string {
+	if c == Sim {
+		return "sim"
+	}
+	return "wall"
+}
+
+// Kind discriminates event records.
+type Kind uint8
+
+const (
+	// KindBegin opens a span on a (rank, clock, track) timeline.
+	KindBegin Kind = iota
+	// KindEnd closes the innermost open span on the timeline.
+	KindEnd
+	// KindInstant is a zero-duration point event.
+	KindInstant
+	// KindCounter samples a named value.
+	KindCounter
+	// KindFlowOut starts a cross-rank flow (e.g. a message send).
+	KindFlowOut
+	// KindFlowIn terminates a cross-rank flow (e.g. the matching receive).
+	KindFlowIn
+)
+
+// Standard track names. Instrumented packages agree on these so exports
+// and analysis group phases consistently; any other string is a valid
+// track too.
+const (
+	TrackStep  = "step"       // whole-step spans (the BSP superstep)
+	TrackMPI   = "mpi"        // halo exchange, collectives, p2p
+	TrackMPE   = "mpe"        // management-core compute (mixed columns)
+	TrackCPE   = "cpe"        // CPE-cluster kernel time
+	TrackDMA   = "dma"        // DMA / register-communication counters
+	TrackGPU   = "gpu-kernel" // GPU device kernel
+	TrackGPUIO = "gpu-comm"   // H2D/D2H copies, NCCL/p2p, host MPI
+	TrackCkpt  = "checkpoint" // gather, write, verify phases
+	TrackFault = "fault"      // injected faults (instants)
+	TrackCtl   = "control"    // supervisor restarts, rollbacks, shrinks
+)
+
+// RankSupervisor is the pseudo-rank used for events that belong to the
+// run's control plane rather than any solver rank.
+const RankSupervisor = -1
+
+// Event is one trace record. TS is seconds in the event's clock domain.
+type Event struct {
+	Rank  int
+	Track string
+	Clock Clock
+	Kind  Kind
+	Name  string
+	TS    float64
+	// Value carries the sample of a KindCounter event and is free
+	// auxiliary data (e.g. the peer rank of a send) otherwise.
+	Value float64
+	// Flow links a KindFlowOut to its KindFlowIn.
+	Flow uint64
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// MaxEventsPerRank bounds each rank's buffer; once full, the oldest
+	// events are overwritten ring-style (and counted as dropped).
+	// 0 means unbounded append.
+	MaxEventsPerRank int
+}
+
+// Tracer records events for any number of ranks. All methods are safe for
+// concurrent use; all methods on a nil Tracer are no-ops.
+type Tracer struct {
+	opt   Options
+	start time.Time
+	flow  atomic.Uint64
+
+	mu    sync.RWMutex
+	ranks map[int]*RankTracer
+}
+
+// New creates an enabled tracer. The wall clock starts now.
+func New(opt Options) *Tracer {
+	return &Tracer{opt: opt, start: time.Now(), ranks: make(map[int]*RankTracer)}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns wall-clock seconds since the tracer started (0 when nil).
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Seconds()
+}
+
+// NextFlow allocates a fresh flow id (0 when nil; valid ids start at 1).
+func (t *Tracer) NextFlow() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.flow.Add(1)
+}
+
+// ForRank returns the rank-bound recording handle, creating it on first
+// use. ForRank on a nil tracer returns a nil handle, whose methods are
+// all no-ops, so call sites never need a nil check of their own.
+func (t *Tracer) ForRank(rank int) *RankTracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	r := t.ranks[rank]
+	t.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r = t.ranks[rank]; r == nil {
+		r = &RankTracer{t: t, rank: rank}
+		t.ranks[rank] = r
+	}
+	return r
+}
+
+// Events returns a snapshot of all recorded events in per-rank
+// chronological recording order, ranks ascending. Ring-overwritten
+// buffers are unrolled so the snapshot is oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	ranks := make([]*RankTracer, 0, len(t.ranks))
+	for _, r := range t.ranks {
+		ranks = append(ranks, r)
+	}
+	t.mu.RUnlock()
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].rank < ranks[j].rank })
+	var out []Event
+	for _, r := range ranks {
+		out = append(out, r.snapshot()...)
+	}
+	return out
+}
+
+// Dropped returns the number of events lost to ring overwrites.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, r := range t.ranks {
+		r.mu.Lock()
+		n += r.dropped
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// RankTracer is one rank's recording handle. It is safe for concurrent
+// use (a rank's helper goroutines — async receives, the CPE pool — may
+// record alongside the rank goroutine), but spans on one (clock, track)
+// timeline must be emitted from a single goroutine so they nest; helpers
+// should stick to instants, counters and flows.
+type RankTracer struct {
+	t    *Tracer
+	rank int
+
+	mu      sync.Mutex
+	buf     []Event
+	next    int // ring cursor once len(buf) == cap
+	wrapped bool
+	dropped int64
+	simMax  float64 // highest Sim timestamp recorded on this rank
+}
+
+// SimWatermark returns the highest Sim-clock timestamp recorded on this
+// rank so far (0 when nil or nothing recorded). Restarted solvers seed
+// their Sim cursor from it, so a supervised run's attempts lay out
+// consecutively on the modelled timeline instead of overlapping.
+func (r *RankTracer) SimWatermark() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simMax
+}
+
+// Rank returns the rank this handle records for (0 when nil).
+func (r *RankTracer) Rank() int {
+	if r == nil {
+		return 0
+	}
+	return r.rank
+}
+
+// Now returns wall-clock seconds since the tracer started (0 when nil).
+func (r *RankTracer) Now() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.t.Now()
+}
+
+// NextFlow allocates a fresh flow id (0 when nil).
+func (r *RankTracer) NextFlow() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.t.NextFlow()
+}
+
+func (r *RankTracer) record(e Event) {
+	if r == nil {
+		return
+	}
+	e.Rank = r.rank
+	r.mu.Lock()
+	if e.Clock == Sim && e.TS > r.simMax {
+		r.simMax = e.TS
+	}
+	if max := r.t.opt.MaxEventsPerRank; max > 0 && len(r.buf) >= max {
+		r.buf[r.next] = e
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+		r.wrapped = true
+		r.dropped++
+	} else {
+		r.buf = append(r.buf, e)
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the buffered events oldest-first.
+func (r *RankTracer) snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Begin opens a span at ts on the (clock, track) timeline.
+func (r *RankTracer) Begin(clock Clock, track, name string, ts float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindBegin, Name: name, TS: ts})
+}
+
+// End closes the innermost open span on the (clock, track) timeline.
+func (r *RankTracer) End(clock Clock, track string, ts float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindEnd, TS: ts})
+}
+
+// Span records a complete [begin, end] span in one call.
+func (r *RankTracer) Span(clock Clock, track, name string, begin, end float64) {
+	if r == nil {
+		return
+	}
+	r.Begin(clock, track, name, begin)
+	r.End(clock, track, end)
+}
+
+// Scope opens a wall-clock span now and returns the closure that ends it;
+// idiomatic as `defer tr.Scope(track, name)()`. On a nil handle both the
+// call and the returned closure are no-ops.
+func (r *RankTracer) Scope(track, name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	r.Begin(Wall, track, name, r.Now())
+	return func() { r.End(Wall, track, r.Now()) }
+}
+
+// Instant records a point event.
+func (r *RankTracer) Instant(clock Clock, track, name string, ts float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindInstant, Name: name, TS: ts})
+}
+
+// InstantV records a point event with an auxiliary value.
+func (r *RankTracer) InstantV(clock Clock, track, name string, ts, v float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindInstant, Name: name, TS: ts, Value: v})
+}
+
+// Counter samples a named value.
+func (r *RankTracer) Counter(clock Clock, track, name string, ts, value float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindCounter, Name: name, TS: ts, Value: value})
+}
+
+// FlowOut starts cross-rank flow id at ts (e.g. on message send). The
+// auxiliary value conventionally holds the peer rank.
+func (r *RankTracer) FlowOut(clock Clock, track, name string, ts float64, id uint64, v float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindFlowOut, Name: name, TS: ts, Flow: id, Value: v})
+}
+
+// FlowIn terminates cross-rank flow id at ts (e.g. on message receipt).
+func (r *RankTracer) FlowIn(clock Clock, track, name string, ts float64, id uint64, v float64) {
+	r.record(Event{Track: track, Clock: clock, Kind: KindFlowIn, Name: name, TS: ts, Flow: id, Value: v})
+}

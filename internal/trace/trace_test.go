@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerIsInert exercises every method on nil handles: none may
+// panic, allocate state or return garbage — disabled tracing is free.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Now() != 0 || tr.NextFlow() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer returned non-zero values")
+	}
+	if ev := tr.Events(); ev != nil {
+		t.Fatalf("nil tracer returned events: %v", ev)
+	}
+	r := tr.ForRank(3)
+	if r != nil {
+		t.Fatal("ForRank on nil tracer must return nil handle")
+	}
+	// All RankTracer methods must be nil-safe no-ops.
+	if r.Rank() != 0 || r.Now() != 0 || r.NextFlow() != 0 || r.SimWatermark() != 0 {
+		t.Fatal("nil rank tracer returned non-zero values")
+	}
+	r.Begin(Wall, TrackStep, "step", 0)
+	r.End(Wall, TrackStep, 1)
+	r.Span(Sim, TrackCPE, "kernel", 0, 1)
+	r.Instant(Wall, TrackFault, "crash", 0)
+	r.InstantV(Wall, TrackCtl, "restart", 0, 1)
+	r.Counter(Sim, TrackDMA, "bytes", 0, 42)
+	r.FlowOut(Wall, TrackMPI, "send", 0, 1, 2)
+	r.FlowIn(Wall, TrackMPI, "recv", 1, 1, 0)
+	end := r.Scope(TrackStep, "step")
+	end() // must be a no-op closure, not nil
+}
+
+// TestEventsOrderAndContent checks the snapshot is per-rank recording
+// order with ranks ascending, and events carry what was recorded.
+func TestEventsOrderAndContent(t *testing.T) {
+	tr := New(Options{})
+	r1 := tr.ForRank(1)
+	r0 := tr.ForRank(0)
+	r1.Span(Wall, TrackStep, "step", 0.0, 1.0)
+	r0.Instant(Wall, TrackFault, "crash", 0.5)
+	r0.Counter(Sim, TrackDMA, "dma_bytes", 1.0, 380)
+
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	// Rank 0 first (ranks ascending), then rank 1.
+	if ev[0].Rank != 0 || ev[0].Kind != KindInstant || ev[0].Name != "crash" {
+		t.Fatalf("ev[0] = %+v", ev[0])
+	}
+	if ev[1].Rank != 0 || ev[1].Kind != KindCounter || ev[1].Value != 380 {
+		t.Fatalf("ev[1] = %+v", ev[1])
+	}
+	if ev[2].Rank != 1 || ev[2].Kind != KindBegin || ev[2].Name != "step" {
+		t.Fatalf("ev[2] = %+v", ev[2])
+	}
+	if ev[3].Rank != 1 || ev[3].Kind != KindEnd || ev[3].TS != 1.0 {
+		t.Fatalf("ev[3] = %+v", ev[3])
+	}
+}
+
+// TestForRankIdempotent checks the per-rank handle is a singleton.
+func TestForRankIdempotent(t *testing.T) {
+	tr := New(Options{})
+	if tr.ForRank(7) != tr.ForRank(7) {
+		t.Fatal("ForRank returned two different handles for one rank")
+	}
+	if tr.ForRank(RankSupervisor).Rank() != RankSupervisor {
+		t.Fatal("supervisor pseudo-rank not preserved")
+	}
+}
+
+// TestRingOverflow checks the bounded buffer overwrites oldest-first,
+// counts drops, and unrolls the ring so snapshots stay chronological.
+func TestRingOverflow(t *testing.T) {
+	tr := New(Options{MaxEventsPerRank: 4})
+	r := tr.ForRank(0)
+	for i := 0; i < 10; i++ {
+		r.Instant(Wall, TrackStep, fmt.Sprintf("i%d", i), float64(i))
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		want := fmt.Sprintf("i%d", 6+i) // oldest surviving is i6
+		if e.Name != want {
+			t.Fatalf("ev[%d].Name = %s, want %s", i, e.Name, want)
+		}
+		if i > 0 && e.TS < ev[i-1].TS {
+			t.Fatalf("ring snapshot not chronological: %v", ev)
+		}
+	}
+}
+
+// TestSimWatermark checks restarts can resume the Sim cursor: the
+// watermark tracks the highest Sim timestamp and ignores Wall events.
+func TestSimWatermark(t *testing.T) {
+	tr := New(Options{})
+	r := tr.ForRank(2)
+	if r.SimWatermark() != 0 {
+		t.Fatal("fresh watermark not 0")
+	}
+	r.Span(Sim, TrackStep, "step", 0, 2.5)
+	r.Span(Wall, TrackStep, "step", 0, 99) // wall must not move it
+	if got := r.SimWatermark(); got != 2.5 {
+		t.Fatalf("SimWatermark = %g, want 2.5", got)
+	}
+	r.Counter(Sim, TrackDMA, "bytes", 3.25, 1)
+	if got := r.SimWatermark(); got != 3.25 {
+		t.Fatalf("SimWatermark = %g, want 3.25", got)
+	}
+}
+
+// TestConcurrentRanks hammers one tracer from many rank goroutines (plus
+// a helper goroutine per rank, as async receives do) while a reader takes
+// snapshots — run under -race this is the data-race proof for the
+// per-rank buffer design.
+func TestConcurrentRanks(t *testing.T) {
+	tr := New(Options{})
+	const ranks, steps = 8, 200
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(2)
+		go func(rank int) {
+			defer wg.Done()
+			r := tr.ForRank(rank)
+			for s := 0; s < steps; s++ {
+				end := r.Scope(TrackStep, "step")
+				r.Counter(Wall, TrackDMA, "bytes", r.Now(), float64(s))
+				end()
+			}
+		}(rank)
+		go func(rank int) { // helper goroutine: flows only
+			defer wg.Done()
+			r := tr.ForRank(rank)
+			for s := 0; s < steps; s++ {
+				r.FlowIn(Wall, TrackMPI, "recv", r.Now(), uint64(rank*steps+s+1), 0)
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tr.Events()
+				tr.Dropped()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	ev := tr.Events()
+	want := ranks * steps * 4 // begin+end+counter+flowin per step
+	if len(ev) != want {
+		t.Fatalf("got %d events, want %d", len(ev), want)
+	}
+}
+
+// TestSnapshotIsCopy checks Events returns an independent copy.
+func TestSnapshotIsCopy(t *testing.T) {
+	tr := New(Options{})
+	tr.ForRank(0).Instant(Wall, TrackStep, "a", 1)
+	ev := tr.Events()
+	ev[0].Name = "mutated"
+	if tr.Events()[0].Name != "a" {
+		t.Fatal("Events snapshot aliases the internal buffer")
+	}
+}

@@ -2,11 +2,14 @@
 # CI tiers for SunwayLB-Go.
 #
 #   tier 1  — build + full test suite (the repo's acceptance gate)
-#   tier 2  — vet + race detector on every package
+#   tier 2  — gofmt cleanliness + vet + race detector on every package
 #   chaos   — race-checked chaos smoke: the supervisor must survive a
 #             deterministic rank kill + checkpoint corruption
+#   trace   — observability smoke: a traced distributed chaos run must
+#             export a Chrome trace that round-trips through
+#             postproc -tracestat (ReadChrome + Validate + Analyze)
 #
-# Usage: scripts/ci.sh [tier1|tier2|chaos|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|tier2|chaos|trace|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +20,13 @@ tier1() {
 }
 
 tier2() {
-    echo "== tier 2: vet + race =="
+    echo "== tier 2: gofmt + vet + race =="
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt: files need formatting:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
     go vet ./...
     go test -race ./...
 }
@@ -28,11 +37,31 @@ chaos() {
     go test -race -run 'TestRecvFromExitedRank|TestAbortUnblocksEveryone' -timeout 120s ./internal/mpi
 }
 
+trace() {
+    echo "== trace smoke: traced chaos run + analysis round trip =="
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' RETURN
+    go run ./cmd/sunwaylb -preset cavity -nx 24 -ny 24 -nz 24 -steps 60 \
+        -decomp 2x2 -sunway \
+        -checkpoint-every 20 -checkpoint "$out/state.cpk" -max-restarts 1 \
+        -fault-plan 'seed=42;crash@rank=1,step=35;straggle@rank=3,x=3' \
+        -trace "$out/run.trace.json"
+    test -s "$out/run.trace.json"
+    stat=$(go run ./cmd/postproc -tracestat "$out/run.trace.json")
+    echo "$stat"
+    echo "$stat" | grep -q "valid"
+    echo "$stat" | grep -q "STRAGGLER rank 3"
+    echo "$stat" | grep -q "fault-crash=1"
+    # The supervised-trace integration test covers the same path under -race.
+    go test -race -run TestSupervisedRunTraceTimeline -timeout 120s ./internal/psolve
+}
+
 case "${1:-all}" in
     tier1) tier1 ;;
     tier2) tier2 ;;
     chaos) chaos ;;
-    all)   tier1; tier2; chaos ;;
-    *) echo "usage: $0 [tier1|tier2|chaos|all]" >&2; exit 2 ;;
+    trace) trace ;;
+    all)   tier1; tier2; chaos; trace ;;
+    *) echo "usage: $0 [tier1|tier2|chaos|trace|all]" >&2; exit 2 ;;
 esac
 echo "ok"
