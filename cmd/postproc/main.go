@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,8 +39,17 @@ func main() {
 	)
 	flag.Parse()
 	if *traceStat != "" {
-		if err := runTraceStat(*traceStat); err != nil {
-			log.Fatalf("postproc: %v", err)
+		// Exit status contract (relied on by scripts/ci.sh trace): 0 for a
+		// valid trace, 1 when Validate rejects it, 2 when the file cannot
+		// be read or parsed at all.
+		switch err := runTraceStat(*traceStat); {
+		case err == nil:
+		case errors.As(err, new(invalidTraceError)):
+			log.Printf("postproc: %v", err)
+			os.Exit(1)
+		default:
+			log.Printf("postproc: %v", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -141,9 +151,17 @@ func main() {
 	}
 }
 
+// invalidTraceError marks a trace that loaded fine but failed Validate,
+// so main can map it to a distinct exit status.
+type invalidTraceError struct{ err error }
+
+func (e invalidTraceError) Error() string { return e.err.Error() }
+func (e invalidTraceError) Unwrap() error { return e.err }
+
 // runTraceStat loads a Chrome trace-event JSON file, checks the
 // exporter's invariants (well-nested spans, monotonic timestamps,
-// terminated flows) and prints the aggregate timeline analysis.
+// terminated flows) and prints the aggregate timeline analysis. A trace
+// that fails Validate returns an invalidTraceError.
 func runTraceStat(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -155,7 +173,8 @@ func runTraceStat(path string) error {
 		return err
 	}
 	if err := trace.Validate(events); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		fmt.Printf("trace %s: %d events, INVALID\n", path, len(events))
+		return invalidTraceError{fmt.Errorf("%s: %w", path, err)}
 	}
 	fmt.Printf("trace %s: %d events, valid\n", path, len(events))
 	fmt.Print(trace.Analyze(events).String())

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A minimal Chrome trace with an End event that has no matching Begin:
+// ReadChrome parses it, Validate must reject it.
+const invalidTrace = `{"traceEvents":[
+ {"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"rank 0 (wall clock)"}},
+ {"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"step"}},
+ {"ph":"E","name":"collide","pid":1,"tid":0,"ts":5}
+]}`
+
+const validTrace = `{"traceEvents":[
+ {"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"rank 0 (wall clock)"}},
+ {"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"step"}},
+ {"ph":"B","name":"collide","pid":1,"tid":0,"ts":1},
+ {"ph":"E","name":"collide","pid":1,"tid":0,"ts":5}
+]}`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceStatInvalid pins the exit-status contract scripts/ci.sh relies
+// on: a trace failing Validate yields an invalidTraceError (mapped to
+// exit 1 by main), distinct from plain read errors (exit 2).
+func TestTraceStatInvalid(t *testing.T) {
+	err := runTraceStat(writeTemp(t, invalidTrace))
+	if err == nil {
+		t.Fatal("runTraceStat accepted a trace with an unmatched End")
+	}
+	if !errors.As(err, new(invalidTraceError)) {
+		t.Fatalf("want invalidTraceError, got %T: %v", err, err)
+	}
+}
+
+func TestTraceStatValid(t *testing.T) {
+	if err := runTraceStat(writeTemp(t, validTrace)); err != nil {
+		t.Fatalf("runTraceStat rejected a valid trace: %v", err)
+	}
+}
+
+func TestTraceStatUnreadable(t *testing.T) {
+	err := runTraceStat(filepath.Join(t.TempDir(), "missing.json"))
+	if err == nil {
+		t.Fatal("runTraceStat accepted a missing file")
+	}
+	if errors.As(err, new(invalidTraceError)) {
+		t.Fatal("read failure must not be classified as an invalid trace")
+	}
+}

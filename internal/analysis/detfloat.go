@@ -1,0 +1,151 @@
+package analysis
+
+// detfloat enforces bit-determinism in the physics and checkpoint paths.
+// The whole recovery architecture rests on it: the supervisor replays
+// steps from a checkpoint and expects bit-identical states (DESIGN.md
+// §7), the swlb engine is validated cell-for-cell against core.StepFused,
+// and cross-backend comparisons assume one canonical summation order.
+// Two classes of nondeterminism are caught statically:
+//
+//	detfloat/maporder — accumulating a float across `for range m` over a
+//	    map: Go randomises map iteration order, and float addition does
+//	    not commute in rounding, so the same state can sum to different
+//	    bits on different runs. Collect keys and sort, or index
+//	    deterministically.
+//	detfloat/rand — calls through math/rand's package-level functions
+//	    (auto-seeded since Go 1.20, nondeterministic across runs).
+//	    Deterministic code must use rand.New(rand.NewSource(seed)).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerDetFloat is the detfloat rule.
+var AnalyzerDetFloat = &Analyzer{
+	Name: "detfloat",
+	Doc:  "physics/checkpoint paths must stay bit-deterministic",
+	Run:  runDetFloat,
+}
+
+func runDetFloat(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				checkMapOrderAccum(pass, v)
+			case *ast.CallExpr:
+				checkGlobalRand(pass, v)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapOrderAccum flags float accumulation into variables declared
+// outside a range-over-map loop.
+func checkMapOrderAccum(pass *Pass, rng *ast.RangeStmt) {
+	t, ok := pass.Info().Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(st.Lhs) == 1 && isOuterFloat(pass, st.Lhs[0], rng) {
+				pass.Reportf(st.Pos(),
+					"float accumulation across map iteration is order-dependent (map order is randomised); sort the keys first")
+			}
+		case token.ASSIGN:
+			// x = x + v (or x - v, …) spelled out.
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			be, ok := st.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			if sameObject(pass, st.Lhs[0], be.X) && isOuterFloat(pass, st.Lhs[0], rng) {
+				pass.Reportf(st.Pos(),
+					"float accumulation across map iteration is order-dependent (map order is randomised); sort the keys first")
+			}
+		}
+		return true
+	})
+}
+
+// isOuterFloat reports whether e is a float32/float64 variable declared
+// outside the range statement.
+func isOuterFloat(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	t, ok := pass.Info().Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	b, ok := t.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		// Selector or index expression: the container necessarily
+		// outlives the loop body → order-dependent.
+		return true
+	}
+	obj := pass.Info().Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Declared inside the loop body → reset every iteration → safe.
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func sameObject(pass *Pass, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if aok && bok {
+		ao := pass.Info().Uses[ai]
+		return ao != nil && ao == pass.Info().Uses[bi]
+	}
+	return exprString(a) == exprString(b)
+}
+
+// checkGlobalRand flags package-level math/rand calls (global, auto-
+// seeded source); constructing an explicit seeded source is allowed.
+func checkGlobalRand(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Info().Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods on an explicit *rand.Rand are fine
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s uses the auto-seeded global source and is nondeterministic across runs; use rand.New(rand.NewSource(seed))",
+		fn.Pkg().Name(), fn.Name())
+}

@@ -1,0 +1,144 @@
+package analysis
+
+// //lbm: directive parsing. The annotation grammar (documented in
+// DESIGN.md "Static-analysis contracts"):
+//
+//	//lbm:hot
+//	    Marks a function as steady-state hot-path code: hotalloc forbids
+//	    allocations, fmt/log calls and interface boxing inside it.
+//
+//	//lbm:ldm assume <name>=<int>... [budget=<bytes|NKiB>]
+//	    Attached to the declaration enclosing a CPE kernel: pins the
+//	    named size variables to their contract-maximum values so
+//	    ldmbudget can bound the kernel's LDM working set, and optionally
+//	    overrides the default 64 KiB budget (256KiB for SW26010-Pro-only
+//	    kernels).
+//
+//	//lbm:nilsafe
+//	    Attached to a type declaration: every pointer-receiver method of
+//	    the type must nil-guard the receiver before touching its fields
+//	    (spanpair enforces the zero-cost-off tracer contract).
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// directive is one parsed //lbm: comment.
+type directive struct {
+	// Kind is "hot", "ldm", "nilsafe", ...
+	Kind string
+	// Args holds the key=value pairs (and bare words map to "true").
+	Args map[string]string
+	// Raw is the full comment text after //lbm:.
+	Raw string
+}
+
+// parseDirectives extracts //lbm: directives from a doc comment group.
+func parseDirectives(doc *ast.CommentGroup) []directive {
+	if doc == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//lbm:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		d := directive{Kind: fields[0], Args: make(map[string]string), Raw: rest}
+		for _, f := range fields[1:] {
+			if k, v, found := strings.Cut(f, "="); found {
+				d.Args[k] = v
+			} else {
+				d.Args[f] = "true"
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// funcDirective returns the first directive of the given kind on the
+// function's doc comment, or nil.
+func funcDirective(fn *ast.FuncDecl, kind string) *directive {
+	for _, d := range parseDirectives(fn.Doc) {
+		if d.Kind == kind {
+			return &d
+		}
+	}
+	return nil
+}
+
+// parseByteSize parses "65536", "64KiB", "64KB" or "64K" into bytes.
+func parseByteSize(s string) (int64, bool) {
+	mult := int64(1)
+	ls := strings.ToLower(s)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{{"kib", 1024}, {"kb", 1024}, {"k", 1024}, {"mib", 1024 * 1024}, {"mb", 1024 * 1024}} {
+		if strings.HasSuffix(ls, suf.text) {
+			ls = strings.TrimSuffix(ls, suf.text)
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(ls, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n * mult, true
+}
+
+// hotFuncs returns the //lbm:hot-annotated function declarations of a
+// package.
+func hotFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && funcDirective(fn, "hot") != nil {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// nilsafeTypes returns the names of types annotated //lbm:nilsafe in the
+// package (the directive may sit on the GenDecl or the TypeSpec doc).
+func nilsafeTypes(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declHas := hasDirective(gd.Doc, "nilsafe")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declHas || hasDirective(ts.Doc, "nilsafe") || hasDirective(ts.Comment, "nilsafe") {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasDirective(doc *ast.CommentGroup, kind string) bool {
+	for _, d := range parseDirectives(doc) {
+		if d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package analysis
+
+// A small symbolic integer evaluator used by ldmbudget to bound LDM
+// allocation sizes. It folds:
+//
+//   - typed and untyped integer constants (via the type-checker),
+//   - identifiers pinned by //lbm:ldm assume name=value,
+//   - identifiers with a single statically evaluable assignment in the
+//     enclosing function,
+//   - parenthesised and binary arithmetic over the above.
+//
+// Anything else is "unknown", which ldmbudget turns into a finding: a
+// kernel whose working set cannot be bounded is as much a contract
+// violation as one that overflows.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// evalEnv is the evaluation context for one kernel.
+type evalEnv struct {
+	info *types.Info
+	// assume pins variable names to contract values ( //lbm:ldm assume ).
+	assume map[string]int64
+	// single maps objects to their unique assignment RHS; objects
+	// assigned more than once map to nil (unknown).
+	single map[types.Object]ast.Expr
+	// visiting guards against self-referential assignment chains.
+	visiting map[types.Object]bool
+}
+
+// newEvalEnv builds the environment for a kernel: scan holds the widest
+// syntax tree whose assignments should be visible (the enclosing function
+// declaration, so values captured by kernel closures resolve too).
+func newEvalEnv(info *types.Info, scan ast.Node, assume map[string]int64) *evalEnv {
+	env := &evalEnv{
+		info:     info,
+		assume:   assume,
+		single:   make(map[types.Object]ast.Expr),
+		visiting: make(map[types.Object]bool),
+	}
+	if scan == nil {
+		return env
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, seen := env.single[obj]; seen {
+			env.single[obj] = nil // reassigned → unknown
+			return
+		}
+		env.single[obj] = rhs
+	}
+	ast.Inspect(scan, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						record(id, st.Rhs[i])
+					}
+				}
+			} else {
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						record(id, nil)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := st.X.(*ast.Ident); ok {
+				record(id, nil)
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i < len(st.Values) {
+					record(name, st.Values[i])
+				} else {
+					record(name, nil)
+				}
+			}
+		}
+		return true
+	})
+	return env
+}
+
+// eval attempts to fold e to an int64.
+func (env *evalEnv) eval(e ast.Expr) (int64, bool) {
+	// The type-checker already folded constants (including named consts).
+	if tv, ok := env.info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v, true
+		}
+	}
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return env.eval(v.X)
+	case *ast.Ident:
+		if val, ok := env.assume[v.Name]; ok {
+			return val, true
+		}
+		obj := env.info.Uses[v]
+		if obj == nil {
+			obj = env.info.Defs[v]
+		}
+		if obj == nil || env.visiting[obj] {
+			return 0, false
+		}
+		rhs, ok := env.single[obj]
+		if !ok || rhs == nil {
+			return 0, false
+		}
+		env.visiting[obj] = true
+		val, ok := env.eval(rhs)
+		delete(env.visiting, obj)
+		return val, ok
+	case *ast.BinaryExpr:
+		a, okA := env.eval(v.X)
+		b, okB := env.eval(v.Y)
+		if !okA || !okB {
+			return 0, false
+		}
+		switch v.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.SHL:
+			return a << uint(b), true
+		case token.SHR:
+			return a >> uint(b), true
+		}
+		return 0, false
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB {
+			if a, ok := env.eval(v.X); ok {
+				return -a, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}

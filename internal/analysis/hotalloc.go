@@ -1,0 +1,160 @@
+package analysis
+
+// hotalloc enforces the steady-state contract on functions annotated
+// //lbm:hot (the collide/stream/halo/bounce-back inner loops): no heap
+// allocation, no fmt/log formatting, no interface boxing. These are the
+// host-side analogues of the paper's §IV-C-4 kernel discipline — a hot
+// loop that allocates per step turns a memory-bandwidth-bound kernel into
+// a GC benchmark, and an interface conversion hides an allocation plus a
+// dynamic dispatch inside an innocent-looking call.
+//
+// Flagged inside hot functions (nested closures included):
+//
+//   - make / new / append calls
+//   - slice, map and &composite literals (value struct literals are
+//     allowed: they can live in registers or on the stack)
+//   - string concatenation
+//   - any call into fmt or log
+//   - passing a concrete value where an interface parameter is declared
+//     (implicit boxing), and conversions to interface types
+//
+// The analyzer is intra-procedural: callees are not inspected, so keep
+// hot functions leaf-like (which the kernel structure already does).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerHotAlloc is the hotalloc rule.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//lbm:hot functions must not allocate, box interfaces, or call fmt",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, fn := range hotFuncs(pass.Pkg) {
+		if fn.Body == nil {
+			continue
+		}
+		name := fn.Name.Name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				checkHotCall(pass, v, name)
+			case *ast.CompositeLit:
+				checkHotComposite(pass, v, name)
+			case *ast.BinaryExpr:
+				if v.Op == token.ADD && isStringExpr(pass, v.X) {
+					pass.Reportf(v.Pos(), "string concatenation allocates in hot function %s", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	t, ok := pass.Info().Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	b, ok := t.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkHotComposite(pass *Pass, lit *ast.CompositeLit, name string) {
+	t, ok := pass.Info().Types[lit]
+	if !ok {
+		return
+	}
+	switch t.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates in hot function %s", name)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates in hot function %s", name)
+	}
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, name string) {
+	info := pass.Info()
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "%s allocates in hot function %s; hoist the buffer out of the hot path",
+					obj.Name(), name)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt", "log":
+				pass.Reportf(call.Pos(), "%s.%s call in hot function %s; formatting allocates and boxes every argument",
+					obj.Pkg().Name(), obj.Name(), name)
+				return
+			}
+		}
+	}
+	// Interface boxing at call boundaries: a concrete argument passed in
+	// an interface-typed parameter slot.
+	sig := callSignature(info, call)
+	if sig == nil {
+		// Conversions: T(x) where T is an interface type.
+		if len(call.Args) == 1 {
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && types.IsInterface(tv.Type) {
+				if argBoxes(info, call.Args[0]) {
+					pass.Reportf(call.Pos(), "conversion to interface boxes its operand in hot function %s", name)
+				}
+			}
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && argBoxes(info, arg) {
+			pass.Reportf(arg.Pos(),
+				"argument boxes a concrete value into an interface parameter in hot function %s", name)
+		}
+	}
+}
+
+// callSignature resolves the signature of an ordinary (non-conversion,
+// non-builtin) call.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// argBoxes reports whether passing arg into an interface slot allocates:
+// true for concrete (non-interface) typed values other than untyped nil.
+func argBoxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}

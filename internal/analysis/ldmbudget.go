@@ -1,0 +1,302 @@
+package analysis
+
+// ldmbudget enforces the paper's §III-B hardware contract: a CPE kernel's
+// LDM working set must fit the chip's scratchpad (64 KiB on SW26010,
+// 256 KiB on SW26010-Pro). It finds every function whose parameter is a
+// *sunway.CPE — the kernel entry-point shape of the Athread model — and
+// constant-propagates the sizes of all AllocFloat64/MustAllocFloat64
+// calls reachable in its body, multiplying allocations inside counted
+// loops by their trip counts and taking the max over if/switch branches.
+//
+// Sizes that depend on runtime values must be pinned to their
+// contract-maximum via the //lbm:ldm directive on the enclosing
+// declaration, e.g.:
+//
+//	//lbm:ldm assume nq=19 bz=70
+//
+// An unpinned, unboundable allocation is itself a finding: if the
+// analyzer cannot bound the working set, neither can a reviewer.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const sunwayPkgPath = "sunwaylb/internal/sunway"
+
+// defaultLDMBudget is the SW26010 LDM capacity — the smallest chip the
+// kernels must fit (SW26010-Pro-only kernels may raise it via
+// //lbm:ldm budget=256KiB).
+const defaultLDMBudget = 64 * 1024
+
+// AnalyzerLDMBudget is the ldmbudget rule.
+var AnalyzerLDMBudget = &Analyzer{
+	Name: "ldmbudget",
+	Doc:  "CPE kernel LDM working sets must fit the chip's 64 KiB scratchpad",
+	Run:  runLDMBudget,
+}
+
+func runLDMBudget(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			dir := funcDirective(fn, "ldm")
+			assume, budget := parseLDMDirective(pass, dir)
+			// The declaration itself may be a kernel...
+			if isCPEKernelFunc(pass, fn.Type) {
+				checkKernel(pass, fn.Type, fn.Body, fn, assume, budget)
+			}
+			// ...and kernels are routinely built as closures returned
+			// from an engine method (swlb's cpeKernel pattern).
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok || !isCPEKernelFunc(pass, lit.Type) {
+					return true
+				}
+				checkKernel(pass, lit.Type, lit.Body, fn, assume, budget)
+				return false // nested kernels are counted by their own check
+			})
+		}
+	}
+}
+
+// parseLDMDirective extracts the assume map and budget from //lbm:ldm.
+func parseLDMDirective(pass *Pass, dir *directive) (map[string]int64, int64) {
+	assume := make(map[string]int64)
+	budget := int64(defaultLDMBudget)
+	if dir == nil {
+		return assume, budget
+	}
+	for k, v := range dir.Args {
+		if k == "assume" {
+			continue // marker word, values follow as k=v pairs
+		}
+		n, ok := parseByteSize(v)
+		if !ok {
+			continue
+		}
+		if k == "budget" {
+			budget = n
+		} else {
+			assume[k] = n
+		}
+	}
+	return assume, budget
+}
+
+// isCPEKernelFunc reports whether the function type has a *sunway.CPE
+// parameter (the kernel entry-point shape).
+func isCPEKernelFunc(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t, ok := pass.Info().Types[field.Type]; ok && isNamed(t.Type, sunwayPkgPath, "CPE") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkKernel bounds one kernel body and reports violations.
+func checkKernel(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt, enclosing *ast.FuncDecl,
+	assume map[string]int64, budget int64) {
+	env := newEvalEnv(pass.Info(), enclosing, assume)
+	c := &ldmChecker{pass: pass, env: env}
+	total, bounded := c.blockCost(body.List)
+	if !bounded {
+		return // the unboundable sites were already reported
+	}
+	if total > budget {
+		name := "CPE kernel"
+		if enclosing != nil {
+			name = enclosing.Name.Name
+		}
+		pass.Reportf(ft.Pos(),
+			"%s: LDM working set %d B exceeds the %d B budget (reduce block size or raise //lbm:ldm budget=)",
+			name, total, budget)
+	}
+	// Independently: heap slices of float64 inside a kernel bypass the
+	// LDM accounting entirely.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 2 {
+			if t, ok := pass.Info().Types[call.Args[0]]; ok {
+				if sl, ok := t.Type.Underlying().(*types.Slice); ok {
+					if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Float64 {
+						pass.Reportf(call.Pos(),
+							"CPE kernel allocates a []float64 from the Go heap, bypassing LDM accounting; use p.AllocFloat64")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ldmChecker folds a kernel body into a byte bound.
+type ldmChecker struct {
+	pass *Pass
+	env  *evalEnv
+}
+
+// blockCost returns the LDM bytes allocated by the statements, and
+// whether the bound is sound (false after reporting an unboundable site).
+func (c *ldmChecker) blockCost(stmts []ast.Stmt) (int64, bool) {
+	var total int64
+	ok := true
+	for _, st := range stmts {
+		n, sok := c.stmtCost(st)
+		total += n
+		ok = ok && sok
+	}
+	return total, ok
+}
+
+func (c *ldmChecker) stmtCost(st ast.Stmt) (int64, bool) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return c.blockCost(s.List)
+	case *ast.LabeledStmt:
+		return c.stmtCost(s.Stmt)
+	case *ast.IfStmt:
+		thenC, okT := c.stmtCost(s.Body)
+		var elseC int64
+		okE := true
+		if s.Else != nil {
+			elseC, okE = c.stmtCost(s.Else)
+		}
+		return max(thenC, elseC), okT && okE
+	case *ast.SwitchStmt:
+		return c.caseMax(s.Body)
+	case *ast.TypeSwitchStmt:
+		return c.caseMax(s.Body)
+	case *ast.ForStmt:
+		body, okB := c.stmtCost(s.Body)
+		if body == 0 {
+			return 0, okB
+		}
+		trip, okT := c.tripCount(s)
+		if !okT {
+			c.pass.Reportf(s.Pos(),
+				"LDM allocation inside a loop whose trip count cannot be bounded; use a counted loop or //lbm:ldm assume")
+			return body, false
+		}
+		return body * trip, okB
+	case *ast.RangeStmt:
+		body, okB := c.stmtCost(s.Body)
+		if body == 0 {
+			return 0, okB
+		}
+		c.pass.Reportf(s.Pos(),
+			"LDM allocation inside a range loop cannot be bounded; use a counted loop")
+		return body, false
+	default:
+		return c.leafCost(st)
+	}
+}
+
+func (c *ldmChecker) caseMax(body *ast.BlockStmt) (int64, bool) {
+	var m int64
+	ok := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			stmts = cc.Body
+		}
+		n, sok := c.blockCost(stmts)
+		m = max(m, n)
+		ok = ok && sok
+	}
+	return m, ok
+}
+
+// tripCount folds the canonical counted loop `for i := A; i < B; i++`
+// (and the <= / i += k variants) into an iteration bound.
+func (c *ldmChecker) tripCount(s *ast.ForStmt) (int64, bool) {
+	init, iOK := s.Init.(*ast.AssignStmt)
+	cond, cOK := s.Cond.(*ast.BinaryExpr)
+	if !iOK || !cOK || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return 0, false
+	}
+	lo, ok := c.env.eval(init.Rhs[0])
+	if !ok {
+		return 0, false
+	}
+	hi, ok := c.env.eval(cond.Y)
+	if !ok {
+		return 0, false
+	}
+	span := hi - lo
+	switch cond.Op {
+	case token.LSS:
+	case token.LEQ:
+		span++
+	default:
+		return 0, false
+	}
+	if span < 0 {
+		span = 0
+	}
+	step := int64(1)
+	switch post := s.Post.(type) {
+	case *ast.IncDecStmt:
+		// step 1
+	case *ast.AssignStmt:
+		if len(post.Rhs) != 1 {
+			return 0, false
+		}
+		st, ok := c.env.eval(post.Rhs[0])
+		if !ok || st <= 0 {
+			return 0, false
+		}
+		step = st
+	default:
+		return 0, false
+	}
+	return (span + step - 1) / step, true
+}
+
+// leafCost sums the LDM allocations syntactically inside one simple
+// statement, descending into function literals once (helper closures
+// defined in the kernel body).
+func (c *ldmChecker) leafCost(st ast.Stmt) (int64, bool) {
+	var total int64
+	ok := true
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || (sel.Sel.Name != "AllocFloat64" && sel.Sel.Name != "MustAllocFloat64") {
+			return true
+		}
+		if t, tok := c.pass.Info().Types[sel.X]; !tok || !isNamed(t.Type, sunwayPkgPath, "CPE") {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		nElems, eok := c.env.eval(call.Args[0])
+		if !eok {
+			c.pass.Reportf(call.Pos(),
+				"cannot statically bound this LDM allocation; pin its size variables with //lbm:ldm assume name=value on the enclosing declaration")
+			ok = false
+			return true
+		}
+		total += nElems * 8
+		return true
+	})
+	return total, ok
+}

@@ -1,0 +1,283 @@
+package analysis
+
+// The package loader: a minimal, stdlib-only replacement for
+// golang.org/x/tools/go/packages. It parses and type-checks the module's
+// packages with go/parser + go/types, resolving module-internal imports
+// from the repository tree and standard-library imports through the
+// source importer (go/importer "source"), so everything works offline
+// with nothing but the Go toolchain installed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path; Dir the directory the files came from.
+	Path string
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by filename.
+	Files []*ast.File
+	// Types and Info hold the type-checker output.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches packages of one module.
+type Loader struct {
+	// ModuleDir is the absolute path of the module root (where go.mod
+	// lives); ModulePath its declared module path.
+	ModuleDir  string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at dir (the directory
+// containing go.mod, found by walking up from dir if necessary).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Fset returns the shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves the patterns ("./..." for the whole module, or explicit
+// directory paths relative to the module root) into loaded packages.
+// testdata directories and _test.go files are skipped, matching the Go
+// tool's conventions.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walkDirs(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.ModuleDir, strings.TrimSuffix(pat, "/..."))
+			walked, err := l.walkDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.ModuleDir, pat)
+			}
+			add(filepath.Clean(d))
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walkDirs returns every directory under root that contains at least one
+// non-test Go file, skipping testdata, hidden and underscore directories.
+func (l *Loader) walkDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// LoadDir loads and type-checks the package in one directory (which must
+// lie inside the module).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, dir)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// repository tree, everything else falls through to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.load(path, filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one directory, caching by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,184 @@
+package analysis
+
+// mpierr enforces the failure-model discipline of internal/mpi: every
+// blocking operation returns a typed error (ErrRankDead, ErrTimeout,
+// ErrWorldDown) precisely so that call sites can react instead of
+// hanging — a call site that discards the error silently degrades the
+// failure model back into hangs-by-another-name. Three checks:
+//
+//	mpierr/discard — a call to an error-returning mpi function whose
+//	    result is dropped (expression statement or blank assignment).
+//	mpierr/unused  — the captured error variable is never read.
+//	mpierr/compare — a sentinel comparison err == mpi.ErrX, which breaks
+//	    on wrapped errors; route it through errors.Is instead.
+//
+// (The panic-based variants Recv/Barrier/Wait abort the rank through the
+// runtime's recovery path by design and need no handling at the call
+// site; this rule covers the explicit-error API.)
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const mpiPkgPath = "sunwaylb/internal/mpi"
+
+// AnalyzerMPIErr is the mpierr rule.
+var AnalyzerMPIErr = &Analyzer{
+	Name: "mpierr",
+	Doc:  "errors from blocking mpi operations must be handled via errors.Is",
+	Run:  runMPIErr,
+}
+
+func runMPIErr(pass *Pass) {
+	info := pass.Info()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, yes := mpiErrCall(info, call); yes {
+						pass.Reportf(call.Pos(),
+							"error from mpi.%s is discarded; a dropped %s error turns rank failure back into a silent hang",
+							name, name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, yes := mpiErrCall(info, st.Call); yes {
+					pass.Reportf(st.Call.Pos(), "error from mpi.%s is discarded by go statement", name)
+				}
+			case *ast.DeferStmt:
+				if name, yes := mpiErrCall(info, st.Call); yes {
+					pass.Reportf(st.Call.Pos(), "error from mpi.%s is discarded by defer statement", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, st)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, st)
+			}
+			return true
+		})
+	}
+	checkUnusedErrs(pass)
+}
+
+// mpiErrCall reports whether call invokes an internal/mpi function or
+// method whose last result is an error, returning its name.
+func mpiErrCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !isPkgPath(fn, mpiPkgPath) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !isErrorType(last) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// checkAssign flags mpi errors assigned to the blank identifier.
+func checkAssign(pass *Pass, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, yes := mpiErrCall(pass.Info(), call)
+	if !yes {
+		return
+	}
+	// The error is the last result → the last LHS position.
+	last := st.Lhs[len(st.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(),
+			"error from mpi.%s assigned to _; handle ErrRankDead/ErrTimeout/ErrWorldDown via errors.Is", name)
+	}
+}
+
+// checkSentinelCompare flags err == mpi.ErrX / err != mpi.ErrX.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		sel, ok := side.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		obj := pass.Info().Uses[sel.Sel]
+		if obj == nil || !isPkgPath(obj, mpiPkgPath) {
+			continue
+		}
+		if _, isVar := obj.(*types.Var); !isVar || !strings.HasPrefix(obj.Name(), "Err") {
+			continue
+		}
+		pass.Reportf(be.Pos(),
+			"direct comparison with mpi.%s misses wrapped errors; use errors.Is(err, mpi.%s)", obj.Name(), obj.Name())
+	}
+}
+
+// checkUnusedErrs flags error variables captured from mpi calls that are
+// never read afterwards.
+func checkUnusedErrs(pass *Pass) {
+	info := pass.Info()
+	// Gather candidate objects: err idents defined as the last LHS of an
+	// mpi error-returning call.
+	candidates := make(map[types.Object]*ast.Ident)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || st.Tok != token.DEFINE || len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, yes := mpiErrCall(info, call); !yes {
+				return true
+			}
+			last, ok := st.Lhs[len(st.Lhs)-1].(*ast.Ident)
+			if !ok || last.Name == "_" {
+				return true
+			}
+			if obj := info.Defs[last]; obj != nil {
+				candidates[obj] = last
+			}
+			return true
+		})
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	for _, obj := range info.Uses {
+		delete(candidates, obj)
+	}
+	for obj, id := range candidates {
+		pass.Reportf(id.Pos(), "mpi error %s is captured but never checked", obj.Name())
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerLDMBudget,
+		AnalyzerMPIErr,
+		AnalyzerSpanPair,
+		AnalyzerHotAlloc,
+		AnalyzerDetFloat,
+	}
+}
+
+// ByName resolves a comma-separated rule selection; empty selects all.
+func ByName(names []string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		if a, ok := byName[n]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}

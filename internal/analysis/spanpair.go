@@ -1,0 +1,252 @@
+package analysis
+
+// spanpair enforces the tracing contracts of internal/trace:
+//
+//  1. Scope misuse — `tr.Scope(track, name)` returns the closing closure;
+//     calling it as a statement opens a span that is never closed, and
+//     `defer tr.Scope(...)` (without the trailing call) defers the *open*
+//     instead of the close. The idiom is `defer tr.Scope(track, name)()`.
+//  2. Begin/End pairing — within one function (including its nested
+//     closures, which is where deferred Ends live), every
+//     `tr.Begin(clock, track, ...)` must be matched by a `tr.End(clock,
+//     track, ...)` on the same receiver and track, and vice versa. An
+//     unmatched Begin corrupts the rank's span stack for every event that
+//     follows; Validate only catches it at run time on a traced path.
+//  3. Nil-safety — types annotated //lbm:nilsafe (the Tracer/RankTracer
+//     zero-cost-off contract) must nil-guard the receiver in every
+//     pointer-receiver method before touching receiver fields, so a nil
+//     handle stays a no-op recorder instead of a panic.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const tracePkgPath = "sunwaylb/internal/trace"
+
+// AnalyzerSpanPair is the spanpair rule.
+var AnalyzerSpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "trace spans must pair Begin/End; nil-safe tracer types must guard receivers",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkScopeMisuse(pass, fn.Body)
+			checkBeginEndBalance(pass, fn)
+		}
+	}
+	checkNilSafe(pass)
+}
+
+// isTraceMethodCall reports whether call invokes the named method on a
+// trace.RankTracer or trace.Tracer receiver.
+func isTraceMethodCall(pass *Pass, call *ast.CallExpr, name string) (recv ast.Expr, yes bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	t, ok := pass.Info().Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	if isNamed(t.Type, tracePkgPath, "RankTracer") || isNamed(t.Type, tracePkgPath, "Tracer") {
+		return sel.X, true
+	}
+	return nil, false
+}
+
+// checkScopeMisuse flags Scope calls whose returned closer is lost.
+func checkScopeMisuse(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			// `tr.Scope(a, b)` as a bare statement: the span opens now
+			// and the closer is dropped. (`tr.Scope(a, b)()` parses as a
+			// call whose Fun is the Scope call — that form is fine.)
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if _, yes := isTraceMethodCall(pass, call, "Scope"); yes {
+					pass.Reportf(call.Pos(),
+						"Scope's closing closure is discarded, the span never ends; use `defer %s()` or capture the closer",
+						exprString(call.Fun))
+				}
+			}
+		case *ast.DeferStmt:
+			// `defer tr.Scope(a, b)` defers the open, not the close.
+			if _, yes := isTraceMethodCall(pass, st.Call, "Scope"); yes {
+				pass.Reportf(st.Call.Pos(),
+					"defer runs Scope (the open) at return, not the close; write `defer %s(...)()`",
+					exprString(st.Call.Fun))
+			}
+		}
+		return true
+	})
+}
+
+// spanKey identifies one span timeline: receiver expression + clock +
+// track, rendered as stable strings.
+type spanKey struct{ recv, clock, track string }
+
+// checkBeginEndBalance counts Begin/End per (receiver, clock, track)
+// across the whole function body, nested closures included.
+func checkBeginEndBalance(pass *Pass, fn *ast.FuncDecl) {
+	type site struct {
+		pos token.Pos
+		n   int
+	}
+	begins := make(map[spanKey]*site)
+	ends := make(map[spanKey]*site)
+	bump := func(m map[spanKey]*site, k spanKey, pos token.Pos) {
+		s := m[k]
+		if s == nil {
+			s = &site{pos: pos}
+			m[k] = s
+		}
+		s.n++
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, yes := isTraceMethodCall(pass, call, "Begin"); yes && len(call.Args) >= 2 {
+			bump(begins, keyFor(recv, call.Args[0], call.Args[1]), call.Pos())
+		}
+		if recv, yes := isTraceMethodCall(pass, call, "End"); yes && len(call.Args) >= 2 {
+			bump(ends, keyFor(recv, call.Args[0], call.Args[1]), call.Pos())
+		}
+		return true
+	})
+	for k, b := range begins {
+		e := ends[k]
+		if e == nil {
+			pass.Reportf(b.pos,
+				"Begin on track %s has no matching End in %s (or its deferred closures)", k.track, fn.Name.Name)
+			continue
+		}
+		if b.n != e.n {
+			pass.Reportf(b.pos,
+				"%d Begin vs %d End calls on track %s in %s; spans must pair on every path", b.n, e.n, k.track, fn.Name.Name)
+		}
+	}
+	for k, e := range ends {
+		if begins[k] == nil {
+			pass.Reportf(e.pos,
+				"End on track %s has no matching Begin in %s", k.track, fn.Name.Name)
+		}
+	}
+}
+
+func keyFor(recv, clock, track ast.Expr) spanKey {
+	return spanKey{recv: exprString(recv), clock: exprString(clock), track: exprString(track)}
+}
+
+// checkNilSafe verifies the //lbm:nilsafe contract.
+func checkNilSafe(pass *Pass) {
+	marked := nilsafeTypes(pass.Pkg)
+	if len(marked) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			recvField := fn.Recv.List[0]
+			tname := receiverTypeName(recvField.Type)
+			if !marked[tname] {
+				continue
+			}
+			if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+				continue // receiver unused: trivially nil-safe
+			}
+			recvObj := pass.Info().Defs[recvField.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			guardPos := nilGuardPos(pass, fn.Body, recvObj)
+			reportFieldAccessBefore(pass, fn, recvObj, guardPos, tname)
+		}
+	}
+}
+
+func receiverTypeName(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(v.X)
+	case *ast.Ident:
+		return v.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(v.X)
+	}
+	return ""
+}
+
+// nilGuardPos returns the position of the first `recv == nil` /
+// `recv != nil` comparison in the body, or token.NoPos.
+func nilGuardPos(pass *Pass, body *ast.BlockStmt, recvObj types.Object) token.Pos {
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for x, y := range map[ast.Expr]ast.Expr{be.X: be.Y, be.Y: be.X} {
+			id, ok := x.(*ast.Ident)
+			if !ok || pass.Info().Uses[id] != recvObj {
+				continue
+			}
+			if yid, ok := y.(*ast.Ident); ok && yid.Name == "nil" {
+				pos = be.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// reportFieldAccessBefore flags receiver field accesses that precede the
+// nil guard (or any field access when there is no guard at all).
+func reportFieldAccessBefore(pass *Pass, fn *ast.FuncDecl, recvObj types.Object, guard token.Pos, tname string) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info().Uses[id] != recvObj {
+			return true
+		}
+		s := pass.Info().Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true // method calls are responsible for their own guard
+		}
+		if guard.IsValid() && sel.Pos() > guard {
+			return true
+		}
+		what := fmt.Sprintf("field %s.%s", id.Name, sel.Sel.Name)
+		if !guard.IsValid() {
+			pass.Reportf(sel.Pos(),
+				"%s accessed in %s without a nil guard; %s is //lbm:nilsafe (nil handles must stay no-ops)",
+				what, fn.Name.Name, tname)
+		} else {
+			pass.Reportf(sel.Pos(),
+				"%s accessed in %s before the nil guard; move the `if %s == nil` check first",
+				what, fn.Name.Name, id.Name)
+		}
+		return true
+	})
+}

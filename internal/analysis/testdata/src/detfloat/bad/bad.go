@@ -1,0 +1,27 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted detfloat finding.
+package fixture
+
+import "math/rand"
+
+func mapAccum(m map[string]float64, w map[string]float64) (float64, float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "order-dependent"
+	}
+	total := 0.0
+	for k := range m {
+		total = total + w[k] // want "order-dependent"
+	}
+	return sum, total
+}
+
+func fieldAccum(m map[int]float64, acc *struct{ x float64 }) {
+	for _, v := range m {
+		acc.x += v // want "order-dependent"
+	}
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "auto-seeded global source"
+}

@@ -1,0 +1,48 @@
+// Package fixture is an lbmvet test fixture: detfloat must report
+// nothing here.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func sortedAccum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // slice iteration: order is deterministic
+	}
+	return sum
+}
+
+func loopLocal(m map[string]float64) float64 {
+	worst := 0.0
+	for _, v := range m {
+		// A variable declared inside the body resets every iteration;
+		// accumulating into it is order-independent.
+		scaled := 0.0
+		scaled += 2 * v
+		if scaled > worst {
+			worst = scaled // comparison, not accumulation
+		}
+	}
+	return worst
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // integer addition commutes exactly
+	}
+	return n
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,32 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted hotalloc finding.
+package fixture
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+// hotLoop is annotated hot, so every allocation below is a finding.
+//
+//lbm:hot
+func hotLoop(q int, name string) {
+	f := make([]float64, q) // want "make allocates in hot function"
+	f = append(f, 1)        // want "append allocates in hot function"
+	_ = new(int)            // want "new allocates in hot function"
+	s := []int{1, 2}        // want "slice literal allocates"
+	_ = s
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	label := name + ":z" // want "string concatenation allocates"
+	_ = label
+	fmt.Println(q) // want "formatting allocates"
+	sink(q)        // want "boxes a concrete value"
+	_ = any(q)     // want "conversion to interface boxes"
+}
+
+// coldLoop is not annotated: the same code is fine here.
+func coldLoop(q int) {
+	f := make([]float64, q)
+	_ = append(f, 1)
+	fmt.Println(q)
+}

@@ -1,0 +1,38 @@
+// Package fixture is an lbmvet test fixture: hotalloc must report
+// nothing here.
+package fixture
+
+const maxQ = 27
+
+func relax(f []float64, omega float64) {
+	for i := range f {
+		f[i] *= 1 - omega
+	}
+}
+
+// hotKernel keeps its scratch on the stack, calls only concrete-typed
+// helpers and builds no strings: the steady-state contract.
+//
+//lbm:hot
+func hotKernel(q int, omega float64) float64 {
+	var fArr [maxQ]float64
+	f := fArr[:q]
+	for i := 0; i < q; i++ {
+		f[i] = float64(i)
+	}
+	relax(f, omega)
+	// Value struct literals may live in registers; they are allowed.
+	type pair struct{ a, b float64 }
+	p := pair{f[0], omega}
+	return p.a + p.b
+}
+
+// forwarding an existing []any through a variadic interface parameter
+// does not box per argument.
+//
+//lbm:hot
+func forward(args []any) {
+	variadic(args...)
+}
+
+func variadic(vs ...any) {}

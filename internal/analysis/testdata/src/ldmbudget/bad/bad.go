@@ -1,0 +1,34 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted ldmbudget finding.
+package fixture
+
+import "sunwaylb/internal/sunway"
+
+func runtimeSize() int { return 128 }
+
+// unpinnedKernel allocates from a size the analyzer cannot bound.
+func unpinnedKernel(p *sunway.CPE) {
+	n := runtimeSize()
+	p.MustAllocFloat64(n) // want "cannot statically bound this LDM allocation"
+}
+
+// overBudgetKernel pins its size but exceeds the 64 KiB default budget.
+//
+//lbm:ldm assume n=10000
+func overBudgetKernel(p *sunway.CPE, n int) { // want "LDM working set 80000 B exceeds the 65536 B budget"
+	p.MustAllocFloat64(n)
+}
+
+// heapKernel bypasses the LDM accounting with a Go heap slice.
+func heapKernel(p *sunway.CPE) {
+	buf := make([]float64, 4) // want "bypassing LDM accounting"
+	_ = buf
+	_ = p
+}
+
+// rangeKernel allocates inside a loop with no static trip count.
+func rangeKernel(p *sunway.CPE, xs []int) {
+	for range xs { // want "range loop cannot be bounded"
+		p.MustAllocFloat64(1)
+	}
+}

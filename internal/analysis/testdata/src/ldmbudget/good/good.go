@@ -1,0 +1,46 @@
+// Package fixture is an lbmvet test fixture: ldmbudget must report
+// nothing here.
+package fixture
+
+import "sunwaylb/internal/sunway"
+
+// constKernel allocates compile-time-constant sizes inside a counted
+// loop: 19 × (2×70) × 8 B = 21280 B, within the 64 KiB budget.
+func constKernel(p *sunway.CPE) {
+	const q, bz = 19, 70
+	for i := 0; i < q; i++ {
+		p.MustAllocFloat64(bz)
+		p.MustAllocFloat64(bz)
+	}
+}
+
+// pinnedKernel pins runtime sizes to their contract maxima; branches
+// contribute the max, not the sum.
+//
+//lbm:ldm assume nq=19 bz=70
+func pinnedKernel(p *sunway.CPE, nq, bz int, async bool) {
+	for i := 0; i < nq; i++ {
+		p.MustAllocFloat64(bz)
+	}
+	if async {
+		p.MustAllocFloat64(2 * nq * bz)
+	} else {
+		p.MustAllocFloat64(nq * bz)
+	}
+}
+
+// proKernel raises the budget for an SW26010-Pro-only configuration.
+//
+//lbm:ldm assume n=16384 budget=256KiB
+func proKernel(p *sunway.CPE, n int) {
+	p.MustAllocFloat64(n)
+}
+
+// closureKernel is the cpeKernel pattern: the kernel is a closure and the
+// sizes come from the enclosing function's single assignments.
+func closureKernel() func(p *sunway.CPE) {
+	bz := 70
+	return func(p *sunway.CPE) {
+		p.MustAllocFloat64(bz)
+	}
+}

@@ -1,0 +1,33 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted mpierr finding.
+package fixture
+
+import (
+	"time"
+
+	"sunwaylb/internal/mpi"
+)
+
+func discards(c *mpi.Comm) {
+	c.BarrierE()                            // want "error from mpi.BarrierE is discarded"
+	c.RecvE(0, 1)                           // want "error from mpi.RecvE is discarded"
+	go c.BarrierE()                         // want "discarded by go statement"
+	defer c.BarrierE()                      // want "discarded by defer statement"
+	_, _ = c.RecvTimeout(0, 1, time.Second) // want "assigned to _"
+	msg, _ := c.RecvE(0, 2)                 // want "assigned to _"
+	_ = msg
+}
+
+func compares(c *mpi.Comm) {
+	err := c.BarrierE()
+	if err == mpi.ErrRankDead { // want "use errors.Is"
+		return
+	}
+	if mpi.ErrTimeout != err { // want "use errors.Is"
+		return
+	}
+}
+
+func waitDiscard(r *mpi.Request) {
+	_, _ = r.WaitE() // want "assigned to _"
+}

@@ -1,0 +1,28 @@
+// Package fixture is an lbmvet test fixture: mpierr must report nothing
+// here — every error is handled and sentinel checks go through errors.Is.
+package fixture
+
+import (
+	"errors"
+
+	"sunwaylb/internal/mpi"
+)
+
+func handled(c *mpi.Comm) error {
+	if err := c.BarrierE(); err != nil {
+		if errors.Is(err, mpi.ErrRankDead) || errors.Is(err, mpi.ErrWorldDown) {
+			return err
+		}
+		return err
+	}
+	msg, err := c.RecvE(0, 1)
+	if err != nil {
+		return err
+	}
+	_ = msg
+	// The panic-based API needs no error handling at the call site.
+	c.Barrier()
+	m := c.Recv(0, 2)
+	_ = m
+	return nil
+}

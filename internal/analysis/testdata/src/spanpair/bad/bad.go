@@ -1,0 +1,35 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted spanpair finding.
+package fixture
+
+import "sunwaylb/internal/trace"
+
+func scopeMisuse(tr *trace.RankTracer) {
+	tr.Scope("step", "collide")      // want "closing closure is discarded"
+	defer tr.Scope("step", "stream") // want "not the close"
+}
+
+func unbalanced(tr *trace.RankTracer) {
+	tr.Begin(trace.Wall, "step", "collide", tr.Now()) // want "no matching End"
+	tr.End(trace.Wall, "halo", tr.Now())              // want "no matching Begin"
+}
+
+// Guardless is marked nil-safe but touches its field without a guard.
+//
+//lbm:nilsafe
+type Guardless struct{ n int }
+
+func (g *Guardless) Count() int { return g.n } // want "without a nil guard"
+
+// LateGuard checks nil only after the field access.
+//
+//lbm:nilsafe
+type LateGuard struct{ n int }
+
+func (g *LateGuard) Count() int {
+	v := g.n // want "before the nil guard"
+	if g == nil {
+		return 0
+	}
+	return v
+}

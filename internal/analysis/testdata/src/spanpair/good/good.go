@@ -1,0 +1,33 @@
+// Package fixture is an lbmvet test fixture: spanpair must report
+// nothing here.
+package fixture
+
+import "sunwaylb/internal/trace"
+
+func scoped(tr *trace.RankTracer) {
+	defer tr.Scope("step", "collide")()
+	end := tr.Scope("step", "stream")
+	end()
+}
+
+func balanced(tr *trace.RankTracer) {
+	tr.Begin(trace.Wall, "step", "collide", tr.Now())
+	tr.End(trace.Wall, "step", tr.Now())
+	tr.Begin(trace.Sim, "halo", "pack", 0)
+	defer func() { tr.End(trace.Sim, "halo", 1) }()
+}
+
+// Guarded is nil-safe the right way: the guard precedes every field use.
+//
+//lbm:nilsafe
+type Guarded struct{ n int }
+
+func (g *Guarded) Count() int {
+	if g == nil {
+		return 0
+	}
+	return g.n
+}
+
+// Methods that never touch receiver fields need no guard.
+func (g *Guarded) Zero() int { return 0 }

@@ -1,0 +1,20 @@
+// Package fixture exercises the //lint:ignore machinery: the first two
+// accumulations are suppressed (trailing and preceding comment forms),
+// the third survives, and the malformed comment is itself a finding.
+package fixture
+
+func accum(m map[string]float64) (float64, float64, float64) {
+	var a, b, c float64
+	for _, v := range m {
+		a += v //lint:ignore detfloat fixture exercises trailing suppression
+	}
+	for _, v := range m {
+		//lint:ignore * fixture exercises preceding wildcard suppression
+		b += v
+	}
+	for _, v := range m {
+		c += v // want "order-dependent"
+	}
+	//lint:ignore
+	return a, b, c
+}

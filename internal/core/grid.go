@@ -109,6 +109,9 @@ func NewLattice(desc *lattice.Descriptor, nx, ny, nz int, tau float64) (*Lattice
 	if tau <= 0.5 {
 		return nil, fmt.Errorf("core: relaxation time %v must exceed 0.5 for positive viscosity", tau)
 	}
+	if desc.Q > MaxQ {
+		return nil, fmt.Errorf("core: descriptor %s has %d velocities, more than the supported maximum %d", desc.Name, desc.Q, MaxQ)
+	}
 	ax, ay, az := nx+2, ny+2, nz+2
 	n := ax * ay * az
 	lat := &Lattice{

@@ -47,6 +47,8 @@ func (l *Lattice) PeriodicAll() {
 // PeriodicAxis wraps the halo of one axis (0=x, 1=y, 2=z) periodically.
 // The copy spans the entire allocated extent of the other two axes so that
 // successive calls for different axes fill edges and corners correctly.
+//
+//lbm:hot
 func (l *Lattice) PeriodicAxis(axis int) {
 	src := l.F[l.src]
 	n := l.N
@@ -148,6 +150,8 @@ func (l *Lattice) FaceCells(f Face) int {
 // layer at face f from the current buffer into buf, which must have length
 // ≥ Q*FaceCells(f) float64s. It returns the packed flags alongside so the
 // receiver can mirror obstacle cells that touch the subdomain boundary.
+//
+//lbm:hot
 func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
 	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 0)
 	src := l.F[l.src]
@@ -174,6 +178,8 @@ func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
 // the current buffer. Flags, if non-nil, update the halo cell
 // classification (so walls spanning subdomain boundaries bounce correctly);
 // Ghost flags in the packed data are preserved as Ghost.
+//
+//lbm:hot
 func (l *Lattice) UnpackFace(f Face, buf []float64, flags []CellType) {
 	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 1)
 	src := l.F[l.src]

@@ -2,6 +2,13 @@ package core
 
 import "math"
 
+// MaxQ is the largest velocity set the kernels support (D3Q27). The hot
+// kernels keep their per-cell scratch in fixed-size stack arrays of this
+// length so the inner loops stay allocation-free (the //lbm:hot contract,
+// enforced by lbmvet's hotalloc rule); NewLattice rejects descriptors
+// that exceed it.
+const MaxQ = 27
+
 // StepFused advances the lattice one time step using the fused pull-scheme
 // collide–stream kernel (§IV-A of the paper): a single loop over the
 // domain gathers the post-collision populations of the previous step from
@@ -52,6 +59,8 @@ func (l *Lattice) stepRegion(x0, x1, y0, y1 int) {
 
 // stepRegionGeneric is the descriptor-generic fused pull collide–stream
 // kernel over an x/y sub-range.
+//
+//lbm:hot
 func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 	d := l.Desc
 	q := d.Q
@@ -63,9 +72,10 @@ func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 	fx, fy, fz := l.Force[0], l.Force[1], l.Force[2]
 	forced := fx != 0 || fy != 0 || fz != 0
 
-	// Per-goroutine scratch (no allocation in the z loop).
-	f := make([]float64, q)
-	feq := make([]float64, q)
+	// Per-goroutine scratch on the stack (q ≤ MaxQ by construction; no
+	// heap allocation anywhere in the kernel).
+	var fArr, feqArr [MaxQ]float64
+	f, feq := fArr[:q], feqArr[:q]
 
 	for y := y0; y < y1; y++ {
 		for x := x0; x < x1; x++ {
@@ -148,6 +158,8 @@ func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 //	τ_eff = ½ (τ₀ + sqrt(τ₀² + 18√2 C² |Π|/ρ)),
 //
 // where Π is the non-equilibrium momentum flux tensor Σ c c (f − f^eq).
+//
+//lbm:hot
 func (l *Lattice) smagorinskyTau(f, feq []float64, rho float64) float64 {
 	d := l.Desc
 	var pxx, pyy, pzz, pxy, pxz, pyz float64
@@ -173,6 +185,8 @@ func (l *Lattice) smagorinskyTau(f, feq []float64, rho float64) float64 {
 // two-pass update used as the baseline in the kernel-fusion ablation
 // (Fig. 8); StepFused is exactly equivalent to StreamOnly followed by
 // CollideOnly (both conventions keep post-collision values in the buffer).
+//
+//lbm:hot
 func (l *Lattice) CollideOnly() {
 	d := l.Desc
 	q := d.Q
@@ -182,8 +196,8 @@ func (l *Lattice) CollideOnly() {
 	les := l.Smagorinsky > 0
 	fx, fy, fz := l.Force[0], l.Force[1], l.Force[2]
 	forced := fx != 0 || fy != 0 || fz != 0
-	f := make([]float64, q)
-	feq := make([]float64, q)
+	var fArr, feqArr [MaxQ]float64
+	f, feq := fArr[:q], feqArr[:q]
 	for y := 0; y < l.NY; y++ {
 		for x := 0; x < l.NX; x++ {
 			rowBase := l.Idx(x, y, 0)
@@ -245,6 +259,8 @@ func (l *Lattice) CollideOnly() {
 // StreamOnly performs the streaming phase (pull, with bounce-back) from the
 // current buffer into the other A–B buffer and swaps. CollideOnly must run
 // afterwards to complete one unfused time step.
+//
+//lbm:hot
 func (l *Lattice) StreamOnly() {
 	d := l.Desc
 	q := d.Q

@@ -35,6 +35,8 @@ func (l *Lattice) useFastPath() bool {
 }
 
 // stepRegionD3Q19 is the unrolled fused pull collide–stream kernel.
+//
+//lbm:hot
 func (l *Lattice) stepRegionD3Q19(x0, x1, y0, y1 int) {
 	src := l.F[l.src]
 	dst := l.F[1-l.src]

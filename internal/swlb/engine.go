@@ -89,6 +89,14 @@ type Engine struct {
 	// neighbourhood and run on CPEs; mixed ones run on the MPE.
 	cleanCols []int32
 	mixedCols []int32
+	// allCols is cleanCols followed by mixedCols, precomputed by Rebuild
+	// so the MPE-only Step path iterates the whole domain without
+	// per-step concatenation (Step is //lbm:hot).
+	allCols []int32
+
+	// done carries the CPE cluster's simulated time back to the rank
+	// goroutine; allocated once in New so Step stays allocation-free.
+	done chan float64
 
 	// Last step timing breakdown (simulated seconds).
 	LastCPETime float64
@@ -120,7 +128,8 @@ func New(lat *core.Lattice, spec sunway.ChipSpec, opt Options) (*Engine, error) 
 	if opt.ComputeEff <= 0 {
 		opt.ComputeEff = 0.55
 	}
-	e := &Engine{Lat: lat, CG: sunway.NewCoreGroup(spec), Opt: opt, Spec: spec}
+	e := &Engine{Lat: lat, CG: sunway.NewCoreGroup(spec), Opt: opt, Spec: spec,
+		done: make(chan float64, 1)}
 	if err := e.checkLDM(); err != nil {
 		return nil, err
 	}
@@ -163,6 +172,8 @@ func (e *Engine) Rebuild() {
 			}
 		}
 	}
+	e.allCols = append(e.allCols[:0], e.cleanCols...)
+	e.allCols = append(e.allCols, e.mixedCols...)
 }
 
 // columnClean reports whether the 3×3 column neighbourhood of (x, y)
@@ -200,11 +211,13 @@ func (e *Engine) mpeColumnTime(cells int) float64 {
 // boundary conditions) must have been applied to the source buffer by the
 // caller, exactly as for core.StepFused. It returns the simulated step
 // time on the Sunway core group.
+//
+//lbm:hot
 func (e *Engine) Step() float64 {
 	l := e.Lat
 	if !e.Opt.UseCPEs {
 		// MPE-only baseline: the whole domain through the cache path.
-		for _, col := range append(append([]int32(nil), e.cleanCols...), e.mixedCols...) {
+		for _, col := range e.allCols {
 			x, y := int(col)/l.NY, int(col)%l.NY
 			l.StepRegion(x, x+1, y, y+1)
 		}
@@ -217,9 +230,8 @@ func (e *Engine) Step() float64 {
 	}
 
 	// CPE cluster handles the clean columns...
-	done := make(chan float64, 1)
 	go func() {
-		done <- e.CG.Run(e.cpeKernel())
+		e.done <- e.CG.Run(e.cpeKernel())
 	}()
 	// ...while the MPE concurrently computes the mixed columns
 	// (collaboration scheme, Fig. 9(2)). The column sets are disjoint,
@@ -229,7 +241,7 @@ func (e *Engine) Step() float64 {
 		l.StepRegion(x, x+1, y, y+1)
 	}
 	e.LastMPETime = e.mpeColumnTime(len(e.mixedCols) * l.NZ)
-	e.LastCPETime = <-done
+	e.LastCPETime = <-e.done
 	// MPE and CPEs run concurrently; the step ends when both finish.
 	e.LastTime = math.Max(e.LastCPETime, e.LastMPETime)
 	l.CompleteStep()

@@ -42,6 +42,16 @@ func buildSharePlan(d *lattice.Descriptor) *sharePlan {
 
 // cpeKernel builds the CPE-side kernel closure for the current buffers and
 // options.
+//
+// The LDM working set is bounded statically by lbmvet's ldmbudget rule.
+// The sizes below are not compile-time constants (they come from the
+// lattice descriptor and the block option), so the assumption pins them
+// at the paper's design point — D3Q19 with the BZ=70 blocking of §IV-C —
+// which is also the largest configuration the engine tunes for. Footprint:
+// (2·nq·bz runs/out + 2·nq·bz double-buffer + 2·nq f/feq)·8 B ≈ 42.9 KB,
+// within the SW26010's 64 KB CPE scratchpad.
+//
+//lbm:ldm assume nq=19 bz=70
 func (e *Engine) cpeKernel() func(p *sunway.CPE) {
 	l := e.Lat
 	d := l.Desc

@@ -203,10 +203,22 @@ func Analyze(events []Event) *Report {
 		}
 	}
 
-	// Counters: sum each timeline's final sample over ranks.
-	for _, per := range lastCounter {
-		for name, v := range per {
-			r.Counters[name] += v
+	// Counters: sum each timeline's final sample over ranks. Iterate in
+	// the sorted timeline-key order (and sorted counter names within each
+	// timeline) so the float sum is bit-identical across runs — map order
+	// is randomised and float addition does not commute in rounding.
+	for _, k := range keys {
+		per := lastCounter[k]
+		if per == nil {
+			continue
+		}
+		names := make([]string, 0, len(per))
+		for name := range per {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r.Counters[name] += per[name]
 		}
 	}
 
@@ -242,8 +254,16 @@ func Analyze(events []Event) *Report {
 		return r.Ranks[i].Rank < r.Ranks[j].Rank
 	})
 
-	// Critical path, imbalance and stragglers per clock domain.
+	// Critical path, imbalance and stragglers per clock domain. Rank maps
+	// are iterated in sorted-rank order wherever floats accumulate so the
+	// report is bit-deterministic across runs (see detfloat in lbmvet).
 	for clock, perRank := range stepDur {
+		ranks := make([]int, 0, len(perRank))
+		for rank := range perRank {
+			ranks = append(ranks, rank)
+		}
+		sort.Ints(ranks)
+
 		// Critical path: Σ_i max_r dur[r][i].
 		maxSteps := 0
 		for _, d := range perRank {
@@ -266,7 +286,8 @@ func Analyze(events []Event) *Report {
 		// Imbalance: max/mean of per-rank total step time.
 		var maxT, sumT float64
 		n := 0
-		for _, d := range perRank {
+		for _, rank := range ranks {
+			d := perRank[rank]
 			t := 0.0
 			for _, v := range d {
 				t += v
@@ -284,7 +305,8 @@ func Analyze(events []Event) *Report {
 		// Stragglers: mean step time vs across-rank mean.
 		var meanSum float64
 		means := make(map[int]float64, len(perRank))
-		for rank, d := range perRank {
+		for _, rank := range ranks {
+			d := perRank[rank]
 			t := 0.0
 			for _, v := range d {
 				t += v
@@ -296,7 +318,8 @@ func Analyze(events []Event) *Report {
 		if len(means) > 1 {
 			grand := meanSum / float64(len(means))
 			if grand > 0 {
-				for rank, m := range means {
+				for _, rank := range ranks {
+					m := means[rank]
 					if ratio := m / grand; ratio >= StragglerThreshold {
 						r.Stragglers = append(r.Stragglers, StragglerFlag{
 							Rank: rank, Clock: clock, MeanStep: m, Ratio: ratio})

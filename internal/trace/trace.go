@@ -126,7 +126,10 @@ type Options struct {
 }
 
 // Tracer records events for any number of ranks. All methods are safe for
-// concurrent use; all methods on a nil Tracer are no-ops.
+// concurrent use; all methods on a nil Tracer are no-ops (the zero-cost
+// tracing-off contract — lbmvet's spanpair rule enforces the guards).
+//
+//lbm:nilsafe
 type Tracer struct {
 	opt   Options
 	start time.Time
@@ -223,7 +226,10 @@ func (t *Tracer) Dropped() int64 {
 // use (a rank's helper goroutines — async receives, the CPE pool — may
 // record alongside the rank goroutine), but spans on one (clock, track)
 // timeline must be emitted from a single goroutine so they nest; helpers
-// should stick to instants, counters and flows.
+// should stick to instants, counters and flows. A nil *RankTracer is a
+// valid no-op recorder; every method nil-guards its receiver.
+//
+//lbm:nilsafe
 type RankTracer struct {
 	t    *Tracer
 	rank int
@@ -296,8 +302,11 @@ func (r *RankTracer) record(e Event) {
 	r.mu.Unlock()
 }
 
-// snapshot returns the buffered events oldest-first.
+// snapshot returns the buffered events oldest-first (nil when nil).
 func (r *RankTracer) snapshot() []Event {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.wrapped {

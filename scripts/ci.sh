@@ -3,13 +3,16 @@
 #
 #   tier 1  — build + full test suite (the repo's acceptance gate)
 #   tier 2  — gofmt cleanliness + vet + race detector on every package
+#   analyze — lbmvet, the domain-specific static-analysis suite: the
+#             whole module must be free of LDM-budget, mpi-error,
+#             span-pairing, hot-allocation and float-determinism findings
 #   chaos   — race-checked chaos smoke: the supervisor must survive a
 #             deterministic rank kill + checkpoint corruption
 #   trace   — observability smoke: a traced distributed chaos run must
 #             export a Chrome trace that round-trips through
 #             postproc -tracestat (ReadChrome + Validate + Analyze)
 #
-# Usage: scripts/ci.sh [tier1|tier2|chaos|trace|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|tier2|analyze|chaos|trace|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +34,17 @@ tier2() {
     go test -race ./...
 }
 
+analyze() {
+    echo "== analyze: lbmvet static-analysis suite =="
+    go run ./cmd/lbmvet ./...
+    # The -json mode must emit a well-formed (empty) array on a clean tree.
+    out=$(go run ./cmd/lbmvet -json ./...)
+    [ "$(echo "$out" | head -c 1)" = "[" ] || {
+        echo "lbmvet -json: expected a JSON array, got: $out" >&2
+        exit 1
+    }
+}
+
 chaos() {
     echo "== chaos smoke: supervised recovery under fault injection =="
     go test -race -run TestSupervisorRecovers -timeout 120s ./internal/psolve
@@ -49,7 +63,9 @@ trace() {
     test -s "$out/run.trace.json"
     stat=$(go run ./cmd/postproc -tracestat "$out/run.trace.json")
     echo "$stat"
-    echo "$stat" | grep -q "valid"
+    # "events, valid" (not just "valid": INVALID traces print "INVALID"
+    # but a substring grep for "valid" would still match them).
+    echo "$stat" | grep -q "events, valid"
     echo "$stat" | grep -q "STRAGGLER rank 3"
     echo "$stat" | grep -q "fault-crash=1"
     # The supervised-trace integration test covers the same path under -race.
@@ -59,9 +75,10 @@ trace() {
 case "${1:-all}" in
     tier1) tier1 ;;
     tier2) tier2 ;;
+    analyze) analyze ;;
     chaos) chaos ;;
     trace) trace ;;
-    all)   tier1; tier2; chaos; trace ;;
-    *) echo "usage: $0 [tier1|tier2|chaos|trace|all]" >&2; exit 2 ;;
+    all)   tier1; tier2; analyze; chaos; trace ;;
+    *) echo "usage: $0 [tier1|tier2|analyze|chaos|trace|all]" >&2; exit 2 ;;
 esac
 echo "ok"
