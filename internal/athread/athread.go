@@ -18,7 +18,16 @@ import (
 type Env struct {
 	cg     *sunway.CoreGroup
 	mu     sync.Mutex
-	active chan float64
+	active chan runResult
+}
+
+// runResult carries a finished kernel's outcome from the spawned
+// goroutine back to Join: either a simulated elapsed time or the panic
+// value the kernel died with.
+type runResult struct {
+	elapsed  float64
+	panicVal any
+	panicked bool
 }
 
 // Init prepares the CPE cluster of one core group for kernel spawning.
@@ -39,16 +48,24 @@ func (e *Env) Spawn(kernel func(p *sunway.CPE)) error {
 	if e.active != nil {
 		return fmt.Errorf("athread: kernel already spawned; join it first")
 	}
-	done := make(chan float64, 1)
-	e.active = done
+	res := make(chan runResult, 1)
+	e.active = res
 	go func() {
-		done <- e.cg.Run(kernel)
+		defer func() {
+			if r := recover(); r != nil {
+				res <- runResult{panicVal: r, panicked: true}
+			}
+		}()
+		res <- runResult{elapsed: e.cg.Run(kernel)}
 	}()
 	return nil
 }
 
 // Join waits for the spawned kernel (athread_join) and returns its
-// simulated elapsed time on the CPE cluster.
+// simulated elapsed time on the CPE cluster. If the kernel panicked on
+// any CPE, Join re-raises that panic on the MPE goroutine — the spawned
+// work's failure surfaces where the join happens, as with a trapped CPE
+// on the real machine.
 func (e *Env) Join() (float64, error) {
 	e.mu.Lock()
 	done := e.active
@@ -56,11 +73,14 @@ func (e *Env) Join() (float64, error) {
 	if done == nil {
 		return 0, fmt.Errorf("athread: no kernel in flight")
 	}
-	elapsed := <-done
+	res := <-done
 	e.mu.Lock()
 	e.active = nil
 	e.mu.Unlock()
-	return elapsed, nil
+	if res.panicked {
+		panic(res.panicVal)
+	}
+	return res.elapsed, nil
 }
 
 // RunSync is the common spawn-then-join pattern.

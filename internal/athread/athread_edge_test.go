@@ -1,0 +1,78 @@
+package athread
+
+import (
+	"testing"
+
+	"sunwaylb/internal/sunway"
+)
+
+// TestEmptyKernelJoin: spawning no work is legal, costs zero simulated
+// time, and leaves the env reusable — the degenerate case of the
+// spawn/compute/join loop when a rank owns no interior cells.
+func TestEmptyKernelJoin(t *testing.T) {
+	e := Init(sunway.TestChip(4, 1024))
+	if err := e.Spawn(func(p *sunway.CPE) {}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := e.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Errorf("empty kernel elapsed = %v, want 0", elapsed)
+	}
+	// The env accepts the next kernel after an empty one.
+	if err := e.Spawn(func(p *sunway.CPE) { p.Compute(100, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed, err = e.Join(); err != nil || elapsed <= 0 {
+		t.Fatalf("follow-up kernel: elapsed=%v err=%v", elapsed, err)
+	}
+}
+
+// TestJoinPropagatesKernelPanic: a CPE trap inside a spawned kernel must
+// not kill the spawning goroutine silently or crash the process from a
+// helper goroutine — it re-surfaces as a panic at Join, on the MPE side,
+// with the original value. Other CPEs blocked at the barrier unwind.
+func TestJoinPropagatesKernelPanic(t *testing.T) {
+	e := Init(sunway.TestChip(4, 1024))
+	if err := e.Spawn(func(p *sunway.CPE) {
+		if p.ID == 1 {
+			panic("ldm fault")
+		}
+		p.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		_, _ = e.Join()
+		return nil
+	}()
+	if got != "ldm fault" {
+		t.Fatalf("Join propagated %v, want the kernel's panic value", got)
+	}
+	// Consuming the panic clears the in-flight slot: a fresh spawn works.
+	if err := e.Spawn(func(p *sunway.CPE) {}); err != nil {
+		t.Fatalf("env unusable after a propagated panic: %v", err)
+	}
+	if _, err := e.Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSyncPropagatesPanic: the synchronous path propagates directly.
+func TestRunSyncPropagatesPanic(t *testing.T) {
+	e := Init(sunway.TestChip(2, 1024))
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		e.RunSync(func(p *sunway.CPE) { panic("sync trap") })
+		return nil
+	}()
+	if got != "sync trap" {
+		t.Fatalf("RunSync propagated %v", got)
+	}
+	if e.RunSync(func(p *sunway.CPE) {}) != 0 {
+		t.Error("empty RunSync after panic should cost zero time")
+	}
+}

@@ -1,0 +1,64 @@
+package config
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadCase: arbitrary bytes through the case-file parser must never
+// panic; anything Read accepts must satisfy the documented invariants and
+// survive a Write/Read round trip unchanged. The corpus is seeded from
+// the shipped cases/*.json so the fuzzer starts from real inputs.
+func FuzzReadCase(f *testing.F) {
+	for _, name := range []string{"cavity.json", "cylinder.json", "urban-les.json"} {
+		b, err := os.ReadFile(filepath.Join("..", "..", "cases", name))
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"t","nx":4,"ny":4,"nz":4,"tau":0.8,"steps":1}`))
+	f.Add([]byte(`{"nx":4,"ny":4,"nz":4,"re":100,"u":0.05,"l":4,"steps":2}`))
+	f.Add([]byte(`{"nx":-1,"ny":4,"nz":4,"tau":0.8,"steps":1}`))
+	f.Add([]byte(`{"nx":4,"ny":4,"nz":4,"tau":0.5,"steps":1}`))
+	f.Add([]byte(`{"nx":4,"ny":4,"nz":4,"tau":0.8,"steps":1,"units":{"Dx":0.01,"Dt":0.001}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking or accepting garbage is not
+		}
+		if c.NX < 1 || c.NY < 1 || c.NZ < 1 {
+			t.Fatalf("accepted invalid dimensions %d×%d×%d", c.NX, c.NY, c.NZ)
+		}
+		if c.Steps < 0 {
+			t.Fatalf("accepted negative step count %d", c.Steps)
+		}
+		if c.Tau <= 0.5 {
+			t.Fatalf("accepted unstable tau=%v (Validate must derive or reject)", c.Tau)
+		}
+		if c.U > 0.3 {
+			t.Fatalf("accepted super-low-Mach inlet velocity %v", c.U)
+		}
+		// Round trip: the serialised form re-reads to the same case.
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("accepted case does not serialise: %v", err)
+		}
+		first := buf.String()
+		c2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ncase: %s", err, first)
+		}
+		var buf2 bytes.Buffer
+		if err := c2.Write(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if buf2.String() != first {
+			t.Fatalf("round trip not a fixed point:\n%s\nvs\n%s", first, buf2.String())
+		}
+	})
+}

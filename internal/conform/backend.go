@@ -1,0 +1,309 @@
+package conform
+
+import (
+	"fmt"
+
+	"sunwaylb/internal/boundary"
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/gpu"
+	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/sunway"
+	"sunwaylb/internal/swlb"
+)
+
+// LidSpeed and InletSpeed are the fixed driving velocities of the lid and
+// channel regimes (small Mach so every generated case stays stable).
+const (
+	LidSpeed   = 0.04
+	InletSpeed = 0.04
+)
+
+// Backend is one implementation under test: it runs a Case from scratch
+// and returns the gathered global macroscopic field.
+type Backend struct {
+	// Name identifies the backend in reports ("swlb/full", "psolve/2x2").
+	Name string
+	// Run executes the case. An error means the backend cannot represent
+	// the case (e.g. too few cells for the rank layout) — the oracle
+	// skips it — while a mismatch is reported by the comparator.
+	Run func(c *Case) (*core.MacroField, error)
+}
+
+// conds builds the boundary-condition set of the case's regime in the
+// fixed face order psolve applies them (XMin, XMax, YMin, YMax, ZMin,
+// ZMax), so serial and distributed runs agree bit-for-bit at halo corners
+// where a later condition overwrites an earlier one.
+func (c *Case) conds() []boundary.Condition {
+	switch c.BC {
+	case BCLid:
+		return []boundary.Condition{
+			&boundary.NoSlip{Face: core.FaceXMin},
+			&boundary.NoSlip{Face: core.FaceXMax},
+			&boundary.NoSlip{Face: core.FaceYMin},
+			&boundary.NoSlip{Face: core.FaceYMax},
+			&boundary.NoSlip{Face: core.FaceZMin},
+			&boundary.MovingNoSlip{Face: core.FaceZMax, U: [3]float64{LidSpeed, 0, 0}},
+		}
+	case BCChannel:
+		return []boundary.Condition{
+			&boundary.VelocityInlet{Face: core.FaceXMin, Rho: 1, U: [3]float64{InletSpeed, 0, 0}},
+			&boundary.PressureOutlet{Face: core.FaceXMax, Rho: 1},
+			&boundary.NoSlip{Face: core.FaceYMin},
+			&boundary.NoSlip{Face: core.FaceYMax},
+		}
+	}
+	return nil
+}
+
+// periodic reports the per-axis periodicity of the regime.
+func (c *Case) periodic() (px, py, pz bool) {
+	switch c.BC {
+	case BCPeriodic:
+		return true, true, true
+	case BCChannel:
+		return false, false, true
+	}
+	return false, false, false
+}
+
+// faceBC renders conds as the map psolve consumes.
+func (c *Case) faceBC() map[core.Face]boundary.Condition {
+	conds := c.conds()
+	if len(conds) == 0 {
+		return nil
+	}
+	m := make(map[core.Face]boundary.Condition, len(conds))
+	for _, cond := range conds {
+		switch bc := cond.(type) {
+		case *boundary.NoSlip:
+			m[bc.Face] = bc
+		case *boundary.MovingNoSlip:
+			m[bc.Face] = bc
+		case *boundary.VelocityInlet:
+			m[bc.Face] = bc
+		case *boundary.PressureOutlet:
+			m[bc.Face] = bc
+		}
+	}
+	return m
+}
+
+// Options derives the distributed-solver configuration for the case on a
+// px×py rank grid.
+func (c *Case) Options(px, py int, onTheFly bool) psolve.Options {
+	perX, perY, perZ := c.periodic()
+	return psolve.Options{
+		GNX: c.NX, GNY: c.NY, GNZ: c.NZ,
+		PX: px, PY: py,
+		Tau:         c.Tau,
+		Smagorinsky: c.Smagorinsky,
+		Force:       c.Force,
+		PeriodicX:   perX, PeriodicY: perY, PeriodicZ: perZ,
+		FaceBC:   c.faceBC(),
+		Walls:    c.Walls(),
+		Init:     c.Init(),
+		OnTheFly: onTheFly,
+	}
+}
+
+// WallsFunc and InitFunc are the geometry and initial-condition
+// signatures shared by all backends (global coordinates).
+type WallsFunc = func(gx, gy, gz int) bool
+
+// InitFunc supplies the initial macroscopic state per global cell.
+type InitFunc = func(gx, gy, gz int) (rho, ux, uy, uz float64)
+
+// buildLattice allocates a standalone lattice for the case's dimensions
+// and physics with the given geometry and initial conditions applied
+// exactly as psolve does per rank (walls first, then init on fluid cells
+// only). The metamorphic properties pass transformed walls/init here.
+func (c *Case) buildLattice(walls WallsFunc, init InitFunc) (*core.Lattice, error) {
+	l, err := core.NewLattice(&lattice.D3Q19, c.NX, c.NY, c.NZ, c.Tau)
+	if err != nil {
+		return nil, err
+	}
+	l.Smagorinsky = c.Smagorinsky
+	l.Force = c.Force
+	if walls != nil {
+		for y := 0; y < c.NY; y++ {
+			for x := 0; x < c.NX; x++ {
+				for z := 0; z < c.NZ; z++ {
+					if walls(x, y, z) {
+						l.SetWall(x, y, z)
+					}
+				}
+			}
+		}
+	}
+	if init != nil {
+		for y := 0; y < c.NY; y++ {
+			for x := 0; x < c.NX; x++ {
+				for z := 0; z < c.NZ; z++ {
+					if l.CellTypeAt(x, y, z) != core.Fluid {
+						continue
+					}
+					rho, ux, uy, uz := init(x, y, z)
+					l.SetCell(x, y, z, rho, ux, uy, uz)
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+// newLattice builds the case's canonical standalone lattice.
+func (c *Case) newLattice() (*core.Lattice, error) {
+	return c.buildLattice(c.Walls(), c.Init())
+}
+
+// advance runs steps time steps on a standalone lattice: boundary fill in
+// psolve's order, then one kernel invocation.
+func (c *Case) advance(l *core.Lattice, conds []boundary.Condition, steps int, step func(l *core.Lattice)) {
+	for s := 0; s < steps; s++ {
+		c.applyBCs(l, conds)
+		step(l)
+	}
+}
+
+// applyBCs fills the halo of a standalone lattice in psolve's order:
+// periodic z wrap, face conditions, then the periodic x and y wraps that
+// stand in for the (single-rank) halo exchange.
+func (c *Case) applyBCs(l *core.Lattice, conds []boundary.Condition) {
+	perX, perY, perZ := c.periodic()
+	if perZ {
+		l.PeriodicAxis(2)
+	}
+	for _, bc := range conds {
+		bc.Apply(l)
+	}
+	if perX {
+		l.PeriodicAxis(0)
+	}
+	if perY {
+		l.PeriodicAxis(1)
+	}
+}
+
+// RunSerial executes the case on a standalone lattice, advancing with
+// step (e.g. (*core.Lattice).StepFused). It is the harness's reference
+// implementation: no mpi, no decomposition, no stepper indirection.
+func (c *Case) RunSerial(step func(l *core.Lattice)) (*core.MacroField, error) {
+	l, err := c.newLattice()
+	if err != nil {
+		return nil, err
+	}
+	c.advance(l, c.conds(), c.Steps, step)
+	return l.ComputeMacro(), nil
+}
+
+// Reference runs the case through the serial fused kernel — the oracle
+// every other backend is compared against.
+func (c *Case) Reference() (*core.MacroField, error) {
+	return c.RunSerial((*core.Lattice).StepFused)
+}
+
+// funcStepper adapts a plain kernel function to psolve.Stepper.
+type funcStepper func()
+
+func (f funcStepper) Step() float64 { f(); return 0 }
+func (f funcStepper) Rebuild()      {}
+
+// testChip returns the small simulated core group every swlb conformance
+// backend runs on: 4 CPEs with SW26010-sized 64 KiB LDM, so CPE blocking,
+// sharing and DMA paths are all exercised without the cost of 64 cores.
+func testChip() sunway.ChipSpec { return sunway.TestChip(4, 64*1024) }
+
+// swlbStage builds a psolve stepper factory for one optimization stage.
+func swlbStage(opt swlb.Options) func(l *core.Lattice) (psolve.Stepper, error) {
+	return func(l *core.Lattice) (psolve.Stepper, error) {
+		return swlb.New(l, testChip(), opt)
+	}
+}
+
+// swlbStages is the Fig. 8 ablation ladder: each entry switches on one
+// more optimization, and every rung must compute the identical flow.
+func swlbStages() []struct {
+	Name string
+	Opt  swlb.Options
+} {
+	return []struct {
+		Name string
+		Opt  swlb.Options
+	}{
+		{"swlb/mpe-baseline", swlb.BaselineOptions()},
+		{"swlb/cpe-unfused", swlb.Options{UseCPEs: true, ComputeEff: 0.1, BZ: 70}},
+		{"swlb/cpe-fused", swlb.Options{UseCPEs: true, Fused: true, ComputeEff: 0.3, BZ: 70}},
+		{"swlb/fused-ysharing", swlb.Options{UseCPEs: true, Fused: true, YSharing: true, ComputeEff: 0.55, BZ: 70}},
+		{"swlb/full", swlb.DefaultOptions()},
+	}
+}
+
+// psolveBackend runs the case on a px×py rank grid through the in-process
+// mpi world.
+func psolveBackend(name string, px, py int, onTheFly bool) Backend {
+	return Backend{Name: name, Run: func(c *Case) (*core.MacroField, error) {
+		if c.NX < px || c.NY < py {
+			return nil, fmt.Errorf("conform: %s needs nx≥%d, ny≥%d", name, px, py)
+		}
+		return psolve.Run(c.Options(px, py, onTheFly), c.Steps)
+	}}
+}
+
+// stepperBackend runs the case single-rank through psolve with a custom
+// kernel driver (swlb stage, gpu node model, or plain kernel adapter).
+func stepperBackend(name string, stepper func(l *core.Lattice) (psolve.Stepper, error)) Backend {
+	return Backend{Name: name, Run: func(c *Case) (*core.MacroField, error) {
+		opts := c.Options(1, 1, false)
+		opts.Stepper = stepper
+		return psolve.Run(opts, c.Steps)
+	}}
+}
+
+// Backends returns the full conformance matrix (every entry must match
+// the serial reference bit-for-bit):
+//
+//   - serial kernel variants (unfused two-pass, data-parallel fused),
+//   - the single-rank distributed solver (validates the mpi plumbing),
+//   - every swlb optimization stage on a simulated Sunway core group,
+//   - the GPU node model,
+//   - multi-rank 1-D and 2-D decompositions at 2, 4 and 8 ranks,
+//     sequential and on-the-fly, plus stitched 3-D block decompositions.
+func Backends() []Backend {
+	bs := []Backend{
+		{Name: "core/unfused", Run: func(c *Case) (*core.MacroField, error) {
+			return c.RunSerial((*core.Lattice).StepUnfused)
+		}},
+		{Name: "core/parallel", Run: func(c *Case) (*core.MacroField, error) {
+			return c.RunSerial(func(l *core.Lattice) { l.StepFusedParallel(0) })
+		}},
+		psolveBackend("psolve/1x1", 1, 1, false),
+		psolveBackend("psolve/2x1", 2, 1, false),
+		psolveBackend("psolve/1x2", 1, 2, false),
+		psolveBackend("psolve/4x1", 4, 1, false),
+		psolveBackend("psolve/2x2", 2, 2, false),
+		psolveBackend("psolve/2x2-onthefly", 2, 2, true),
+		psolveBackend("psolve/8x1", 8, 1, false),
+		psolveBackend("psolve/4x2", 4, 2, false),
+		{Name: "block3d/1x1x2", Run: func(c *Case) (*core.MacroField, error) { return c.RunBlocks3D(1, 1, 2) }},
+		{Name: "block3d/1x2x2", Run: func(c *Case) (*core.MacroField, error) { return c.RunBlocks3D(1, 2, 2) }},
+		{Name: "block3d/2x2x2", Run: func(c *Case) (*core.MacroField, error) { return c.RunBlocks3D(2, 2, 2) }},
+		stepperBackend("gpu/node", func(l *core.Lattice) (psolve.Stepper, error) {
+			return gpu.NewEngine(l, gpu.RTX3090Cluster, gpu.Fig11Final())
+		}),
+	}
+	for _, st := range swlbStages() {
+		bs = append(bs, stepperBackend(st.Name, swlbStage(st.Opt)))
+	}
+	return bs
+}
+
+// BackendNames lists the matrix in order (for -run matching diagnostics).
+func BackendNames() []string {
+	bs := Backends()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}

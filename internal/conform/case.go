@@ -1,0 +1,333 @@
+// Package conform is the differential + metamorphic conformance harness
+// of SunwayLB-Go: the executable statement of the repo's core invariant
+// that every optimization stage (MPE baseline → CPE blocking → kernel
+// fusion → on-the-fly halo exchange) and every backend (serial core,
+// simulated Sunway CPE path, GPU node model, multi-rank decompositions)
+// computes the *same flow* (PAPER §IV-C, Fig. 8).
+//
+// The harness has three layers:
+//
+//  1. Cross-implementation oracles: a seeded case generator produces small
+//     but adversarial scenarios (grid shape, tau, boundary regimes,
+//     obstacle masks, forcing, LES) and runs each through the whole
+//     backend matrix, asserting bit-identical macroscopic fields against
+//     the serial reference (or a documented ULP/absolute bound where an
+//     implementation legitimately reorders float summation).
+//  2. Metamorphic physics properties: stepping commutes with lattice
+//     reflections, 90° rotations and periodic translations; mass and
+//     momentum are conserved on periodic domains; the rest state is a
+//     fixed point; checkpoint→restore→step equals uninterrupted stepping,
+//     including under seeded fault plans.
+//  3. Mutation sensitivity: known numerical bugs (flipped relaxation
+//     sign, off-by-one halo pull, dropped population) are injected into a
+//     shadow kernel and the suite asserts the oracles *catch* each one —
+//     the harness's statistical power is itself under test.
+//
+// Failures shrink to a minimal case and are reported as a compact replay
+// string (see ParseCase) that reproduces the violation standalone:
+//
+//	go run ./cmd/conform -replay 'v1;seed=7;grid=8x9x8;tau=0.62;steps=4;bc=periodic' -run 'swlb/full'
+package conform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// BC regimes. Each regime determines periodicity and the set of boundary
+// conditions applied per step, identically across all backends.
+const (
+	// BCPeriodic wraps all three axes.
+	BCPeriodic = "periodic"
+	// BCLid is a lid-driven cavity: no-slip on five faces, a moving
+	// no-slip lid at z+.
+	BCLid = "lid"
+	// BCChannel is an x-directed channel: velocity inlet at x−, pressure
+	// outlet at x+, no-slip side walls in y, periodic in z.
+	BCChannel = "channel"
+)
+
+// Case is one generated conformance scenario. Everything a backend needs
+// (geometry, initial state, boundary regime) is derived deterministically
+// from the fields, so the compact replay string reproduces the exact run.
+type Case struct {
+	// Seed drives the obstacle mask and the initial-condition modes.
+	Seed int64
+	// NX, NY, NZ are the global interior dimensions.
+	NX, NY, NZ int
+	// Tau is the LBGK relaxation time.
+	Tau float64
+	// Smagorinsky enables the LES subgrid model when > 0.
+	Smagorinsky float64
+	// Force is the Guo body-force density.
+	Force [3]float64
+	// Steps is the number of time steps each backend runs.
+	Steps int
+	// BC selects the boundary regime.
+	BC string
+	// Obst is the number of seeded obstacle boxes.
+	Obst int
+}
+
+// newCaseRNG builds the deterministic generator stream for a seed.
+func newCaseRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// GenerateCase draws a random scenario from the generator distribution.
+// All float parameters are rounded to short decimals so replay strings
+// stay compact and parse back to the identical value.
+func GenerateCase(rng *rand.Rand) *Case {
+	c := &Case{
+		Seed:  rng.Int63n(1 << 31),
+		NX:    8 + rng.Intn(5),
+		NY:    8 + rng.Intn(5),
+		NZ:    8 + rng.Intn(5),
+		Tau:   round3(0.55 + 0.5*rng.Float64()),
+		Steps: 3 + rng.Intn(4),
+	}
+	switch r := rng.Float64(); {
+	case r < 0.6:
+		c.BC = BCPeriodic
+	case r < 0.8:
+		c.BC = BCLid
+	default:
+		c.BC = BCChannel
+	}
+	c.Obst = rng.Intn(3)
+	if c.BC == BCLid {
+		c.Obst = rng.Intn(2)
+	}
+	if c.BC == BCPeriodic && rng.Float64() < 0.25 {
+		c.Force = [3]float64{
+			roundExp(2e-5 * (rng.Float64() - 0.5)),
+			roundExp(2e-5 * (rng.Float64() - 0.5)),
+			roundExp(2e-5 * (rng.Float64() - 0.5)),
+		}
+	}
+	if rng.Float64() < 0.2 {
+		c.Smagorinsky = round3(0.1 + 0.1*rng.Float64())
+	}
+	return c
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// roundExp keeps 3 significant digits so tiny force components survive a
+// decimal round trip exactly.
+func roundExp(v float64) float64 {
+	s := strconv.FormatFloat(v, 'g', 3, 64)
+	out, _ := strconv.ParseFloat(s, 64)
+	return out
+}
+
+// Validate rejects degenerate cases (the shrinker proposes candidates
+// through this gate).
+func (c *Case) Validate() error {
+	if c.NX < 2 || c.NY < 2 || c.NZ < 2 {
+		return fmt.Errorf("conform: dimensions %dx%dx%d too small", c.NX, c.NY, c.NZ)
+	}
+	if c.Tau <= 0.5 {
+		return fmt.Errorf("conform: tau %v must exceed 0.5", c.Tau)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("conform: steps %d must be positive", c.Steps)
+	}
+	switch c.BC {
+	case BCPeriodic, BCLid, BCChannel:
+	default:
+		return fmt.Errorf("conform: unknown bc regime %q", c.BC)
+	}
+	if c.Obst < 0 {
+		return fmt.Errorf("conform: negative obstacle count")
+	}
+	return nil
+}
+
+// String renders the case as the replay DSL (parseable by ParseCase).
+func (c *Case) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1;seed=%d;grid=%dx%dx%d;tau=%s;steps=%d;bc=%s",
+		c.Seed, c.NX, c.NY, c.NZ, ftoa(c.Tau), c.Steps, c.BC)
+	if c.Obst > 0 {
+		fmt.Fprintf(&b, ";obst=%d", c.Obst)
+	}
+	if c.Force != [3]float64{} {
+		fmt.Fprintf(&b, ";force=%s,%s,%s", ftoa(c.Force[0]), ftoa(c.Force[1]), ftoa(c.Force[2]))
+	}
+	if c.Smagorinsky > 0 {
+		fmt.Fprintf(&b, ";smag=%s", ftoa(c.Smagorinsky))
+	}
+	return b.String()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseCase decodes a replay string produced by Case.String.
+func ParseCase(s string) (*Case, error) {
+	parts := strings.Split(strings.TrimSpace(s), ";")
+	if len(parts) == 0 || parts[0] != "v1" {
+		return nil, fmt.Errorf("conform: replay string must start with \"v1;\"")
+	}
+	c := &Case{BC: BCPeriodic}
+	for _, p := range parts[1:] {
+		if p == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("conform: bad clause %q", p)
+		}
+		var err error
+		switch k {
+		case "seed":
+			c.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "grid":
+			dims := strings.Split(v, "x")
+			if len(dims) != 3 {
+				return nil, fmt.Errorf("conform: bad grid %q", v)
+			}
+			if c.NX, err = strconv.Atoi(dims[0]); err == nil {
+				if c.NY, err = strconv.Atoi(dims[1]); err == nil {
+					c.NZ, err = strconv.Atoi(dims[2])
+				}
+			}
+		case "tau":
+			c.Tau, err = strconv.ParseFloat(v, 64)
+		case "steps":
+			c.Steps, err = strconv.Atoi(v)
+		case "bc":
+			c.BC = v
+		case "obst":
+			c.Obst, err = strconv.Atoi(v)
+		case "force":
+			comps := strings.Split(v, ",")
+			if len(comps) != 3 {
+				return nil, fmt.Errorf("conform: bad force %q", v)
+			}
+			for i, cs := range comps {
+				if c.Force[i], err = strconv.ParseFloat(cs, 64); err != nil {
+					break
+				}
+			}
+		case "smag":
+			c.Smagorinsky, err = strconv.ParseFloat(v, 64)
+		default:
+			return nil, fmt.Errorf("conform: unknown key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("conform: clause %q: %w", p, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// box is one axis-aligned obstacle.
+type box struct{ x0, y0, z0, x1, y1, z1 int }
+
+func (b box) contains(x, y, z int) bool {
+	return x >= b.x0 && x < b.x1 && y >= b.y0 && y < b.y1 && z >= b.z0 && z < b.z1
+}
+
+// obstacles derives the seeded obstacle boxes. They stay one cell away
+// from every global face so inlets and lids are never blocked and the
+// generator cannot wall off the whole domain.
+func (c *Case) obstacles() []box {
+	if c.Obst == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.Seed*2 + 1))
+	boxes := make([]box, 0, c.Obst)
+	for i := 0; i < c.Obst; i++ {
+		bx := box{
+			x0: 1 + rng.Intn(max(1, c.NX-3)),
+			y0: 1 + rng.Intn(max(1, c.NY-3)),
+			z0: 1 + rng.Intn(max(1, c.NZ-3)),
+		}
+		bx.x1 = min(c.NX-1, bx.x0+1+rng.Intn(3))
+		bx.y1 = min(c.NY-1, bx.y0+1+rng.Intn(3))
+		bx.z1 = min(c.NZ-1, bx.z0+1+rng.Intn(3))
+		boxes = append(boxes, bx)
+	}
+	return boxes
+}
+
+// Walls returns the global obstacle predicate.
+func (c *Case) Walls() func(gx, gy, gz int) bool {
+	boxes := c.obstacles()
+	if len(boxes) == 0 {
+		return nil
+	}
+	return func(gx, gy, gz int) bool {
+		for _, b := range boxes {
+			if b.contains(gx, gy, gz) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// initModes are the smooth seeded initial-condition fields: a superposed
+// pair of sine modes per macroscopic quantity.
+type initModes struct {
+	// one mode per field: rho, ux, uy, uz
+	amp   [4]float64
+	kx    [4]int
+	ky    [4]int
+	kz    [4]int
+	phase [4]float64
+}
+
+func (c *Case) modes() initModes {
+	rng := rand.New(rand.NewSource(c.Seed*2 + 2))
+	var m initModes
+	for i := 0; i < 4; i++ {
+		m.amp[i] = 0.01 + 0.02*rng.Float64()
+		if i == 0 {
+			m.amp[i] = 0.005 + 0.005*rng.Float64() // density perturbation stays small
+		}
+		m.kx[i] = 1 + rng.Intn(2)
+		m.ky[i] = 1 + rng.Intn(2)
+		m.kz[i] = 1 + rng.Intn(2)
+		m.phase[i] = 2 * math.Pi * rng.Float64()
+	}
+	return m
+}
+
+// Init returns the seeded smooth initial condition as a pure function of
+// the global coordinates (every backend evaluates the identical floats).
+func (c *Case) Init() func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+	m := c.modes()
+	nx, ny, nz := float64(c.NX), float64(c.NY), float64(c.NZ)
+	field := func(i, gx, gy, gz int) float64 {
+		arg := 2*math.Pi*(float64(m.kx[i])*float64(gx)/nx+
+			float64(m.ky[i])*float64(gy)/ny+
+			float64(m.kz[i])*float64(gz)/nz) + m.phase[i]
+		return m.amp[i] * math.Sin(arg)
+	}
+	return func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+		return 1 + field(0, gx, gy, gz),
+			field(1, gx, gy, gz),
+			field(2, gx, gy, gz),
+			field(3, gx, gy, gz)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package conform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGeneratedCasesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		c := GenerateCase(rng)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("generated case %d invalid: %v (%s)", i, err, c)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		c := GenerateCase(rng)
+		s := c.String()
+		back, err := ParseCase(s)
+		if err != nil {
+			t.Fatalf("replay %q does not parse: %v", s, err)
+		}
+		if *back != *c {
+			t.Fatalf("replay round trip changed the case:\n  in  %+v\n  out %+v\n  via %q", c, back, s)
+		}
+	}
+}
+
+func TestParseCaseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"v2;seed=1;grid=8x8x8;tau=0.8;steps=1",
+		"v1;grid=8x8;tau=0.8;steps=1",
+		"v1;grid=8x8x8;tau=0.8;steps=1;bc=warp",
+		"v1;grid=8x8x8;tau=0.4;steps=1",
+		"v1;grid=8x8x8;tau=0.8;steps=0",
+		"v1;grid=1x8x8;tau=0.8;steps=1",
+		"v1;grid=8x8x8;tau=0.8;steps=1;mystery=3",
+		"v1;grid=8x8x8;tau=0.8;steps=1;force=1,2",
+		"v1;noequals",
+	}
+	for _, s := range bad {
+		if _, err := ParseCase(s); err == nil {
+			t.Errorf("ParseCase(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestParseCaseDefaults(t *testing.T) {
+	c, err := ParseCase("v1;grid=8x9x10;tau=0.8;steps=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BC != BCPeriodic || c.Obst != 0 || c.Force != [3]float64{} || c.Smagorinsky != 0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.NX != 8 || c.NY != 9 || c.NZ != 10 {
+		t.Fatalf("grid wrong: %+v", c)
+	}
+}
+
+func TestObstaclesStayOffGlobalFaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		c := GenerateCase(rng)
+		walls := c.Walls()
+		if walls == nil {
+			continue
+		}
+		for y := 0; y < c.NY; y++ {
+			for x := 0; x < c.NX; x++ {
+				for z := 0; z < c.NZ; z++ {
+					onFace := x == 0 || x == c.NX-1 || y == 0 || y == c.NY-1 || z == 0 || z == c.NZ-1
+					if onFace && walls(x, y, z) {
+						t.Fatalf("case %s: obstacle touches global face at (%d,%d,%d)", c, x, y, z)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInitIsPureFunctionOfCoordinates(t *testing.T) {
+	c := &Case{Seed: 99, NX: 8, NY: 8, NZ: 8, Tau: 0.8, Steps: 1, BC: BCPeriodic}
+	a, b := c.Init(), c.Init()
+	for i := 0; i < 50; i++ {
+		x, y, z := i%8, (i/2)%8, (i/3)%8
+		r1, u1, v1, w1 := a(x, y, z)
+		r2, u2, v2, w2 := b(x, y, z)
+		if r1 != r2 || u1 != u2 || v1 != v2 || w1 != w2 {
+			t.Fatalf("Init not deterministic at (%d,%d,%d)", x, y, z)
+		}
+	}
+}
+
+func TestStringMentionsOnlyActiveClauses(t *testing.T) {
+	c := &Case{Seed: 5, NX: 8, NY: 8, NZ: 8, Tau: 0.8, Steps: 3, BC: BCPeriodic}
+	s := c.String()
+	for _, clause := range []string{"obst=", "force=", "smag="} {
+		if strings.Contains(s, clause) {
+			t.Errorf("inactive clause %q rendered in %q", clause, s)
+		}
+	}
+}

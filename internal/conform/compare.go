@@ -1,0 +1,141 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+
+	"sunwaylb/internal/core"
+)
+
+// Tolerance bounds the allowed disagreement between two macroscopic
+// fields. The zero value demands bit-identical floats — the default for
+// the cross-implementation matrix, because every backend evaluates the
+// same per-cell update in the same order (PAPER §IV-C: the optimization
+// stages restructure data movement, not arithmetic).
+type Tolerance struct {
+	// MaxULP admits values within this many representable doubles of
+	// each other (0 = bit-identical). Used where an implementation
+	// legitimately reorders float operations.
+	MaxULP int
+	// AbsTol admits absolute deviation up to this bound (checked after
+	// ULP); metamorphic transforms that permute population summation
+	// order need ~1e-12 here.
+	AbsTol float64
+}
+
+// Exact is the bit-identical tolerance of the differential matrix.
+var Exact = Tolerance{}
+
+// Metamorphic is the documented bound for symmetry transforms, which
+// permute the FP summation order of moments and equilibria. The values
+// themselves are O(1e-2), so 1e-12 is ~1e5 ULP of headroom above the
+// worst case observed while still catching any physics-level bug.
+var Metamorphic = Tolerance{AbsTol: 1e-12}
+
+// ulpDiff returns the number of representable float64 steps between a
+// and b (math.MaxInt64 for NaN or infinite separation).
+func ulpDiff(a, b float64) int64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxInt64
+	}
+	if a == b {
+		return 0
+	}
+	ia := int64(math.Float64bits(a))
+	if ia < 0 {
+		ia = math.MinInt64 - ia
+	}
+	ib := int64(math.Float64bits(b))
+	if ib < 0 {
+		ib = math.MinInt64 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if d < 0 { // overflowed (opposite extremes)
+		return math.MaxInt64
+	}
+	return d
+}
+
+// within reports whether a and b agree under the tolerance.
+func (t Tolerance) within(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if ulpDiff(a, b) <= int64(t.MaxULP) {
+		return true
+	}
+	return math.Abs(a-b) <= t.AbsTol
+}
+
+// Mismatch pinpoints the worst disagreement between two fields.
+type Mismatch struct {
+	// Field is "rho", "ux", "uy" or "uz".
+	Field   string
+	X, Y, Z int
+	// Want is the reference value, Got the backend's.
+	Want, Got float64
+	// ULP is the representable-double distance (capped at MaxInt64).
+	ULP int64
+	// Count is the total number of out-of-tolerance samples.
+	Count int
+}
+
+// Error renders the mismatch for reports.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("%s[%d,%d,%d]: got %.17g want %.17g (Δ=%.3g, %d ulp; %d cells out of tolerance)",
+		m.Field, m.X, m.Y, m.Z, m.Got, m.Want, m.Got-m.Want, m.ULP, m.Count)
+}
+
+// Compare checks got against the reference field under the tolerance and
+// returns nil when they agree. Shape mismatch or any out-of-tolerance
+// cell yields a descriptive error; the worst cell (largest absolute
+// deviation) is reported.
+func Compare(want, got *core.MacroField, tol Tolerance) error {
+	if got == nil {
+		return fmt.Errorf("conform: backend returned nil field")
+	}
+	if want.NX != got.NX || want.NY != got.NY || want.NZ != got.NZ {
+		return fmt.Errorf("conform: field shape %dx%dx%d != reference %dx%dx%d",
+			got.NX, got.NY, got.NZ, want.NX, want.NY, want.NZ)
+	}
+	var worst *Mismatch
+	worstDev := -1.0
+	count := 0
+	check := func(name string, w, g []float64) {
+		for y := 0; y < want.NY; y++ {
+			for x := 0; x < want.NX; x++ {
+				for z := 0; z < want.NZ; z++ {
+					i := want.Idx(x, y, z)
+					if tol.within(w[i], g[i]) {
+						continue
+					}
+					count++
+					dev := math.Abs(w[i] - g[i])
+					if math.IsNaN(g[i]) || math.IsNaN(w[i]) {
+						dev = math.Inf(1)
+					}
+					if dev > worstDev {
+						worstDev = dev
+						worst = &Mismatch{Field: name, X: x, Y: y, Z: z,
+							Want: w[i], Got: g[i], ULP: ulpDiff(w[i], g[i])}
+					}
+				}
+			}
+		}
+	}
+	check("rho", want.Rho, got.Rho)
+	check("ux", want.Ux, got.Ux)
+	check("uy", want.Uy, got.Uy)
+	check("uz", want.Uz, got.Uz)
+	if worst == nil {
+		return nil
+	}
+	worst.Count = count
+	return worst
+}

@@ -1,0 +1,104 @@
+package conform
+
+import (
+	"math"
+	"testing"
+
+	"sunwaylb/internal/core"
+)
+
+func TestULPDiff(t *testing.T) {
+	one := 1.0
+	next := math.Nextafter(one, 2)
+	if d := ulpDiff(one, one); d != 0 {
+		t.Fatalf("ulpDiff(1,1) = %d", d)
+	}
+	if d := ulpDiff(one, next); d != 1 {
+		t.Fatalf("ulpDiff(1, next(1)) = %d", d)
+	}
+	if d := ulpDiff(-one, math.Nextafter(-one, 0)); d != 1 {
+		t.Fatalf("negative-side ulpDiff = %d", d)
+	}
+	// Crossing zero counts the representable doubles in between.
+	if d := ulpDiff(math.Copysign(0, -1), 0.0); d != 0 {
+		t.Fatalf("ulpDiff(-0, +0) = %d", d)
+	}
+	if d := ulpDiff(math.NaN(), 1); d != math.MaxInt64 {
+		t.Fatalf("NaN ulpDiff = %d", d)
+	}
+}
+
+func TestToleranceWithin(t *testing.T) {
+	if !Exact.within(3.25, 3.25) {
+		t.Fatal("Exact rejects equal values")
+	}
+	if Exact.within(3.25, math.Nextafter(3.25, 4)) {
+		t.Fatal("Exact admits a 1-ulp difference")
+	}
+	if !(Tolerance{MaxULP: 2}).within(3.25, math.Nextafter(3.25, 4)) {
+		t.Fatal("MaxULP=2 rejects a 1-ulp difference")
+	}
+	if !Metamorphic.within(0.5, 0.5+5e-13) {
+		t.Fatal("Metamorphic rejects 5e-13 absolute")
+	}
+	if Metamorphic.within(0.5, 0.5+5e-12) {
+		t.Fatal("Metamorphic admits 5e-12 absolute")
+	}
+	if Metamorphic.within(1, math.NaN()) {
+		t.Fatal("tolerance admits NaN")
+	}
+}
+
+func field222(fill float64) *core.MacroField {
+	n := 8
+	m := &core.MacroField{NX: 2, NY: 2, NZ: 2,
+		Rho: make([]float64, n), Ux: make([]float64, n),
+		Uy: make([]float64, n), Uz: make([]float64, n)}
+	for i := range m.Rho {
+		m.Rho[i] = fill
+	}
+	return m
+}
+
+func TestCompareReportsWorstCell(t *testing.T) {
+	want := field222(1)
+	got := field222(1)
+	got.Rho[want.Idx(1, 0, 1)] += 1e-3
+	got.Ux[want.Idx(0, 1, 0)] = 0.5 // worst offender
+	err := Compare(want, got, Exact)
+	if err == nil {
+		t.Fatal("Compare missed the mismatch")
+	}
+	mm, ok := err.(*Mismatch)
+	if !ok {
+		t.Fatalf("Compare returned %T, want *Mismatch", err)
+	}
+	if mm.Field != "ux" || mm.X != 0 || mm.Y != 1 || mm.Z != 0 {
+		t.Fatalf("worst cell wrong: %+v", mm)
+	}
+	if mm.Count != 2 {
+		t.Fatalf("out-of-tolerance count = %d, want 2", mm.Count)
+	}
+}
+
+func TestCompareShapeAndNil(t *testing.T) {
+	want := field222(1)
+	if err := Compare(want, nil, Exact); err == nil {
+		t.Fatal("nil field accepted")
+	}
+	other := &core.MacroField{NX: 1, NY: 2, NZ: 2,
+		Rho: make([]float64, 4), Ux: make([]float64, 4),
+		Uy: make([]float64, 4), Uz: make([]float64, 4)}
+	if err := Compare(want, other, Exact); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCompareCatchesNaN(t *testing.T) {
+	want := field222(1)
+	got := field222(1)
+	got.Uy[3] = math.NaN()
+	if err := Compare(want, got, Metamorphic); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}

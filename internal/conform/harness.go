@@ -1,0 +1,161 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"time"
+)
+
+// Config drives one suite execution.
+type Config struct {
+	// Seed seeds the case generator (the whole run is deterministic in
+	// it).
+	Seed int64
+	// Cases is the number of generated scenarios.
+	Cases int
+	// Run, if non-empty, is a regexp filtering oracle names (like go
+	// test -run).
+	Run string
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Failure is one oracle violation with its shrunk reproduction.
+type Failure struct {
+	// Oracle is the violated oracle's name.
+	Oracle string
+	// Orig is the originally generated failing case; Min is the shrunk
+	// one. Min.String() is the replay string.
+	Orig, Min *Case
+	// Err is the violation reported on the shrunk case.
+	Err error
+}
+
+// String renders the failure with its standalone reproduction line.
+func (f Failure) String() string {
+	return fmt.Sprintf("%s: %v\n  replay: -replay '%s' -run '%s'",
+		f.Oracle, f.Err, f.Min, regexp.QuoteMeta(f.Oracle))
+}
+
+// Report summarises a suite execution.
+type Report struct {
+	Cases    int
+	Oracles  int
+	Checks   int
+	Passed   int
+	Skipped  int
+	Failures []Failure
+	Elapsed  time.Duration
+}
+
+// OK reports whether the suite found no violation.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// Summary is a one-line result for logs.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("conform: %d cases × %d oracles: %d checks, %d passed, %d skipped, %d FAILED (%.1fs)",
+		r.Cases, r.Oracles, r.Checks, r.Passed, r.Skipped, len(r.Failures), r.Elapsed.Seconds())
+}
+
+// safeCheck runs an oracle, converting a panic into a violation (a
+// panicking backend must shrink like any other failure, not kill the
+// harness).
+func safeCheck(o Oracle, x *Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return o.Check(x)
+}
+
+// RunSuite generates Config.Cases scenarios and runs every (matching)
+// oracle on each, shrinking failures to minimal replayable cases. The
+// returned error covers configuration problems only; violations are in
+// the report.
+func RunSuite(cfg Config) (*Report, error) {
+	if cfg.Cases <= 0 {
+		cfg.Cases = 25
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var filter *regexp.Regexp
+	if cfg.Run != "" {
+		var err error
+		if filter, err = regexp.Compile(cfg.Run); err != nil {
+			return nil, fmt.Errorf("conform: bad -run pattern: %w", err)
+		}
+	}
+	all := Oracles()
+	oracles := all[:0:0]
+	for _, o := range all {
+		if filter == nil || filter.MatchString(o.Name) {
+			oracles = append(oracles, o)
+		}
+	}
+	if len(oracles) == 0 {
+		return nil, fmt.Errorf("conform: -run %q matches no oracle (have %v)", cfg.Run, OracleNames())
+	}
+
+	start := time.Now()
+	rep := &Report{Cases: cfg.Cases, Oracles: len(oracles)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Cases; i++ {
+		c := GenerateCase(rng)
+		logf("case %d/%d: %s", i+1, cfg.Cases, c)
+		x := &Ctx{Case: c}
+		for _, o := range oracles {
+			err := safeCheck(o, x)
+			rep.Checks++
+			switch {
+			case err == nil:
+				rep.Passed++
+			case IsSkip(err):
+				rep.Skipped++
+			default:
+				logf("  FAIL %s: %v (shrinking)", o.Name, err)
+				f := shrinkFailure(o, c)
+				logf("  min: %s", f.Min)
+				rep.Failures = append(rep.Failures, f)
+			}
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// shrinkFailure minimises the failing case for one oracle.
+func shrinkFailure(o Oracle, c *Case) Failure {
+	fails := func(cand *Case) bool {
+		err := safeCheck(o, &Ctx{Case: cand})
+		return err != nil && !IsSkip(err)
+	}
+	min := Shrink(c, fails)
+	return Failure{
+		Oracle: o.Name,
+		Orig:   c,
+		Min:    min,
+		Err:    safeCheck(o, &Ctx{Case: min}),
+	}
+}
+
+// RunOracle executes one oracle (by exact name, mutant oracles included)
+// against a case — the replay entry point.
+func RunOracle(name string, c *Case) error {
+	for _, o := range AllOracles() {
+		if o.Name == name {
+			return safeCheck(o, &Ctx{Case: c})
+		}
+	}
+	return fmt.Errorf("conform: unknown oracle %q (have %v)", name, append(OracleNames(), MutantOracleNames()...))
+}
+
+// AllOracles is the replayable universe: the conformance suite plus the
+// mutation-sensitivity shadow kernels (which are expected to fail — they
+// exist so the self-test can prove the suite catches real bugs).
+func AllOracles() []Oracle {
+	return append(Oracles(), MutantOracles()...)
+}

@@ -1,0 +1,111 @@
+package conform
+
+import (
+	"testing"
+)
+
+// TestShadowControl: the clean shadow kernel must itself conform — the
+// control arm without which "mutant caught" proves nothing.
+func TestShadowControl(t *testing.T) {
+	for _, s := range []string{
+		"v1;seed=61;grid=8x8x8;tau=0.7;steps=4;bc=periodic;obst=2",
+		"v1;seed=62;grid=2x2x2;tau=0.8;steps=1;bc=periodic",
+		"v1;seed=63;grid=9x10x8;tau=1.2;steps=5;bc=periodic",
+	} {
+		c := mustParse(t, s)
+		if err := ShadowControl(c.Normalized()); err != nil {
+			t.Errorf("clean shadow kernel fails on %s: %v", s, err)
+		}
+	}
+}
+
+// TestSelfTestDetectsAllMutations is the acceptance criterion: every
+// injected numerical bug is caught by at least one oracle and shrinks
+// to a standalone replay.
+func TestSelfTestDetectsAllMutations(t *testing.T) {
+	dets, err := SelfTest(1, 10, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Mutations()); len(dets) != want {
+		t.Fatalf("detected %d mutations, want %d", len(dets), want)
+	}
+	for _, d := range dets {
+		if d.Replay == "" || d.Err == nil {
+			t.Errorf("mutation %s: incomplete detection %+v", d.Mutation.Name, d)
+		}
+		// The replay string reproduces the violation standalone.
+		rc, err := ParseCase(d.Replay)
+		if err != nil {
+			t.Errorf("mutation %s: replay %q does not parse: %v", d.Mutation.Name, d.Replay, err)
+			continue
+		}
+		if rerr := RunOracle("mutant/"+d.Mutation.Name, rc); rerr == nil || IsSkip(rerr) {
+			t.Errorf("mutation %s: replay %q does not reproduce (got %v)", d.Mutation.Name, d.Replay, rerr)
+		}
+	}
+}
+
+// TestFlipRelaxInvisibleToConservation documents the key power fact:
+// the flipped relaxation sign conserves mass bit-for-bit (BGK collision
+// conserves ρ for either sign), so only the differential oracle can see
+// it. If this ever starts failing the mutation catalogue should be
+// re-examined — it would mean the shadow kernel's bug is leaking into a
+// conserved quantity.
+func TestFlipRelaxInvisibleToConservation(t *testing.T) {
+	c := mustParse(t, "v1;seed=71;grid=8x8x8;tau=0.7;steps=3;bc=periodic").Normalized()
+	var flip Mutation
+	for _, m := range Mutations() {
+		if m.Name == "flip-relax-sign" {
+			flip = m
+		}
+	}
+	if flip.Step == nil {
+		t.Fatal("flip-relax-sign mutation missing")
+	}
+	_, m0, m1, err := runShadow(c, flip.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m1 - m0; d > 1e-10 || d < -1e-10 {
+		t.Fatalf("flip-relax unexpectedly violates mass: %.17g -> %.17g", m0, m1)
+	}
+	// ...while the differential oracle does catch it.
+	if err := checkShadow(c, flip.Step); err == nil {
+		t.Fatal("differential oracle missed the flipped relaxation sign")
+	}
+}
+
+// TestMutantOraclesExcludedFromSuite: RunSuite must never include the
+// intentionally-broken shadow kernels.
+func TestMutantOraclesExcludedFromSuite(t *testing.T) {
+	for _, n := range OracleNames() {
+		if len(n) >= 7 && n[:7] == "mutant/" {
+			t.Fatalf("suite oracle list contains mutant %s", n)
+		}
+	}
+	// But the replay universe must know them.
+	c := mustParse(t, "v1;seed=1;grid=2x2x2;tau=0.8;steps=1")
+	if err := RunOracle("mutant/drop-population", c); err == nil {
+		t.Fatal("mutant/drop-population should fail on any non-trivial case")
+	}
+}
+
+func TestShrinkPredicateMinimises(t *testing.T) {
+	c := mustParse(t, "v1;seed=9;grid=12x11x10;tau=0.62;steps=6;bc=lid;obst=2;smag=0.2")
+	min := Shrink(c, func(cand *Case) bool { return cand.NX >= 4 && cand.Steps >= 2 })
+	if min.NX != 4 {
+		t.Errorf("NX not minimised: %d (want 4)", min.NX)
+	}
+	if min.Steps != 2 {
+		t.Errorf("Steps not minimised: %d (want 2)", min.Steps)
+	}
+	if min.NY != 2 || min.NZ != 2 || min.Obst != 0 || min.Smagorinsky != 0 || min.BC != BCPeriodic {
+		t.Errorf("irrelevant structure survived shrinking: %s", min)
+	}
+	// Shrink of a non-failing case returns the case unchanged.
+	same := Shrink(c, func(cand *Case) bool { return *cand == *c })
+	if *same != *c {
+		t.Errorf("shrink moved off the only failing point: %s", same)
+	}
+}

@@ -1,0 +1,443 @@
+package conform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/fault"
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/swio"
+)
+
+// errSkip marks an oracle as not applicable to a case (e.g. momentum
+// conservation on a driven cavity). Skips are counted, never failures,
+// and a shrink candidate whose oracle skips is treated as non-failing.
+var errSkip = errors.New("conform: not applicable")
+
+// skipf builds a skip with context.
+func skipf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, errSkip)...)
+}
+
+// IsSkip reports whether an oracle outcome means "not applicable".
+func IsSkip(err error) bool { return errors.Is(err, errSkip) }
+
+// Ctx carries one case through the oracle list, memoizing the serial
+// reference so the differential matrix computes it once.
+type Ctx struct {
+	Case *Case
+
+	refDone bool
+	ref     *core.MacroField
+	refErr  error
+}
+
+// Reference returns the memoized serial fused-kernel solution.
+func (x *Ctx) Reference() (*core.MacroField, error) {
+	if !x.refDone {
+		x.ref, x.refErr = x.Case.Reference()
+		x.refDone = true
+	}
+	return x.ref, x.refErr
+}
+
+// Oracle is one executable correctness statement. Check returns nil on
+// pass, errSkip (via skipf) when the case is out of scope, and a
+// descriptive violation otherwise.
+type Oracle struct {
+	Name  string
+	Check func(x *Ctx) error
+}
+
+// Oracles returns the complete conformance suite: the differential
+// backend matrix against the serial reference, then the metamorphic and
+// physics properties.
+func Oracles() []Oracle {
+	var os []Oracle
+	for _, b := range Backends() {
+		b := b
+		os = append(os, Oracle{Name: b.Name, Check: func(x *Ctx) error {
+			want, err := x.Reference()
+			if err != nil {
+				return fmt.Errorf("reference: %w", err)
+			}
+			got, err := b.Run(x.Case)
+			if err != nil {
+				return skipf("backend %s: %v", b.Name, err)
+			}
+			return Compare(want, got, Exact)
+		}})
+	}
+	os = append(os,
+		Oracle{Name: "prop/mass", Check: checkMass},
+		Oracle{Name: "prop/momentum", Check: checkMomentum},
+		Oracle{Name: "prop/rest", Check: checkRest},
+		Oracle{Name: "prop/translate", Check: checkTranslate},
+		Oracle{Name: "prop/reflect", Check: checkReflect},
+		Oracle{Name: "prop/rotate", Check: checkRotate},
+		Oracle{Name: "prop/checkpoint", Check: checkCheckpoint},
+		Oracle{Name: "prop/faultplan", Check: checkFaultPlan},
+	)
+	return os
+}
+
+// OracleNames lists the suite in order.
+func OracleNames() []string {
+	os := Oracles()
+	names := make([]string, len(os))
+	for i, o := range os {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------
+// Conservation properties.
+
+// checkMass asserts global mass conservation on periodic domains: LBGK
+// collision conserves density exactly, bounce-back walls return every
+// population they receive, and the Guo source terms sum to zero over Q.
+// The FP budget is relative 1e-12 — far above accumulated rounding,
+// far below any dropped or duplicated population.
+func checkMass(x *Ctx) error {
+	c := x.Case
+	if c.BC != BCPeriodic {
+		return skipf("mass conservation needs a closed (periodic) domain, bc=%s", c.BC)
+	}
+	l, err := c.newLattice()
+	if err != nil {
+		return err
+	}
+	m0 := l.TotalMass()
+	c.advance(l, nil, c.Steps, (*core.Lattice).StepFused)
+	m1 := l.TotalMass()
+	if tol := 1e-12 * math.Abs(m0); math.Abs(m1-m0) > tol {
+		return fmt.Errorf("mass drift: %.17g -> %.17g (Δ=%.3g > %.3g)", m0, m1, m1-m0, tol)
+	}
+	return nil
+}
+
+// checkMomentum asserts global momentum conservation on periodic,
+// obstacle-free, force-free domains (walls exchange momentum with the
+// fluid and the Guo force injects it, so those cases are out of scope).
+func checkMomentum(x *Ctx) error {
+	c := x.Case
+	if c.BC != BCPeriodic || c.Obst > 0 || c.Force != [3]float64{} {
+		return skipf("momentum conservation needs periodic, wall-free, force-free flow")
+	}
+	l, err := c.newLattice()
+	if err != nil {
+		return err
+	}
+	jx0, jy0, jz0 := l.TotalMomentum()
+	c.advance(l, nil, c.Steps, (*core.Lattice).StepFused)
+	jx1, jy1, jz1 := l.TotalMomentum()
+	cells := float64(c.NX * c.NY * c.NZ)
+	tol := 1e-12 * cells
+	for _, d := range []struct {
+		name   string
+		b4, af float64
+	}{{"jx", jx0, jx1}, {"jy", jy0, jy1}, {"jz", jz0, jz1}} {
+		if math.Abs(d.af-d.b4) > tol {
+			return fmt.Errorf("momentum drift %s: %.17g -> %.17g (Δ=%.3g > %.3g)",
+				d.name, d.b4, d.af, d.af-d.b4, tol)
+		}
+	}
+	return nil
+}
+
+// checkRest asserts the quiescent state is a fixed point: with ρ=1, u=0
+// everywhere (obstacles kept, no forcing, no driving boundary) the flow
+// must stay at rest to within accumulated rounding. In exact arithmetic
+// it is exactly fixed; in binary the D3Q19 weights do not sum to exactly
+// one, so a per-step O(1e-16) residual is allowed for.
+func checkRest(x *Ctx) error {
+	c := x.Case
+	if c.BC != BCPeriodic || c.Force != [3]float64{} {
+		return skipf("rest fixed point needs an undriven periodic domain")
+	}
+	rest := func(gx, gy, gz int) (rho, ux, uy, uz float64) { return 1, 0, 0, 0 }
+	l, err := c.buildLattice(c.Walls(), rest)
+	if err != nil {
+		return err
+	}
+	c.advance(l, nil, c.Steps, (*core.Lattice).StepFused)
+	m := l.ComputeMacro()
+	uTol := 1e-14 * float64(c.Steps+1)
+	rhoTol := 1e-13 * float64(c.Steps+1)
+	for i := range m.Rho {
+		if m.Rho[i] == 0 {
+			continue // solid cell
+		}
+		if math.Abs(m.Rho[i]-1) > rhoTol {
+			return fmt.Errorf("rest state drifted: rho[%d]=%.17g (|Δ|>%.3g)", i, m.Rho[i], rhoTol)
+		}
+		if v := math.Max(math.Abs(m.Ux[i]), math.Max(math.Abs(m.Uy[i]), math.Abs(m.Uz[i]))); v > uTol {
+			return fmt.Errorf("rest state drifted: |u|[%d]=%.3g > %.3g", i, v, uTol)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Symmetry properties. Each transform is applied to the *scenario*
+// (walls, init, force), the transformed case is run from scratch, and
+// the result must equal the transformed reference field. Translation is
+// a pure relabeling of identical per-cell computations, so it is
+// bit-exact; reflection and rotation permute the population order inside
+// the moment and equilibrium sums, so they carry the documented
+// Metamorphic tolerance.
+
+func wrapCoord(v, n int) int { return ((v % n) + n) % n }
+
+// checkTranslate asserts stepping commutes with periodic translation,
+// bit-exactly.
+func checkTranslate(x *Ctx) error {
+	c := x.Case
+	if c.BC != BCPeriodic {
+		return skipf("translation symmetry needs periodic bc")
+	}
+	want, err := x.Reference()
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	dx, dy, dz := 3%c.NX, 2%c.NY, 1%c.NZ
+	walls, init := c.Walls(), c.Init()
+	var twalls WallsFunc
+	if walls != nil {
+		twalls = func(gx, gy, gz int) bool {
+			return walls(wrapCoord(gx-dx, c.NX), wrapCoord(gy-dy, c.NY), wrapCoord(gz-dz, c.NZ))
+		}
+	}
+	tinit := func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+		return init(wrapCoord(gx-dx, c.NX), wrapCoord(gy-dy, c.NY), wrapCoord(gz-dz, c.NZ))
+	}
+	l, err := c.buildLattice(twalls, tinit)
+	if err != nil {
+		return err
+	}
+	c.advance(l, nil, c.Steps, (*core.Lattice).StepFused)
+	got := l.ComputeMacro()
+	exp := emptyLike(want)
+	forEachCell(want, func(gx, gy, gz, i int) {
+		j := exp.Idx(wrapCoord(gx+dx, c.NX), wrapCoord(gy+dy, c.NY), wrapCoord(gz+dz, c.NZ))
+		exp.Rho[j], exp.Ux[j], exp.Uy[j], exp.Uz[j] = want.Rho[i], want.Ux[i], want.Uy[i], want.Uz[i]
+	})
+	if err := Compare(exp, got, Exact); err != nil {
+		return fmt.Errorf("translate(+%d,+%d,+%d): %w", dx, dy, dz, err)
+	}
+	return nil
+}
+
+// checkReflect asserts stepping commutes with the x-axis mirror.
+func checkReflect(x *Ctx) error {
+	c := x.Case
+	if c.BC != BCPeriodic {
+		return skipf("reflection symmetry needs periodic bc")
+	}
+	want, err := x.Reference()
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	mir := func(gx int) int { return c.NX - 1 - gx }
+	walls, init := c.Walls(), c.Init()
+	var rwalls WallsFunc
+	if walls != nil {
+		rwalls = func(gx, gy, gz int) bool { return walls(mir(gx), gy, gz) }
+	}
+	rinit := func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+		rho, ux, uy, uz = init(mir(gx), gy, gz)
+		return rho, -ux, uy, uz
+	}
+	rc := *c
+	rc.Force[0] = -c.Force[0]
+	l, err := rc.buildLattice(rwalls, rinit)
+	if err != nil {
+		return err
+	}
+	rc.advance(l, nil, rc.Steps, (*core.Lattice).StepFused)
+	got := l.ComputeMacro()
+	exp := emptyLike(want)
+	forEachCell(want, func(gx, gy, gz, i int) {
+		j := exp.Idx(mir(gx), gy, gz)
+		exp.Rho[j], exp.Ux[j], exp.Uy[j], exp.Uz[j] = want.Rho[i], -want.Ux[i], want.Uy[i], want.Uz[i]
+	})
+	if err := Compare(exp, got, Metamorphic); err != nil {
+		return fmt.Errorf("reflect(x): %w", err)
+	}
+	return nil
+}
+
+// checkRotate asserts stepping commutes with a 90° rotation about z.
+// The case is squared in the xy plane (NY := NX) so the rotation maps
+// the lattice onto itself; destination (x', y') = (N-1-y, x), velocity
+// (ux, uy) → (−uy, ux).
+func checkRotate(x *Ctx) error {
+	c := x.Case
+	if c.BC != BCPeriodic {
+		return skipf("rotation symmetry needs periodic bc")
+	}
+	sq := *c
+	sq.NY = sq.NX
+	n := sq.NX
+	want, err := sq.Reference()
+	if err != nil {
+		return fmt.Errorf("square reference: %w", err)
+	}
+	walls, init := sq.Walls(), sq.Init()
+	var rwalls WallsFunc
+	if walls != nil {
+		rwalls = func(gx, gy, gz int) bool { return walls(gy, n-1-gx, gz) }
+	}
+	rinit := func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+		rho, ux, uy, uz = init(gy, n-1-gx, gz)
+		return rho, -uy, ux, uz
+	}
+	rc := sq
+	rc.Force[0], rc.Force[1] = -sq.Force[1], sq.Force[0]
+	l, err := rc.buildLattice(rwalls, rinit)
+	if err != nil {
+		return err
+	}
+	rc.advance(l, nil, rc.Steps, (*core.Lattice).StepFused)
+	got := l.ComputeMacro()
+	exp := emptyLike(want)
+	forEachCell(want, func(gx, gy, gz, i int) {
+		j := exp.Idx(n-1-gy, gx, gz)
+		exp.Rho[j], exp.Ux[j], exp.Uy[j], exp.Uz[j] = want.Rho[i], -want.Uy[i], want.Ux[i], want.Uz[i]
+	})
+	if err := Compare(exp, got, Metamorphic); err != nil {
+		return fmt.Errorf("rotate(90° about z, squared to %d×%d): %w", n, n, err)
+	}
+	return nil
+}
+
+// emptyLike allocates a zero field with the reference's shape.
+func emptyLike(m *core.MacroField) *core.MacroField {
+	n := m.NX * m.NY * m.NZ
+	return &core.MacroField{NX: m.NX, NY: m.NY, NZ: m.NZ,
+		Rho: make([]float64, n), Ux: make([]float64, n),
+		Uy: make([]float64, n), Uz: make([]float64, n)}
+}
+
+// forEachCell visits every cell of the field with its linear index.
+func forEachCell(m *core.MacroField, fn func(gx, gy, gz, i int)) {
+	for gy := 0; gy < m.NY; gy++ {
+		for gx := 0; gx < m.NX; gx++ {
+			for gz := 0; gz < m.NZ; gz++ {
+				fn(gx, gy, gz, m.Idx(gx, gy, gz))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restart properties.
+
+// checkpointLayout is the rank grid the restart properties run on.
+const ckptPX, ckptPY = 2, 2
+
+// runGatherLattice runs a distributed simulation for steps and returns
+// the gathered global lattice state from rank 0.
+func runGatherLattice(opts psolve.Options, steps int) (*core.Lattice, error) {
+	w, err := mpi.NewWorld(opts.PX * opts.PY)
+	if err != nil {
+		return nil, err
+	}
+	var out *core.Lattice
+	err = mpi.RunWorld(w, func(cm *mpi.Comm) error {
+		s, err := psolve.New(cm, opts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+		g, err := s.GatherLattice(0)
+		if err != nil {
+			return err
+		}
+		if g != nil {
+			out = g
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkCheckpoint asserts checkpoint → serialize → restore → resume is
+// bit-identical to an uninterrupted distributed run: the state round
+// trips through the swio V2 (CRC-validated) encoding midway.
+func checkCheckpoint(x *Ctx) error {
+	c := x.Case
+	k := c.Steps / 2
+	if k < 1 {
+		return skipf("checkpoint property needs ≥ 2 steps")
+	}
+	opts := c.Options(ckptPX, ckptPY, false)
+	full, err := psolve.Run(opts, c.Steps)
+	if err != nil {
+		return skipf("distributed run: %v", err)
+	}
+	mid, err := runGatherLattice(opts, k)
+	if err != nil {
+		return skipf("checkpoint leg: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := swio.WriteCheckpoint(&buf, mid); err != nil {
+		return fmt.Errorf("serialize at step %d: %w", k, err)
+	}
+	restored, err := swio.ReadCheckpoint(&buf)
+	if err != nil {
+		return fmt.Errorf("deserialize at step %d: %w", k, err)
+	}
+	opts.Restore = restored
+	resumed, err := psolve.Run(opts, c.Steps-k)
+	if err != nil {
+		return fmt.Errorf("resume after restore: %w", err)
+	}
+	if err := Compare(full, resumed, Exact); err != nil {
+		return fmt.Errorf("restore at step %d/%d diverges from uninterrupted run: %w", k, c.Steps, err)
+	}
+	return nil
+}
+
+// checkFaultPlan asserts a supervised run that loses a rank mid-flight
+// and recovers from its last verified checkpoint still produces the
+// bit-identical flow (deterministic replay, §IV-B).
+func checkFaultPlan(x *Ctx) error {
+	c := x.Case
+	if c.Steps < 2 {
+		return skipf("fault-plan property needs ≥ 2 steps")
+	}
+	opts := c.Options(ckptPX, ckptPY, false)
+	clean, err := psolve.Run(opts, c.Steps)
+	if err != nil {
+		return skipf("distributed run: %v", err)
+	}
+	plan := fault.Plan{
+		Seed:    c.Seed,
+		Crashes: []fault.Crash{{Rank: 1, Step: c.Steps / 2}},
+	}
+	supervised, _, err := psolve.Supervise(psolve.SupervisorOptions{
+		Opts:            opts,
+		Steps:           c.Steps,
+		CheckpointEvery: 1,
+		MaxRestarts:     3,
+		Injector:        fault.NewInjector(plan),
+	})
+	if err != nil {
+		return fmt.Errorf("supervised run failed to recover: %w", err)
+	}
+	if err := Compare(clean, supervised, Exact); err != nil {
+		return fmt.Errorf("recovery from crash@step %d diverges: %w", c.Steps/2, err)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package conform
+
+// Shrinking: a failing (case, oracle) pair is reduced to a minimal
+// replayable case by greedy descent over a fixed candidate schedule. A
+// candidate is accepted when it still validates AND still fails the same
+// oracle; backend "cannot represent" skips count as non-failing, so the
+// shrinker never walks out of a layout's domain (e.g. below 8 cells in x
+// for the 8×1 decomposition — that backend simply skips and the shrink
+// stops there).
+
+// failsFn evaluates whether a candidate still reproduces the violation.
+type failsFn func(c *Case) bool
+
+// Shrink minimises a failing case under the predicate. It always returns
+// a case for which fails is true (at worst the input itself).
+func Shrink(c *Case, fails failsFn) *Case {
+	cur := c.clone()
+	// Budget caps pathological schedules; each accepted candidate
+	// restarts the pass, so the loop terminates when a full pass makes
+	// no progress.
+	budget := 400
+	for budget > 0 {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			budget--
+			if budget <= 0 {
+				break
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			if !fails(cand) {
+				continue
+			}
+			cur = cand
+			improved = true
+			break
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+func (c *Case) clone() *Case {
+	cp := *c
+	return &cp
+}
+
+// shrinkCandidates proposes simplifications of c, most aggressive first.
+func shrinkCandidates(c *Case) []*Case {
+	var out []*Case
+	add := func(mut func(n *Case)) {
+		n := c.clone()
+		mut(n)
+		if *n != *c {
+			out = append(out, n)
+		}
+	}
+	// Fewer steps dominates runtime and trace length.
+	if c.Steps > 1 {
+		add(func(n *Case) { n.Steps = 1 })
+		add(func(n *Case) { n.Steps = c.Steps / 2 })
+		add(func(n *Case) { n.Steps = c.Steps - 1 })
+	}
+	// Simpler physics.
+	if c.Smagorinsky != 0 {
+		add(func(n *Case) { n.Smagorinsky = 0 })
+	}
+	if c.Force != [3]float64{} {
+		add(func(n *Case) { n.Force = [3]float64{} })
+	}
+	if c.Obst > 0 {
+		add(func(n *Case) { n.Obst = 0 })
+		add(func(n *Case) { n.Obst = c.Obst - 1 })
+	}
+	if c.BC != BCPeriodic {
+		add(func(n *Case) { n.BC = BCPeriodic })
+	}
+	if c.Tau != 0.8 {
+		add(func(n *Case) { n.Tau = 0.8 })
+	}
+	// Smaller grids, one axis at a time: halve toward 2, then decrement.
+	dims := []struct {
+		get func(*Case) int
+		set func(*Case, int)
+	}{
+		{func(n *Case) int { return n.NX }, func(n *Case, v int) { n.NX = v }},
+		{func(n *Case) int { return n.NY }, func(n *Case, v int) { n.NY = v }},
+		{func(n *Case) int { return n.NZ }, func(n *Case, v int) { n.NZ = v }},
+	}
+	for _, d := range dims {
+		v := d.get(c)
+		if v > 2 {
+			add(func(n *Case) { d.set(n, 2) })
+			if v/2 >= 2 {
+				add(func(n *Case) { d.set(n, v/2) })
+			}
+			add(func(n *Case) { d.set(n, v-1) })
+		}
+	}
+	// A calmer seed often simplifies the obstacle mask and modes.
+	if c.Seed != 1 {
+		add(func(n *Case) { n.Seed = 1 })
+	}
+	return out
+}

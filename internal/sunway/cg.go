@@ -56,6 +56,30 @@ type CoreGroup struct {
 	TotalTime float64
 	// Counters accumulates activity over all Run calls.
 	Counters Counters
+
+	abort struct {
+		sync.Mutex
+		val any  // first kernel panic value, nil while healthy
+		cpe int  // CPE the first panic happened on
+		set bool // distinguishes panic(nil) from no panic
+	}
+}
+
+// aborted reports whether a kernel panic has been recorded for the
+// in-flight Run, and on which CPE.
+func (cg *CoreGroup) aborted() (int, bool) {
+	cg.abort.Lock()
+	defer cg.abort.Unlock()
+	return cg.abort.cpe, cg.abort.set
+}
+
+// cpeAborted is the sentinel panic that unwinds CPEs parked at a barrier
+// after another CPE has panicked. It is never reported to the caller —
+// the original panic value is.
+type cpeAborted struct{ cpe int }
+
+func (a cpeAborted) Error() string {
+	return fmt.Sprintf("sunway: CPE kernel aborted (another CPE panicked; first failure on CPE %d)", a.cpe)
 }
 
 type cpeMailbox struct {
@@ -120,12 +144,23 @@ func (cg *CoreGroup) mailbox(src, dst int) *cpeMailbox {
 // Run executes the kernel on every CPE concurrently (the Athread
 // spawn/join pattern) and returns the simulated elapsed time: the maximum
 // CPE clock. LDM allocations and clocks are reset at entry.
+//
+// A panic inside the kernel on any CPE is recovered on that CPE's
+// goroutine, recorded, and re-raised on the goroutine that called Run once
+// every CPE has unwound — the analogue of the whole core group faulting
+// when one CPE traps. CPEs parked at a Barrier when the fault happens are
+// released with an internal abort panic so Run cannot deadlock; the value
+// re-raised is always the first kernel panic, not the abort sentinel.
 func (cg *CoreGroup) Run(kernel func(p *CPE)) float64 {
 	cg.barrier.Lock()
 	cg.barrier.count = 0
 	cg.barrier.maxT = 0
 	cg.barrier.releaseT = 0
 	cg.barrier.Unlock()
+	cg.abort.Lock()
+	cg.abort.val = nil
+	cg.abort.set = false
+	cg.abort.Unlock()
 	var wg sync.WaitGroup
 	for _, p := range cg.cpes {
 		p.clock = 0
@@ -135,10 +170,38 @@ func (cg *CoreGroup) Run(kernel func(p *CPE)) float64 {
 		wg.Add(1)
 		go func(p *CPE) {
 			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, sentinel := r.(cpeAborted); sentinel {
+					return // secondary unwind, not the root cause
+				}
+				cg.abort.Lock()
+				if !cg.abort.set {
+					cg.abort.set = true
+					cg.abort.val = r
+					cg.abort.cpe = p.ID
+				}
+				cg.abort.Unlock()
+				// Release any CPEs waiting at the barrier so the
+				// group can unwind instead of deadlocking.
+				cg.barrier.Lock()
+				cg.barrier.gen++
+				cg.barrier.cond.Broadcast()
+				cg.barrier.Unlock()
+			}()
 			kernel(p)
 		}(p)
 	}
 	wg.Wait()
+	cg.abort.Lock()
+	failed, val := cg.abort.set, cg.abort.val
+	cg.abort.Unlock()
+	if failed {
+		panic(val)
+	}
 	elapsed := 0.0
 	for _, p := range cg.cpes {
 		if p.clock > elapsed {
@@ -248,18 +311,67 @@ func (p *CPE) DMAGet(dst, src []float64) {
 func (p *CPE) DMAPut(dst, src []float64) {
 	copy(dst, src)
 	n := len(src) * 8
-	p.clock = p.dmaSchedule(p.putCost(n))
+	p.clock = p.dmaSchedule(p.putCost(n, 1))
 	p.counters.DMABytes += int64(n)
 	p.counters.DMADescriptors++
 }
 
-// putCost is the store cost including write-allocate traffic.
-func (p *CPE) putCost(bytes int) float64 {
+// putCost is the store cost of descriptors contiguous runs totalling
+// bytes, including write-allocate traffic.
+func (p *CPE) putCost(bytes, descriptors int) float64 {
 	wa := p.cg.Spec.StoreWriteAllocate
 	if wa <= 0 {
 		wa = 1
 	}
-	return (float64(bytes)*wa + p.cg.Spec.DMAStartupBytes) / p.dmaShare()
+	return (float64(bytes)*wa + float64(descriptors)*p.cg.Spec.DMAStartupBytes) / p.dmaShare()
+}
+
+// stridedRuns validates the geometry of a strided transfer between a
+// contiguous LDM buffer of ldmLen values and a main-memory buffer of
+// memLen values, and returns the number of runs (= DMA descriptors).
+func (p *CPE) stridedRuns(ldmLen, memLen, runLen, stride int, op string) int {
+	if runLen <= 0 || stride < runLen || ldmLen%runLen != 0 {
+		panic(fmt.Sprintf("sunway: CPE %d strided %s: invalid geometry runLen=%d stride=%d ldm=%d",
+			p.ID, op, runLen, stride, ldmLen))
+	}
+	runs := ldmLen / runLen
+	if runs > 0 && (runs-1)*stride+runLen > memLen {
+		panic(fmt.Sprintf("sunway: CPE %d strided %s overruns main memory: %d runs of %d at stride %d > %d values",
+			p.ID, op, runs, runLen, stride, memLen))
+	}
+	return runs
+}
+
+// DMAGetStrided gathers runs of runLen float64s from main memory into the
+// contiguous LDM buffer dst: run r starts at src[r*stride]. The hardware
+// issues one descriptor per run, so a strided gather of the same bytes as
+// a contiguous DMAGet pays len(dst)/runLen startup charges instead of one
+// — the accounting behind the paper's preference for layouts that keep
+// the innermost (z) dimension contiguous (§IV-B).
+func (p *CPE) DMAGetStrided(dst, src []float64, runLen, stride int) {
+	runs := p.stridedRuns(len(dst), len(src), runLen, stride, "get")
+	for r := 0; r < runs; r++ {
+		copy(dst[r*runLen:(r+1)*runLen], src[r*stride:r*stride+runLen])
+	}
+	n := len(dst) * 8
+	p.clock = p.dmaSchedule(p.dmaCost(n, runs))
+	p.counters.DMABytes += int64(n)
+	p.counters.DMADescriptors += int64(runs)
+}
+
+// DMAPutStrided scatters the contiguous LDM buffer src into main memory:
+// run r of runLen values lands at dst[r*stride]. Like DMAGetStrided each
+// run is a separate descriptor, and stores additionally pay the
+// write-allocate factor.
+func (p *CPE) DMAPutStrided(dst, src []float64, runLen, stride int) {
+	runs := p.stridedRuns(len(src), len(dst), runLen, stride, "put")
+	for r := 0; r < runs; r++ {
+		copy(dst[r*stride:r*stride+runLen], src[r*runLen:(r+1)*runLen])
+	}
+	n := len(src) * 8
+	p.clock = p.dmaSchedule(p.putCost(n, runs))
+	p.counters.DMABytes += int64(n)
+	p.counters.DMADescriptors += int64(runs)
 }
 
 // DMAHandle represents an asynchronous DMA in flight.
@@ -284,7 +396,7 @@ func (p *CPE) DMAPutAsync(dst, src []float64) DMAHandle {
 	n := len(src) * 8
 	p.counters.DMABytes += int64(n)
 	p.counters.DMADescriptors++
-	return DMAHandle{completeAt: p.dmaSchedule(p.putCost(n))}
+	return DMAHandle{completeAt: p.dmaSchedule(p.putCost(n, 1))}
 }
 
 // Wait blocks the CPE until the DMA has completed: the clock advances to
@@ -360,10 +472,16 @@ func (p *CPE) RowBroadcast(data []float64) {
 }
 
 // Barrier synchronises all CPEs of the core group and aligns their clocks
-// to the latest arrival (which is what a hardware barrier costs).
+// to the latest arrival (which is what a hardware barrier costs). If
+// another CPE's kernel has panicked, Barrier unwinds instead of waiting
+// for an arrival that will never come.
 func (p *CPE) Barrier() {
 	b := &p.cg.barrier
 	b.Lock()
+	if cpe, dead := p.cg.aborted(); dead {
+		b.Unlock()
+		panic(cpeAborted{cpe: cpe})
+	}
 	if p.clock > b.maxT {
 		b.maxT = p.clock
 	}
@@ -379,6 +497,10 @@ func (p *CPE) Barrier() {
 	} else {
 		for gen == b.gen {
 			b.cond.Wait()
+		}
+		if cpe, dead := p.cg.aborted(); dead {
+			b.Unlock()
+			panic(cpeAborted{cpe: cpe})
 		}
 	}
 	p.clock = b.releaseT

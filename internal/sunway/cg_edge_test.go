@@ -1,0 +1,219 @@
+package sunway
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLDMExhaustionSequence drives the allocator to its exact capacity,
+// over it, and back down — the bookkeeping the swlb LDM budget relies on.
+func TestLDMExhaustionSequence(t *testing.T) {
+	cg := NewCoreGroup(TestChip(1, 1024)) // 128 float64
+	cg.Run(func(p *CPE) {
+		if _, err := p.AllocFloat64(128); err != nil {
+			t.Errorf("exact-capacity alloc failed: %v", err)
+		}
+		if p.LDMUsed() != 1024 {
+			t.Errorf("LDMUsed = %d, want 1024", p.LDMUsed())
+		}
+		_, err := p.AllocFloat64(1)
+		if err == nil {
+			t.Fatal("allocation beyond capacity accepted")
+		}
+		if !strings.Contains(err.Error(), "LDM overflow") {
+			t.Errorf("overflow error lacks diagnosis: %v", err)
+		}
+		p.FreeFloat64(64)
+		if _, err := p.AllocFloat64(64); err != nil {
+			t.Errorf("free did not return capacity: %v", err)
+		}
+		// Over-freeing clamps at zero rather than minting capacity.
+		p.FreeFloat64(1 << 20)
+		if p.LDMUsed() != 0 {
+			t.Errorf("over-free left LDMUsed = %d", p.LDMUsed())
+		}
+		if _, err := p.AllocFloat64(129); err == nil {
+			t.Error("over-free minted capacity beyond the chip's LDM")
+		}
+	})
+}
+
+// TestStridedDMAGetAccounting: a strided gather moves the right values and
+// charges one descriptor per run — runs × startup instead of one.
+func TestStridedDMAGetAccounting(t *testing.T) {
+	spec := TestChip(1, 64*1024)
+	cg := NewCoreGroup(spec)
+	const runLen, stride, runs = 8, 16, 4
+	src := make([]float64, (runs-1)*stride+runLen)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	elapsed := cg.Run(func(p *CPE) {
+		dst := p.MustAllocFloat64(runs * runLen)
+		p.DMAGetStrided(dst, src, runLen, stride)
+		for r := 0; r < runs; r++ {
+			for i := 0; i < runLen; i++ {
+				if got, want := dst[r*runLen+i], float64(r*stride+i); got != want {
+					t.Fatalf("dst[%d] = %v, want %v", r*runLen+i, got, want)
+				}
+			}
+		}
+	})
+	bytes := float64(runs * runLen * 8)
+	share := spec.DMABandwidth / float64(spec.CPEs)
+	want := (bytes + runs*spec.DMAStartupBytes) / share
+	if math.Abs(elapsed-want) > 1e-15 {
+		t.Errorf("strided get elapsed = %v, want %v", elapsed, want)
+	}
+	if cg.Counters.DMADescriptors != runs {
+		t.Errorf("descriptors = %d, want %d", cg.Counters.DMADescriptors, runs)
+	}
+	if cg.Counters.DMABytes != runs*runLen*8 {
+		t.Errorf("bytes = %d, want %d", cg.Counters.DMABytes, runs*runLen*8)
+	}
+}
+
+// TestStridedDMAPutAccounting: the scatter lands runs at the right main
+// memory offsets and pays write-allocate on every byte plus a startup per
+// run.
+func TestStridedDMAPutAccounting(t *testing.T) {
+	spec := TestChip(1, 64*1024)
+	cg := NewCoreGroup(spec)
+	const runLen, stride, runs = 5, 9, 3
+	dst := make([]float64, (runs-1)*stride+runLen)
+	elapsed := cg.Run(func(p *CPE) {
+		src := p.MustAllocFloat64(runs * runLen)
+		for i := range src {
+			src[i] = 100 + float64(i)
+		}
+		p.DMAPutStrided(dst, src, runLen, stride)
+	})
+	for r := 0; r < runs; r++ {
+		for i := 0; i < runLen; i++ {
+			if got, want := dst[r*stride+i], 100+float64(r*runLen+i); got != want {
+				t.Fatalf("dst[%d] = %v, want %v", r*stride+i, got, want)
+			}
+		}
+	}
+	// Untouched gap cells stay zero.
+	if dst[runLen] != 0 || dst[stride-1] != 0 {
+		t.Errorf("scatter wrote into the stride gap: %v", dst)
+	}
+	bytes := float64(runs * runLen * 8)
+	share := spec.DMABandwidth / float64(spec.CPEs)
+	want := (bytes*spec.StoreWriteAllocate + runs*spec.DMAStartupBytes) / share
+	if math.Abs(elapsed-want) > 1e-15 {
+		t.Errorf("strided put elapsed = %v, want %v", elapsed, want)
+	}
+	if cg.Counters.DMADescriptors != runs {
+		t.Errorf("descriptors = %d, want %d", cg.Counters.DMADescriptors, runs)
+	}
+}
+
+// TestStridedCostExceedsContiguous pins the architectural fact the paper's
+// z-contiguous blocking exploits: moving the same bytes in r runs costs
+// exactly (r-1) extra startups over one contiguous descriptor.
+func TestStridedCostExceedsContiguous(t *testing.T) {
+	spec := SW26010
+	const n = 512
+	mem := make([]float64, 2*n)
+	timeOf := func(kernel func(p *CPE)) float64 {
+		return NewCoreGroup(spec).Run(kernel)
+	}
+	contig := timeOf(func(p *CPE) {
+		p.DMAGet(p.MustAllocFloat64(n), mem[:n])
+	})
+	strided := timeOf(func(p *CPE) {
+		p.DMAGetStrided(p.MustAllocFloat64(n), mem, 8, 16)
+	})
+	share := spec.DMABandwidth / float64(spec.CPEs)
+	extra := float64(n/8-1) * spec.DMAStartupBytes / share
+	if math.Abs((strided-contig)-extra) > 1e-15 {
+		t.Errorf("strided-contiguous gap = %v, want %v", strided-contig, extra)
+	}
+	if strided <= contig {
+		t.Error("strided transfer must cost more than contiguous")
+	}
+}
+
+// TestStridedDMAValidation: malformed geometries panic with a diagnostic
+// instead of silently corrupting main memory.
+func TestStridedDMAValidation(t *testing.T) {
+	cg := NewCoreGroup(TestChip(1, 64*1024))
+	mustPanic := func(f func()) (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		f()
+		return ""
+	}
+	cg.Run(func(p *CPE) {
+		dst := p.MustAllocFloat64(16)
+		src := make([]float64, 64)
+		for name, bad := range map[string]func(){
+			"zero runLen":         func() { p.DMAGetStrided(dst, src, 0, 8) },
+			"stride < runLen":     func() { p.DMAGetStrided(dst, src, 8, 4) },
+			"ragged LDM buffer":   func() { p.DMAGetStrided(dst[:15], src, 8, 16) },
+			"main memory overrun": func() { p.DMAGetStrided(dst, src[:20], 8, 16) },
+			"put overrun":         func() { p.DMAPutStrided(src[:20], dst, 8, 16) },
+		} {
+			msg := mustPanic(bad)
+			if msg == "" {
+				t.Errorf("%s: no panic", name)
+			} else if !strings.Contains(msg, "strided") {
+				t.Errorf("%s: undiagnostic panic %q", name, msg)
+			}
+		}
+		// Valid geometry after the failures still works.
+		p.DMAGetStrided(dst, src, 8, 16)
+	})
+}
+
+// TestKernelPanicPropagatesFromRun: a trap on one CPE surfaces as a panic
+// from Run with the original value, and the core group stays usable.
+func TestKernelPanicPropagatesFromRun(t *testing.T) {
+	cg := NewCoreGroup(TestChip(4, 1024))
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		cg.Run(func(p *CPE) {
+			if p.ID == 2 {
+				panic("cpe trap")
+			}
+		})
+		return nil
+	}()
+	if got != "cpe trap" {
+		t.Fatalf("Run propagated %v, want the kernel's panic value", got)
+	}
+	// The abort state resets: the next Run is healthy.
+	var n atomic.Int64
+	cg.Run(func(p *CPE) { n.Add(1) })
+	if n.Load() != 4 {
+		t.Fatalf("post-panic Run executed %d CPEs, want 4", n.Load())
+	}
+}
+
+// TestPanicReleasesBarrierWaiters: CPEs parked at a Barrier when another
+// CPE dies must unwind instead of deadlocking, and the reported panic is
+// the root cause, never the internal abort sentinel.
+func TestPanicReleasesBarrierWaiters(t *testing.T) {
+	cg := NewCoreGroup(TestChip(4, 1024))
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		cg.Run(func(p *CPE) {
+			if p.ID == 0 {
+				panic("dead CPE")
+			}
+			p.Barrier() // would hang forever waiting for CPE 0
+		})
+		return nil
+	}()
+	if got != "dead CPE" {
+		t.Fatalf("Run propagated %v, want the root-cause panic", got)
+	}
+}

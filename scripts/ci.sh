@@ -3,6 +3,17 @@
 #
 #   tier 1  — build + full test suite (the repo's acceptance gate)
 #   tier 2  — gofmt cleanliness + vet + race detector on every package
+#   race    — focused race-detector sweep over the concurrent packages
+#             (mpi transport, psolve rank goroutines, swlb MPE/CPE
+#             collaboration, sunway CPE cluster, trace ring buffers,
+#             conform's in-process multi-rank matrix), run twice to
+#             shake schedule-dependent interleavings
+#   conform — differential + metamorphic conformance suite: ≥25 seeded
+#             cases through every backend (serial core, all swlb stages,
+#             gpu model, 1-D/2-D/3-D decompositions at 1..8 ranks) plus
+#             the mutation self-test proving the oracles catch injected
+#             numerical bugs; any violation exits non-zero with a
+#             minimal replay string
 #   analyze — lbmvet, the domain-specific static-analysis suite: the
 #             whole module must be free of LDM-budget, mpi-error,
 #             span-pairing, hot-allocation and float-determinism findings
@@ -11,8 +22,11 @@
 #   trace   — observability smoke: a traced distributed chaos run must
 #             export a Chrome trace that round-trips through
 #             postproc -tracestat (ReadChrome + Validate + Analyze)
+#   bench   — refresh BENCH_results.json from the measured benchmark
+#             cases so every CI run extends the perf trajectory
 #
-# Usage: scripts/ci.sh [tier1|tier2|analyze|chaos|trace|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|chaos|trace|bench|all]
+# (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +46,34 @@ tier2() {
     fi
     go vet ./...
     go test -race ./...
+}
+
+race() {
+    echo "== race: concurrent packages under the race detector =="
+    go test -race -count=2 -timeout 600s \
+        ./internal/mpi ./internal/psolve ./internal/swlb \
+        ./internal/sunway ./internal/trace ./internal/conform
+}
+
+conform() {
+    echo "== conform: differential + metamorphic conformance suite =="
+    # Deterministic 25-case matrix; non-zero exit on any oracle violation.
+    go run ./cmd/conform -seed 1 -cases 25
+    # Mutation sensitivity: every injected bug must be caught and shrunk.
+    go run ./cmd/conform -selftest -seed 1 -cases 10
+    # A known-bad replay must reproduce (exit 1) — guards the replay path.
+    if go run ./cmd/conform \
+        -replay 'v1;seed=1;grid=2x2x2;tau=0.8;steps=1;bc=periodic' \
+        -run 'mutant/drop-population' >/dev/null; then
+        echo "conform: mutant replay unexpectedly passed" >&2
+        exit 1
+    fi
+}
+
+bench() {
+    echo "== bench: refresh BENCH_results.json =="
+    go run ./cmd/benchsuite -json BENCH_results.json
+    test -s BENCH_results.json
 }
 
 analyze() {
@@ -75,10 +117,13 @@ trace() {
 case "${1:-all}" in
     tier1) tier1 ;;
     tier2) tier2 ;;
+    race) race ;;
+    conform) conform ;;
     analyze) analyze ;;
     chaos) chaos ;;
     trace) trace ;;
-    all)   tier1; tier2; analyze; chaos; trace ;;
-    *) echo "usage: $0 [tier1|tier2|analyze|chaos|trace|all]" >&2; exit 2 ;;
+    bench) bench ;;
+    all)   tier1; tier2; race; conform; analyze; chaos; trace; bench ;;
+    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|chaos|trace|bench|all]" >&2; exit 2 ;;
 esac
 echo "ok"
