@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"sunwaylb/internal/core"
+	"sunwaylb/internal/fault"
 	"sunwaylb/internal/lattice"
 	"sunwaylb/internal/perf"
 	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/resil"
 	"sunwaylb/internal/sunway"
 	"sunwaylb/internal/swlb"
 	"sunwaylb/internal/trace"
@@ -26,9 +28,10 @@ import (
 
 // CaseResult is one measured benchmark case.
 type CaseResult struct {
-	Name     string           `json:"name"`
-	Summary  perf.Summary     `json:"summary"`
-	Counters map[string]int64 `json:"counters,omitempty"`
+	Name     string              `json:"name"`
+	Summary  perf.Summary        `json:"summary"`
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Recovery *perf.RecoveryStats `json:"recovery,omitempty"`
 }
 
 // BenchResults is the BENCH_results.json document.
@@ -148,6 +151,60 @@ func runDistributed() (CaseResult, error) {
 	}, nil
 }
 
+// runSupervisedHotswap times the memory-tier recovery path: a 2×2-rank
+// supervised run with the full L1/L2/L3 snapshot hierarchy that loses
+// one rank mid-flight and hot-swaps it back from buddy/parity deposits.
+// The Recovery block carries MTTR, downtime and the per-level snapshot
+// byte ledger into BENCH_results.json.
+func runSupervisedHotswap() (CaseResult, error) {
+	const gnx, gny, gnz = 48, 48, 24
+	tracer := trace.New(trace.Options{})
+	opts := psolve.Options{
+		GNX: gnx, GNY: gny, GNZ: gnz,
+		PX: 2, PY: 2,
+		Tau:       0.6,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+			return 1, 0.02, 0.01, 0.005
+		},
+		OnTheFly: true,
+		Trace:    tracer,
+	}
+	plan := fault.Plan{
+		Seed:         11,
+		GroupCrashes: []fault.GroupCrash{{Group: 0, Count: 1, Step: benchSteps / 2}},
+	}
+	_, stats, err := psolve.Supervise(psolve.SupervisorOptions{
+		Opts:          opts,
+		Steps:         benchSteps,
+		MaxRestarts:   3,
+		SnapshotEvery: 2,
+		Levels:        resil.L1 | resil.L2 | resil.L3,
+		GroupSize:     2,
+		SpareRanks:    2,
+		Injector:      fault.NewInjector(plan),
+	})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	mon := perf.NewMonitor(int64(gnx) * gny * gnz)
+	for _, d := range stepDurations(tracer.Events(), 0) {
+		mon.Record(d)
+	}
+	return CaseResult{
+		Name:    "supervised-hotswap",
+		Summary: mon.SummaryStats(),
+		Counters: map[string]int64{
+			"ranks":    4,
+			"l1_bytes": stats.SnapshotBytes[0],
+			"l2_bytes": stats.SnapshotBytes[1],
+			"l3_bytes": stats.SnapshotBytes[2],
+			"l4_bytes": stats.SnapshotBytes[3],
+		},
+		Recovery: &stats,
+	}, nil
+}
+
 // stepDurations pairs Begin/End events on the given rank's wall-clock
 // step track into per-step durations, in recording order. The step track
 // also carries nested compute/bc spans, so the span name is tracked
@@ -195,6 +252,7 @@ func runJSON(path string) error {
 		{"kernel-parallel", func() (CaseResult, error) { return runKernel(true) }},
 		{"sunway-sim-cg", runSunwayCG},
 		{"distributed-2x2", runDistributed},
+		{"supervised-hotswap", runSupervisedHotswap},
 	} {
 		c, err := s.run()
 		if err != nil {

@@ -35,6 +35,7 @@ import (
 	"sunwaylb/internal/lattice"
 	"sunwaylb/internal/perf"
 	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/resil"
 	"sunwaylb/internal/sunway"
 	"sunwaylb/internal/swio"
 	"sunwaylb/internal/swlb"
@@ -69,6 +70,11 @@ func main() {
 		faultPlan   = flag.String("fault-plan", "", "with -decomp: deterministic fault plan, e.g. 'seed=42;crash@rank=1,step=50;corrupt@ckpt=2' (see internal/fault)")
 		maxRestarts = flag.Int("max-restarts", 0, "with -decomp: recovery budget of the self-healing supervisor")
 		allowShrink = flag.Bool("allow-shrink", false, "with -decomp: re-decompose onto fewer ranks after a rank death")
+		spareRanks  = flag.Int("spare-ranks", 0, "with -decomp: hot-swap budget — dead ranks replaced from in-memory snapshots without shrinking")
+		ckptLevels  = flag.String("ckpt-levels", "", "with -decomp: active checkpoint levels, e.g. '123' or '1234' (1=local 2=buddy 3=parity 4=disk; empty = disk only)")
+		ckptGroup   = flag.Int("ckpt-group", 0, "with -decomp: parity-group size for L2/L3 snapshots (default 4)")
+		snapEvery   = flag.Int("snapshot-every", 0, "with -decomp: in-memory snapshot wave interval in steps (0 = off)")
+		detector    = flag.String("detector", "", "with -decomp: failure detector, 'deadline' (fixed timeout) or 'phi' (accrual heartbeats)")
 	)
 
 	// Output and observability.
@@ -116,6 +122,11 @@ func main() {
 			faultPlan:   *faultPlan,
 			maxRestarts: *maxRestarts,
 			allowShrink: *allowShrink,
+			spareRanks:  *spareRanks,
+			ckptLevels:  *ckptLevels,
+			ckptGroup:   *ckptGroup,
+			snapEvery:   *snapEvery,
+			detector:    *detector,
 			tracer:      tracer,
 		}
 		if err := runDistributed(cs, d); err != nil {
@@ -491,6 +502,11 @@ type distOpts struct {
 	faultPlan   string
 	maxRestarts int
 	allowShrink bool
+	spareRanks  int
+	ckptLevels  string
+	ckptGroup   int
+	snapEvery   int
+	detector    string
 	tracer      *trace.Tracer
 }
 
@@ -498,7 +514,9 @@ type distOpts struct {
 // (any checkpointing, restore, fault injection or recovery budget).
 func (d distOpts) supervised() bool {
 	return d.cpPath != "" || d.cpEvery > 0 || d.restore != "" ||
-		d.faultPlan != "" || d.maxRestarts > 0 || d.allowShrink
+		d.faultPlan != "" || d.maxRestarts > 0 || d.allowShrink ||
+		d.spareRanks > 0 || d.snapEvery > 0 || d.ckptLevels != "" ||
+		d.detector != ""
 }
 
 func runDistributed(cs *caseSetup, d distOpts) error {
@@ -554,6 +572,13 @@ func runDistributed(cs *caseSetup, d distOpts) error {
 			inj = fault.NewInjector(plan)
 			fmt.Printf("fault plan: %s\n", plan)
 		}
+		var levels resil.Levels
+		if d.ckptLevels != "" {
+			levels, err = resil.ParseLevels(d.ckptLevels)
+			if err != nil {
+				return err
+			}
+		}
 		var stats perf.RecoveryStats
 		m, stats, err = psolve.Supervise(psolve.SupervisorOptions{
 			Opts:            opts,
@@ -562,6 +587,11 @@ func runDistributed(cs *caseSetup, d distOpts) error {
 			CheckpointPath:  d.cpPath,
 			MaxRestarts:     d.maxRestarts,
 			AllowShrink:     d.allowShrink,
+			SnapshotEvery:   d.snapEvery,
+			Levels:          levels,
+			GroupSize:       d.ckptGroup,
+			SpareRanks:      d.spareRanks,
+			Detector:        d.detector,
 			Injector:        inj,
 			Logf:            log.Printf,
 		})

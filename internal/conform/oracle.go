@@ -10,6 +10,7 @@ import (
 	"sunwaylb/internal/fault"
 	"sunwaylb/internal/mpi"
 	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/resil"
 	"sunwaylb/internal/swio"
 )
 
@@ -81,6 +82,7 @@ func Oracles() []Oracle {
 		Oracle{Name: "prop/rotate", Check: checkRotate},
 		Oracle{Name: "prop/checkpoint", Check: checkCheckpoint},
 		Oracle{Name: "prop/faultplan", Check: checkFaultPlan},
+		Oracle{Name: "prop/recover-hotswap", Check: checkRecoverHotswap},
 	)
 	return os
 }
@@ -438,6 +440,59 @@ func checkFaultPlan(x *Ctx) error {
 	}
 	if err := Compare(clean, supervised, Exact); err != nil {
 		return fmt.Errorf("recovery from crash@step %d diverges: %w", c.Steps/2, err)
+	}
+	return nil
+}
+
+// checkRecoverHotswap asserts the memory-tier recovery path: a
+// supervised run with the full L1|L2|L3 snapshot hierarchy that loses
+// one rank in every parity group must repair itself from buddy copies
+// and XOR parity alone — zero disk rollbacks — and still reproduce the
+// fault-free flow bit-for-bit (MaxULP = 0, deterministic replay §IV-B).
+func checkRecoverHotswap(x *Ctx) error {
+	c := x.Case
+	if c.Steps < 2 {
+		return skipf("hot-swap property needs ≥ 2 steps")
+	}
+	opts := c.Options(ckptPX, ckptPY, false)
+	clean, err := psolve.Run(opts, c.Steps)
+	if err != nil {
+		return skipf("distributed run: %v", err)
+	}
+	// One injected death per parity group: with 2×2 ranks and groups of
+	// two this is the worst loss the memory tier must absorb without
+	// touching the L4 file.
+	k := c.Steps / 2
+	plan := fault.Plan{
+		Seed: c.Seed,
+		GroupCrashes: []fault.GroupCrash{
+			{Group: 0, Count: 1, Step: k},
+			{Group: 1, Count: 1, Step: k},
+		},
+	}
+	supervised, stats, err := psolve.Supervise(psolve.SupervisorOptions{
+		Opts:            opts,
+		Steps:           c.Steps,
+		CheckpointEvery: c.Steps, // L4 file exists but must stay cold
+		MaxRestarts:     3,
+		SnapshotEvery:   1,
+		Levels:          resil.L1 | resil.L2 | resil.L3 | resil.L4,
+		GroupSize:       2,
+		SpareRanks:      2,
+		Injector:        fault.NewInjector(plan),
+	})
+	if err != nil {
+		return fmt.Errorf("supervised run failed to hot-swap: %w", err)
+	}
+	if stats.DiskRollbacks != 0 {
+		return fmt.Errorf("memory tier leaked to disk: %d rollbacks (hot swaps %d)",
+			stats.DiskRollbacks, stats.HotSwaps)
+	}
+	if stats.HotSwaps < 1 {
+		return fmt.Errorf("no hot swap recorded (restarts %d)", stats.Restarts)
+	}
+	if err := Compare(clean, supervised, Exact); err != nil {
+		return fmt.Errorf("hot-swap recovery at step %d diverges: %w", k, err)
 	}
 	return nil
 }

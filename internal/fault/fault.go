@@ -62,6 +62,29 @@ type Straggler struct {
 	Factor float64
 }
 
+// Flap silences one rank's heartbeats for a window of steps without
+// killing it — the rank keeps computing and answering messages but
+// looks dead to a phi-accrual detector. Flaps exercise the detector's
+// false-positive/true-positive boundary: a short flap must ride out the
+// suspicion threshold, a long one must be declared dead even though the
+// process never crashed.
+type Flap struct {
+	Rank int
+	Step int // first silent step
+	Len  int // number of consecutive silent steps
+}
+
+// GroupCrash kills the first Count members of parity group Group at
+// step Step (one-shot each, like Crash). The group → rank expansion
+// needs the world's parity-group size, so it happens in ExpandGroups
+// once the supervisor knows the layout; count=1 exercises the memory
+// recovery path, count=2 the multi-loss escalation to disk.
+type GroupCrash struct {
+	Group int
+	Count int
+	Step  int
+}
+
 // Plan is a composable, fully deterministic fault scenario.
 type Plan struct {
 	// Seed drives every probabilistic decision.
@@ -75,12 +98,18 @@ type Plan struct {
 	// CorruptCkpts lists 1-based checkpoint-write indices whose files
 	// are corrupted after writing (one-shot each).
 	CorruptCkpts []int
+	// Flaps silence rank heartbeats for step windows (detector chaos).
+	Flaps []Flap
+	// GroupCrashes kill the first Count members of a parity group;
+	// expanded into Crashes by ExpandGroups once the layout is known.
+	GroupCrashes []GroupCrash
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
 	return len(p.Crashes) == 0 && len(p.Links) == 0 &&
-		len(p.Stragglers) == 0 && len(p.CorruptCkpts) == 0
+		len(p.Stragglers) == 0 && len(p.CorruptCkpts) == 0 &&
+		len(p.Flaps) == 0 && len(p.GroupCrashes) == 0
 }
 
 // Stats counts the faults an Injector has actually delivered.
@@ -90,12 +119,13 @@ type Stats struct {
 	Dups           int
 	Flips          int
 	CkptsCorrupted int
+	Flaps          int
 }
 
 // String implements fmt.Stringer.
 func (s Stats) String() string {
-	return fmt.Sprintf("crashes=%d drops=%d dups=%d flips=%d ckpts-corrupted=%d",
-		s.Crashes, s.Drops, s.Dups, s.Flips, s.CkptsCorrupted)
+	return fmt.Sprintf("crashes=%d drops=%d dups=%d flips=%d ckpts-corrupted=%d flaps=%d",
+		s.Crashes, s.Drops, s.Dups, s.Flips, s.CkptsCorrupted, s.Flaps)
 }
 
 // Injector evaluates a Plan. It is safe for concurrent use by every rank
@@ -108,6 +138,9 @@ type Injector struct {
 
 	mu         sync.Mutex
 	crashFired []bool
+	flapSeen   []bool            // per flap entry: counted in stats
+	flapArmed  []bool            // per flap entry: entered in current attempt
+	flapDone   []bool            // per flap entry: consumed by a previous attempt
 	linkFired  []int             // per plan entry: times fired
 	linkCount  map[[2]int]uint64 // per observed (src,dst): messages seen
 	ckptFired  map[int]bool
@@ -139,10 +172,38 @@ func NewInjector(p Plan) *Injector {
 	return &Injector{
 		plan:       p,
 		crashFired: make([]bool, len(p.Crashes)),
+		flapSeen:   make([]bool, len(p.Flaps)),
+		flapArmed:  make([]bool, len(p.Flaps)),
+		flapDone:   make([]bool, len(p.Flaps)),
 		linkFired:  make([]int, len(p.Links)),
 		linkCount:  make(map[[2]int]uint64),
 		ckptFired:  make(map[int]bool),
 	}
+}
+
+// ExpandGroups resolves every GroupCrash into concrete Crash entries for
+// a world of the given parity-group size and rank count: the first Count
+// members of group G die at the group's step. The supervisor calls this
+// once the layout is known, before ranks start. Already-expanded plans
+// (or plans without group crashes) are no-ops.
+func (in *Injector) ExpandGroups(groupSize, ranks int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.plan.GroupCrashes) == 0 || groupSize < 1 {
+		return
+	}
+	for _, gc := range in.plan.GroupCrashes {
+		lo := gc.Group * groupSize
+		for i := 0; i < gc.Count; i++ {
+			r := lo + i
+			if r < 0 || r >= ranks {
+				continue
+			}
+			in.plan.Crashes = append(in.plan.Crashes, Crash{Rank: r, Step: gc.Step})
+			in.crashFired = append(in.crashFired, false)
+		}
+	}
+	in.plan.GroupCrashes = nil
 }
 
 // Plan returns the plan the injector evaluates.
@@ -193,6 +254,46 @@ func (in *Injector) CrashNow(rank, step int) bool {
 		}
 	}
 	return false
+}
+
+// FlapNow reports whether the given rank must suppress its heartbeat at
+// the given step: true while any flap window [Step, Step+Len) covers it.
+// A window stays active for its whole span within one attempt, but once
+// an attempt that entered the window ends (BeginAttempt), the episode is
+// consumed — the flaky moment happened on the wall clock, and a restart
+// replaying the same step range does not re-trigger it, mirroring the
+// one-shot semantics of crashes. Each entry counts once in Stats.
+func (in *Injector) FlapNow(rank, step int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	active := false
+	for i, f := range in.plan.Flaps {
+		if in.flapDone[i] || f.Rank != rank || step < f.Step || step >= f.Step+f.Len {
+			continue
+		}
+		active = true
+		in.flapArmed[i] = true
+		if !in.flapSeen[i] {
+			in.flapSeen[i] = true
+			in.stats.Flaps++
+			in.instantLocked(rank, "fault-flap", float64(step))
+		}
+	}
+	return active
+}
+
+// BeginAttempt marks the start of a new supervised attempt: flap windows
+// entered during the previous attempt are consumed so a replay does not
+// flap again. Call once before each world is started.
+func (in *Injector) BeginAttempt() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, armed := range in.flapArmed {
+		if armed {
+			in.flapDone[i] = true
+			in.flapArmed[i] = false
+		}
+	}
 }
 
 // OnSend implements the mpi.FaultHook contract structurally: it decides

@@ -275,3 +275,101 @@ func TestCorruptCheckpointFile(t *testing.T) {
 		t.Errorf("non-matching index: ok=%v err=%v, want no-op", ok, err)
 	}
 }
+
+func TestParsePlanFlapAndGroupCrash(t *testing.T) {
+	p, err := ParsePlan("seed=7;flap@rank=3,step=10,len=5;crash@group=1,count=2,step=4;crash@rank=0,step=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Flaps) != 1 || p.Flaps[0] != (Flap{Rank: 3, Step: 10, Len: 5}) {
+		t.Fatalf("flaps = %+v", p.Flaps)
+	}
+	if len(p.GroupCrashes) != 1 || p.GroupCrashes[0] != (GroupCrash{Group: 1, Count: 2, Step: 4}) {
+		t.Fatalf("group crashes = %+v", p.GroupCrashes)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (Crash{Rank: 0, Step: 9}) {
+		t.Fatalf("crashes = %+v", p.Crashes)
+	}
+	// Group step defaults to 1 when omitted.
+	p2, err := ParsePlan("crash@group=0,count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.GroupCrashes[0].Step != 1 {
+		t.Fatalf("default group-crash step = %d, want 1", p2.GroupCrashes[0].Step)
+	}
+}
+
+func TestFlapGroupCrashRoundTrip(t *testing.T) {
+	const src = "seed=9;crash@rank=1,step=2;crash@group=2,count=2,step=6;flap@rank=4,step=3,len=7"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round trip drifted:\n first  %q\n second %q", p.String(), back.String())
+	}
+	if len(back.Flaps) != 1 || len(back.GroupCrashes) != 1 || len(back.Crashes) != 1 {
+		t.Fatalf("round trip lost clauses: %+v", back)
+	}
+}
+
+func TestParsePlanFlapErrors(t *testing.T) {
+	for _, bad := range []string{
+		"flap@rank=1,step=2",       // missing len
+		"flap@rank=1,len=3",        // missing step
+		"flap@step=2,len=3",        // missing rank
+		"flap@rank=1,step=2,len=0", // zero window
+		"crash@group=1",            // missing count
+		"crash@group=1,count=0",    // zero count
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted an invalid clause", bad)
+		}
+	}
+}
+
+func TestFlapNowWindow(t *testing.T) {
+	in := NewInjector(Plan{Flaps: []Flap{{Rank: 2, Step: 5, Len: 3}}})
+	for step, want := range map[int]bool{4: false, 5: true, 6: true, 7: true, 8: false} {
+		if got := in.FlapNow(2, step); got != want {
+			t.Errorf("FlapNow(2, %d) = %v, want %v", step, got, want)
+		}
+	}
+	if in.FlapNow(1, 6) {
+		t.Error("flap fired for the wrong rank")
+	}
+	// The entry is counted once no matter how many steps it covers.
+	if s := in.Stats(); s.Flaps != 1 {
+		t.Errorf("stats.Flaps = %d, want 1", s.Flaps)
+	}
+}
+
+func TestExpandGroups(t *testing.T) {
+	in := NewInjector(Plan{GroupCrashes: []GroupCrash{
+		{Group: 1, Count: 2, Step: 4},
+		{Group: 3, Count: 1, Step: 9}, // group partially past the world edge
+	}})
+	in.ExpandGroups(2, 7) // groups: {0,1} {2,3} {4,5} {6}
+	p := in.Plan()
+	if len(p.GroupCrashes) != 0 {
+		t.Fatalf("group crashes not consumed: %+v", p.GroupCrashes)
+	}
+	want := []Crash{{Rank: 2, Step: 4}, {Rank: 3, Step: 4}, {Rank: 6, Step: 9}}
+	if len(p.Crashes) != len(want) {
+		t.Fatalf("crashes = %+v, want %+v", p.Crashes, want)
+	}
+	for i, c := range want {
+		if p.Crashes[i] != c {
+			t.Fatalf("crashes[%d] = %+v, want %+v", i, p.Crashes[i], c)
+		}
+	}
+	// The expanded entries must actually fire, one-shot.
+	if !in.CrashNow(2, 4) || in.CrashNow(2, 4) {
+		t.Fatal("expanded crash not one-shot")
+	}
+}

@@ -11,11 +11,15 @@ import (
 //
 //	seed=SEED                         RNG seed (default 1)
 //	crash@rank=R,step=S               kill rank R before step S (one-shot)
+//	crash@group=G,count=C[,step=S]    kill the first C members of parity
+//	                                  group G before step S (default 1)
 //	drop@src=A,dst=B,p=P[,max=M]      drop messages on link A→B with prob P
 //	dup@src=A,dst=B,p=P[,max=M]       duplicate messages with prob P
 //	flip@src=A,dst=B,p=P[,max=M]      flip one payload bit with prob P
 //	straggle@rank=R,x=F               rank R's compute is F× slower (model)
 //	corrupt@ckpt=K                    corrupt the K-th checkpoint write
+//	flap@rank=R,step=S,len=L          rank R's heartbeats go silent for
+//	                                  steps [S, S+L) without it dying
 //
 // src/dst may be -1 (or omitted) to match any rank. Example:
 //
@@ -44,12 +48,29 @@ func ParsePlan(s string) (Plan, error) {
 			}
 			p.Seed = v
 		case kind == "crash":
+			if g, okG := kv["group"]; okG {
+				cnt, okC := kv["count"]
+				if !okC || cnt < 1 {
+					return Plan{}, fmt.Errorf("fault: crash clause %q needs count=≥1 with group=", clause)
+				}
+				p.GroupCrashes = append(p.GroupCrashes, GroupCrash{
+					Group: int(g), Count: int(cnt), Step: intOr(kv, "step", 1)})
+				break
+			}
 			r, okR := kv["rank"]
 			st, okS := kv["step"]
 			if !okR || !okS {
-				return Plan{}, fmt.Errorf("fault: crash clause %q needs rank= and step=", clause)
+				return Plan{}, fmt.Errorf("fault: crash clause %q needs rank= and step= (or group= and count=)", clause)
 			}
 			p.Crashes = append(p.Crashes, Crash{Rank: int(r), Step: int(st)})
+		case kind == "flap":
+			r, okR := kv["rank"]
+			st, okS := kv["step"]
+			l, okL := kv["len"]
+			if !okR || !okS || !okL || l < 1 {
+				return Plan{}, fmt.Errorf("fault: flap clause %q needs rank=, step= and len=≥1", clause)
+			}
+			p.Flaps = append(p.Flaps, Flap{Rank: int(r), Step: int(st), Len: int(l)})
 		case kind == "drop" || kind == "dup" || kind == "flip":
 			prob, ok := kv["p"]
 			if !ok || prob < 0 || prob > 1 {
@@ -79,7 +100,7 @@ func ParsePlan(s string) (Plan, error) {
 			}
 			p.CorruptCkpts = append(p.CorruptCkpts, int(k))
 		default:
-			return Plan{}, fmt.Errorf("fault: unknown clause %q (want seed=|crash@|drop@|dup@|flip@|straggle@|corrupt@)", clause)
+			return Plan{}, fmt.Errorf("fault: unknown clause %q (want seed=|crash@|drop@|dup@|flip@|straggle@|corrupt@|flap@)", clause)
 		}
 	}
 	return p, nil
@@ -118,6 +139,9 @@ func (p Plan) String() string {
 	for _, c := range p.Crashes {
 		parts = append(parts, fmt.Sprintf("crash@rank=%d,step=%d", c.Rank, c.Step))
 	}
+	for _, g := range p.GroupCrashes {
+		parts = append(parts, fmt.Sprintf("crash@group=%d,count=%d,step=%d", g.Group, g.Count, g.Step))
+	}
 	for _, l := range p.Links {
 		emit := func(kind string, prob float64) {
 			s := fmt.Sprintf("%s@src=%d,dst=%d,p=%g", kind, l.Src, l.Dst, prob)
@@ -141,6 +165,9 @@ func (p Plan) String() string {
 	}
 	for _, k := range p.CorruptCkpts {
 		parts = append(parts, fmt.Sprintf("corrupt@ckpt=%d", k))
+	}
+	for _, f := range p.Flaps {
+		parts = append(parts, fmt.Sprintf("flap@rank=%d,step=%d,len=%d", f.Rank, f.Step, f.Len))
 	}
 	return strings.Join(parts, ";")
 }

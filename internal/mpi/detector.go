@@ -1,0 +1,213 @@
+package mpi
+
+// Phi-accrual failure detection (Hayashibara et al., "The φ Accrual
+// Failure Detector"). The PR 1 runtime detected silent rank loss with a
+// fixed receive deadline, which forces an ugly trade-off at scale: a
+// deadline short enough to notice a dead neighbour quickly is short
+// enough that a straggling-but-alive rank (OS jitter, a slow CG core
+// group, rank 0 writing a checkpoint) trips it and triggers a spurious
+// restart. The accrual detector replaces the binary deadline with a
+// per-peer suspicion level φ derived from the observed heartbeat
+// inter-arrival distribution: φ(t) = −log10 P(a heartbeat arrives later
+// than t), so φ = 8 means the silence would be a 1-in-10⁸ event for
+// that peer's own history. Slow peers widen their own distribution and
+// automatically earn longer grace; dead peers accrue suspicion at a
+// rate set by how regular they used to be.
+//
+// The detector is advisory: a blocking receive polls Suspect(src) and
+// aborts with ErrSuspect (which wraps ErrRankDead) when the peer's
+// silence crosses the threshold. It never marks ranks dead globally —
+// a false suspicion aborts one receive, not the world — and the hard
+// receive deadline remains as a last-resort bound for dropped messages.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Detector defaults. Threshold 8 follows the paper's recommended
+// operating point (suspicion at a 10⁻⁸-probability silence).
+const (
+	// DefaultPhiThreshold is the suspicion level at which a peer is
+	// considered dead.
+	DefaultPhiThreshold = 8.0
+	// defaultMinSamples is how many intervals a peer must have produced
+	// before it can be suspected at all (a cold distribution is noise).
+	defaultMinSamples = 4
+	// defaultMinSilence is an absolute floor on the silence before
+	// suspicion, so sub-millisecond heartbeat cadences cannot suspect a
+	// peer that is merely descheduled or writing a checkpoint.
+	defaultMinSilence = 100 * time.Millisecond
+	// defaultCheckEvery is how often a blocked receive re-evaluates φ.
+	defaultCheckEvery = 2 * time.Millisecond
+	// phiWindow is the number of most-recent intervals kept per peer.
+	phiWindow = 64
+	// minSigma (seconds) floors the interval standard deviation so a
+	// perfectly regular heartbeat stream cannot produce an infinitely
+	// spiky distribution.
+	minSigma = 1e-4
+)
+
+// PhiDetector accrues per-peer suspicion from heartbeat arrivals. All
+// methods are safe for concurrent use by rank goroutines. Configure the
+// exported fields before installing the detector with World.SetDetector.
+type PhiDetector struct {
+	// Threshold is the φ level at which Suspect fires.
+	Threshold float64
+	// MinSamples is the minimum number of recorded intervals before a
+	// peer can be suspected.
+	MinSamples int
+	// MinSilence is the absolute minimum silence before suspicion,
+	// regardless of φ.
+	MinSilence time.Duration
+	// CheckEvery is the polling cadence of blocked receives.
+	CheckEvery time.Duration
+
+	mu    sync.Mutex
+	peers map[int]*peerState
+	clock func() time.Time // injectable for tests; time.Now by default
+}
+
+// peerState is one peer's heartbeat history: the arrival time of the
+// last heartbeat and a ring of recent inter-arrival intervals.
+type peerState struct {
+	last      time.Time
+	intervals [phiWindow]float64 // seconds
+	idx, n    int
+}
+
+// NewPhiDetector returns a detector with the default operating point.
+func NewPhiDetector() *PhiDetector {
+	return &PhiDetector{
+		Threshold:  DefaultPhiThreshold,
+		MinSamples: defaultMinSamples,
+		MinSilence: defaultMinSilence,
+		CheckEvery: defaultCheckEvery,
+		peers:      make(map[int]*peerState),
+		clock:      time.Now,
+	}
+}
+
+// Heartbeat records a liveness beacon from the given rank. Ranks call
+// this (via Comm.Heartbeat) once per step; the first beacon only arms
+// the peer, subsequent beacons feed the interval distribution.
+func (d *PhiDetector) Heartbeat(rank int) {
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peers[rank]
+	if p == nil {
+		p = &peerState{last: now}
+		d.peers[rank] = p
+		return
+	}
+	dt := now.Sub(p.last).Seconds()
+	p.last = now
+	p.intervals[p.idx] = dt
+	p.idx = (p.idx + 1) % phiWindow
+	if p.n < phiWindow {
+		p.n++
+	}
+}
+
+// Phi returns the current suspicion level of the given rank: 0 for an
+// unknown or freshly-heard-from peer, rising without bound as the
+// silence outgrows the peer's own inter-arrival distribution.
+func (d *PhiDetector) Phi(rank int) float64 {
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.phiLocked(rank, now)
+}
+
+// phiLocked computes φ at the given instant. Callers hold d.mu.
+func (d *PhiDetector) phiLocked(rank int, now time.Time) float64 {
+	p := d.peers[rank]
+	if p == nil || p.n == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for i := 0; i < p.n; i++ {
+		v := p.intervals[i]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(p.n)
+	variance := sumSq/float64(p.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := math.Sqrt(variance)
+	// Floor σ at a quarter of the mean (and an absolute minimum) so a
+	// metronome-regular peer still gets a sane grace envelope.
+	if floor := mean / 4; sigma < floor {
+		sigma = floor
+	}
+	if sigma < minSigma {
+		sigma = minSigma
+	}
+	t := now.Sub(p.last).Seconds()
+	// P(heartbeat later than t) under N(mean, sigma²).
+	pLater := 0.5 * math.Erfc((t-mean)/(sigma*math.Sqrt2))
+	if pLater < 1e-300 {
+		pLater = 1e-300 // cap φ at 300 instead of +Inf
+	}
+	return -math.Log10(pLater)
+}
+
+// Silence returns how long the given rank has been quiet (0 for an
+// unknown peer).
+func (d *PhiDetector) Silence(rank int) time.Duration {
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peers[rank]
+	if p == nil {
+		return 0
+	}
+	return now.Sub(p.last)
+}
+
+// Suspect reports whether the rank should be treated as dead: it has
+// produced enough intervals to have a distribution, has been silent
+// longer than the absolute floor, and its φ has crossed the threshold.
+func (d *PhiDetector) Suspect(rank int) bool {
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peers[rank]
+	if p == nil || p.n < d.MinSamples {
+		return false
+	}
+	if now.Sub(p.last) < d.MinSilence {
+		return false
+	}
+	return d.phiLocked(rank, now) >= d.Threshold
+}
+
+// SetDetector installs a phi-accrual failure detector (nil removes it).
+// Blocked receives then poll the detector and abort with ErrSuspect
+// when the source rank's silence crosses the threshold. Install before
+// RunWorld starts ranks.
+func (w *World) SetDetector(d *PhiDetector) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.detector = d
+}
+
+// Detector returns the installed failure detector (nil when receives
+// rely on deadlines alone).
+func (w *World) Detector() *PhiDetector {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.detector
+}
+
+// Heartbeat records a liveness beacon for this rank on the world's
+// failure detector; a no-op without one. Ranks call it once per step.
+func (c *Comm) Heartbeat() {
+	if d := c.world.Detector(); d != nil {
+		d.Heartbeat(c.rank)
+	}
+}

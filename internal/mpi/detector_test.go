@@ -1,0 +1,190 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a detector deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newClockedDetector() (*PhiDetector, *fakeClock) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	d := NewPhiDetector()
+	d.clock = fc.now
+	return d, fc
+}
+
+func beat(d *PhiDetector, fc *fakeClock, rank, n int, every time.Duration) {
+	for i := 0; i < n; i++ {
+		d.Heartbeat(rank)
+		fc.advance(every)
+	}
+}
+
+func TestPhiAccruesOverSilence(t *testing.T) {
+	d, fc := newClockedDetector()
+	beat(d, fc, 1, 20, 10*time.Millisecond)
+	if phi := d.Phi(1); phi > d.Threshold {
+		t.Fatalf("phi %.2f already past threshold right after a heartbeat", phi)
+	}
+	if d.Suspect(1) {
+		t.Fatal("peer suspected while heartbeating regularly")
+	}
+	// A silence far beyond the distribution (and the MinSilence floor)
+	// must accrue past the threshold.
+	fc.advance(2 * time.Second)
+	if phi := d.Phi(1); phi < d.Threshold {
+		t.Fatalf("phi %.2f below threshold after 2s silence on a 10ms cadence", phi)
+	}
+	if !d.Suspect(1) {
+		t.Fatal("peer not suspected after 2s silence on a 10ms cadence")
+	}
+}
+
+func TestPhiMonotoneInSilence(t *testing.T) {
+	d, fc := newClockedDetector()
+	beat(d, fc, 3, 30, 5*time.Millisecond)
+	prev := d.Phi(3)
+	for i := 0; i < 10; i++ {
+		fc.advance(50 * time.Millisecond)
+		phi := d.Phi(3)
+		if phi < prev {
+			t.Fatalf("phi decreased during silence: %.3f -> %.3f", prev, phi)
+		}
+		prev = phi
+	}
+}
+
+func TestPhiToleratesStragglers(t *testing.T) {
+	d, fc := newClockedDetector()
+	// An irregular peer: alternating fast and 5x-slow steps. Its own
+	// distribution must buy it grace a fixed deadline would not give.
+	for i := 0; i < 40; i++ {
+		d.Heartbeat(2)
+		if i%2 == 0 {
+			fc.advance(2 * time.Millisecond)
+		} else {
+			fc.advance(10 * time.Millisecond)
+		}
+	}
+	// Silence of 3 straggler steps: well within the habit of this peer
+	// once MinSilence and the widened sigma are applied.
+	fc.advance(30 * time.Millisecond)
+	if d.Suspect(2) {
+		t.Fatalf("straggler suspected after 30ms silence (phi %.2f, silence floor %v)",
+			d.Phi(2), d.MinSilence)
+	}
+}
+
+func TestSuspectNeedsSamplesAndSilenceFloor(t *testing.T) {
+	d, fc := newClockedDetector()
+	// Unknown peer: never suspected.
+	if d.Suspect(7) {
+		t.Fatal("unknown peer suspected")
+	}
+	// One beacon then a huge silence: below MinSamples, never suspected.
+	d.Heartbeat(7)
+	fc.advance(time.Hour)
+	if d.Suspect(7) {
+		t.Fatal("peer with no interval history suspected")
+	}
+	// Enough samples, but silence below the absolute floor: not suspected
+	// even though phi is astronomically high for a 1ms cadence.
+	beat(d, fc, 8, 20, time.Millisecond)
+	fc.advance(d.MinSilence / 2)
+	if d.Suspect(8) {
+		t.Fatalf("peer suspected below the %v silence floor", d.MinSilence)
+	}
+}
+
+// TestRecvSuspectsSilentPeer drives a real two-rank world in which rank
+// 1 heartbeats and then goes silent without crashing — the case a fixed
+// deadline can only catch by timing out. The receive on rank 0 must
+// abort with ErrSuspect (and hence ErrRankDead) well before the 30s
+// hard deadline.
+func TestRecvSuspectsSilentPeer(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewPhiDetector()
+	det.MinSilence = 50 * time.Millisecond
+	det.MinSamples = 3
+	w.SetDetector(det)
+	w.SetRecvTimeout(30 * time.Second) // last resort only
+
+	errc := make(chan error, 1)
+	runErr := RunWorld(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			_, err := c.RecvE(1, 9)
+			errc <- err
+			return nil
+		case 1:
+			for i := 0; i < 10; i++ {
+				c.Heartbeat()
+				time.Sleep(2 * time.Millisecond)
+			}
+			// Fall silent without crashing or exiting for a while; the
+			// receiver must give up via the detector, not this return.
+			time.Sleep(600 * time.Millisecond)
+		}
+		return nil
+	})
+	if runErr != nil {
+		t.Fatalf("world failed: %v", runErr)
+	}
+	err = <-errc
+	if err == nil {
+		t.Fatal("recv from a silent peer returned no error")
+	}
+	if !errors.Is(err, ErrSuspect) {
+		t.Fatalf("recv error %v does not wrap ErrSuspect", err)
+	}
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("ErrSuspect must imply ErrRankDead; got %v", err)
+	}
+}
+
+// TestRecvNoFalseSuspicionUnderLoad checks the flip side: a peer that
+// keeps heartbeating, however slowly it produces the payload, is never
+// suspected — the property that makes phi safe where a tight deadline
+// is not.
+func TestRecvNoFalseSuspicionUnderLoad(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewPhiDetector()
+	det.MinSilence = 30 * time.Millisecond
+	w.SetDetector(det)
+
+	runErr := RunWorld(w, func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			m, err := c.RecvE(1, 9)
+			if err != nil {
+				return fmt.Errorf("receiver gave up on a live straggler: %w", err)
+			}
+			if len(m.Data) != 1 || m.Data[0] != 42 {
+				return fmt.Errorf("wrong payload %v", m.Data)
+			}
+		case 1:
+			// Straggle for ~200ms total but keep heartbeating.
+			for i := 0; i < 40; i++ {
+				c.Heartbeat()
+				time.Sleep(5 * time.Millisecond)
+			}
+			c.Send(0, 9, Message{Data: []float64{42}})
+		}
+		return nil
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}

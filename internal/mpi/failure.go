@@ -27,6 +27,11 @@ var (
 	ErrTimeout = errors.New("mpi: receive timed out")
 	// ErrWorldDown reports that the world has been torn down.
 	ErrWorldDown = errors.New("mpi: world torn down")
+	// ErrSuspect reports that the phi-accrual detector declared the peer
+	// dead: its heartbeat silence crossed the suspicion threshold. It
+	// wraps ErrRankDead, so existing errors.Is(err, ErrRankDead) checks
+	// treat a suspected peer like a confirmed death.
+	ErrSuspect = fmt.Errorf("peer suspected dead by phi-accrual detector: %w", ErrRankDead)
 )
 
 // rankPanic aborts a rank out of deeply nested exchange code; RunWorld
@@ -149,6 +154,21 @@ func (w *World) FailureCause() error {
 	return w.cause
 }
 
+// DeadRanks returns a copy of the per-rank death ledger: every rank
+// that crashed or exited, with its cause (nil = clean exit). The
+// supervisor uses it to separate root failures (a rank that crashed on
+// its own error) from collateral ones (ranks that died waiting on it),
+// which is what decides hot-swap versus disk rollback.
+func (w *World) DeadRanks() map[int]error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	out := make(map[int]error, len(w.dead))
+	for r, e := range w.dead {
+		out[r] = e
+	}
+	return out
+}
+
 // bumpLocked signals a failure-state change to every watcher. Callers
 // hold fmu. Each channel returned by failureSignal is closed by the
 // first state change after it was obtained.
@@ -241,6 +261,16 @@ func (c *Comm) recvOn(mb *mailbox, src, tag int, ch chan Message, timeout time.D
 		defer t.Stop()
 		deadline = t.C
 	}
+	// With a phi-accrual detector installed, a blocked receive polls the
+	// source's suspicion level so a silently-vanished peer is detected
+	// adaptively instead of waiting out the full hard deadline.
+	var suspectTick <-chan time.Time
+	det := w.Detector()
+	if det != nil && src != c.rank {
+		tk := time.NewTicker(det.CheckEvery)
+		defer tk.Stop()
+		suspectTick = tk.C
+	}
 	for {
 		// Fast path: a message is already available.
 		select {
@@ -266,6 +296,17 @@ func (c *Comm) recvOn(mb *mailbox, src, tag int, ch chan Message, timeout time.D
 			return m, nil
 		case <-sig:
 			// Failure state changed; loop and re-evaluate.
+		case <-suspectTick:
+			if !det.Suspect(src) {
+				continue
+			}
+			mb.cancel(ch)
+			if m, ok := mb.tryGet(); ok {
+				return m, nil
+			}
+			return Message{}, fmt.Errorf("rank %d recv(src=%d, tag=%d): silent %v, phi %.1f ≥ %.1f: %w",
+				c.rank, src, tag, det.Silence(src).Round(time.Millisecond),
+				det.Phi(src), det.Threshold, ErrSuspect)
 		case <-deadline:
 			mb.cancel(ch)
 			if m, ok := mb.tryGet(); ok {

@@ -135,6 +135,7 @@ type World struct {
 	recvTimeout time.Duration
 	hook        FaultHook
 	tracer      *trace.Tracer
+	detector    *PhiDetector // nil = deadline-only failure detection
 }
 
 // internal collective tags live in a reserved negative range so they never

@@ -10,26 +10,50 @@ import (
 // the per-step LUPS rate gives the recomputation cost of a failure;
 // Restarts and TimeToRecover bound the control-plane overhead; the
 // checkpoint counters show how often the health gate and the integrity
-// verification earned their keep.
+// verification earned their keep. The multi-level counters split the
+// restarts by severity: HotSwaps recovered from memory (L2 buddy copies
+// or L3 parity) with no disk access and no global rollback past the last
+// snapshot, DiskRollbacks escalated to the L4 checkpoint file.
 type RecoveryStats struct {
-	// Restarts counts supervised world teardown + restore cycles.
-	Restarts int
+	// Restarts counts supervised world teardown + restore cycles
+	// (HotSwaps + DiskRollbacks).
+	Restarts int `json:"restarts"`
 	// LostSteps is the total forward progress discarded by rollbacks
 	// (furthest step reached minus the step resumed from, summed over
 	// restarts).
-	LostSteps int
+	LostSteps int `json:"lost_steps"`
 	// Shrinks counts restarts that re-decomposed onto fewer ranks.
-	Shrinks int
+	Shrinks int `json:"shrinks"`
 	// CheckpointsWritten counts verified-good checkpoints accepted as
 	// rollback targets.
-	CheckpointsWritten int
+	CheckpointsWritten int `json:"checkpoints_written"`
 	// CheckpointsRejected counts checkpoints refused by the health gate
 	// or failing read-back verification (corruption).
-	CheckpointsRejected int
+	CheckpointsRejected int `json:"checkpoints_rejected"`
 	// TimeToRecover is the wall-clock time spent in rollback machinery
 	// (teardown, re-decomposition, restore), excluding step replay —
 	// replay cost is LostSteps at the solver's step rate.
-	TimeToRecover time.Duration
+	TimeToRecover time.Duration `json:"time_to_recover_ns"`
+
+	// HotSwaps counts restarts repaired from the in-memory snapshot
+	// hierarchy with the world size preserved (no disk, no shrink).
+	HotSwaps int `json:"hot_swaps"`
+	// DiskRollbacks counts restarts that escalated to the L4 disk
+	// checkpoint (multi-loss in a parity group, no valid generation).
+	DiskRollbacks int `json:"disk_rollbacks"`
+	// BuddyRestores counts dead blocks recovered from an L2 buddy copy.
+	BuddyRestores int `json:"buddy_restores"`
+	// Reconstructions counts dead blocks rebuilt from L3 parity algebra.
+	Reconstructions int `json:"reconstructions"`
+	// SparesUsed counts spare ranks consumed by hot swaps.
+	SparesUsed int `json:"spares_used"`
+	// SnapshotBytes is the cumulative bytes deposited per checkpoint
+	// level (L1 own, L2 buddy, L3 parity, L4 disk).
+	SnapshotBytes [4]int64 `json:"snapshot_bytes"`
+	// Downtime is the wall-clock time the simulation made no forward
+	// progress because of failures: from failure detection to the world
+	// resuming (either recovery path).
+	Downtime time.Duration `json:"downtime_ns"`
 }
 
 // Clean reports whether the run needed no recovery at all.
@@ -37,11 +61,31 @@ func (r RecoveryStats) Clean() bool {
 	return r.Restarts == 0 && r.CheckpointsRejected == 0
 }
 
+// MTTR returns the mean time to repair: total downtime divided by the
+// number of repairs (zero when nothing failed).
+func (r RecoveryStats) MTTR() time.Duration {
+	if r.Restarts == 0 {
+		return 0
+	}
+	return r.Downtime / time.Duration(r.Restarts)
+}
+
 // String implements fmt.Stringer.
 func (r RecoveryStats) String() string {
-	return fmt.Sprintf("restarts=%d (shrinks=%d), lost steps=%d, checkpoints %d good/%d rejected, recovery time %v",
-		r.Restarts, r.Shrinks, r.LostSteps, r.CheckpointsWritten, r.CheckpointsRejected,
+	s := fmt.Sprintf("restarts=%d (hot-swaps=%d, disk=%d, shrinks=%d), lost steps=%d, checkpoints %d good/%d rejected, recovery time %v",
+		r.Restarts, r.HotSwaps, r.DiskRollbacks, r.Shrinks, r.LostSteps,
+		r.CheckpointsWritten, r.CheckpointsRejected,
 		r.TimeToRecover.Round(time.Microsecond))
+	if r.Restarts > 0 {
+		s += fmt.Sprintf(", MTTR %v", r.MTTR().Round(time.Microsecond))
+	}
+	if r.BuddyRestores > 0 || r.Reconstructions > 0 {
+		s += fmt.Sprintf(", blocks recovered %d buddy/%d parity", r.BuddyRestores, r.Reconstructions)
+	}
+	if r.SparesUsed > 0 {
+		s += fmt.Sprintf(", spares used %d", r.SparesUsed)
+	}
+	return s
 }
 
 // ReplayCost returns the modelled recomputation time of the lost steps

@@ -1,0 +1,142 @@
+package psolve
+
+// In-memory snapshot collective: the rank-side half of the multi-level
+// checkpoint hierarchy in internal/resil. Every SnapshotEvery steps each
+// rank captures its interior block (L1), pushes a copy to its ring buddy
+// (L2) and exchanges snapshots within its parity group to compute the
+// group XOR (L3). The supervisor's Store plays the role of every rank's
+// local memory; after a failure it decides from those deposits whether
+// the loss is repairable without touching the L4 disk checkpoint.
+
+import (
+	"fmt"
+
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/resil"
+	"sunwaylb/internal/trace"
+)
+
+// Snapshot-exchange tags continue the face-exchange tag block.
+const (
+	tagSnapBuddy  = tagYMinus + 1
+	tagSnapParity = tagYMinus + 2
+)
+
+// resilState is the per-rank scratch of the snapshot collective, reused
+// across captures so the steady-state path allocates nothing.
+type resilState struct {
+	own    resil.Snapshot // this rank's L1 capture
+	recv   resil.Snapshot // unpack scratch for buddy/parity messages
+	parity resil.Snapshot // the group XOR this rank computes (L3)
+	data   []float64      // pack scratch
+	aux    []byte
+}
+
+// ResilCapture runs one snapshot wave: L1 capture and deposit, L2 buddy
+// push/receive, L3 parity exchange — the levels selected by the mask.
+// It is a group-wise collective: every rank of a parity group must call
+// it at the same step, like a checkpoint gather. Receive errors (a peer
+// dying mid-wave) are returned, failing the attempt; the store's older
+// double-buffered generation stays intact for recovery.
+func (s *Solver) ResilCapture(st *resil.Store, levels resil.Levels) error {
+	if st == nil || !levels.Memory() {
+		return nil
+	}
+	me := s.Comm.Rank()
+	rs := &s.resil
+
+	// L1: capture the interior block and deposit it as this rank's own
+	// snapshot.
+	func() {
+		if s.tr != nil {
+			defer s.tr.Scope(trace.TrackCkpt, "snap-l1")()
+		}
+		resil.Capture(&rs.own, s.Lat, s.Block, me)
+	}()
+	if levels.Has(resil.L1) {
+		st.DepositOwn(&rs.own)
+	}
+
+	lo, hi := st.Group(me)
+	if hi-lo < 2 {
+		return nil // singleton group: no buddy, no parity algebra
+	}
+
+	// L2: push my snapshot to the ring-next member; receive ring-prev's.
+	if levels.Has(resil.L2) {
+		if err := s.buddyExchange(st, rs, me); err != nil {
+			return err
+		}
+	}
+
+	// L3: exchange snapshots within the group and fold them into the
+	// replicated parity record (every member computes the same XOR, so
+	// any single survivor can serve the reconstruction).
+	if levels.Has(resil.L3) {
+		if err := s.parityExchange(st, rs, me, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buddyExchange is the L2 wave: a ring shift of snapshots inside the
+// parity group.
+func (s *Solver) buddyExchange(st *resil.Store, rs *resilState, me int) error {
+	if s.tr != nil {
+		defer s.tr.Scope(trace.TrackCkpt, "snap-l2")()
+	}
+	rs.data, rs.aux = rs.own.Pack(rs.data, rs.aux)
+	s.Comm.Isend(st.Buddy(me), tagSnapBuddy, cloneSnapMsg(rs.data, rs.aux))
+	m, err := s.Comm.RecvE(st.BuddySource(me), tagSnapBuddy)
+	if err != nil {
+		return fmt.Errorf("psolve: L2 buddy wave at step %d: %w", s.Lat.Step(), err)
+	}
+	if err := resil.UnpackInto(&rs.recv, m.Data, m.Aux); err != nil {
+		return err
+	}
+	st.DepositBuddy(me, &rs.recv)
+	return nil
+}
+
+// parityExchange is the L3 wave: an all-to-all of snapshots within the
+// group, folded locally into the XOR parity record.
+func (s *Solver) parityExchange(st *resil.Store, rs *resilState, me, lo, hi int) error {
+	if s.tr != nil {
+		defer s.tr.Scope(trace.TrackCkpt, "snap-l3")()
+	}
+	rs.data, rs.aux = rs.own.Pack(rs.data, rs.aux)
+	for r := lo; r < hi; r++ {
+		if r != me {
+			s.Comm.Isend(r, tagSnapParity, cloneSnapMsg(rs.data, rs.aux))
+		}
+	}
+	resil.ParityReset(&rs.parity, me, rs.own.Step, len(rs.own.Pops), len(rs.own.Flags))
+	resil.ParityAdd(&rs.parity, &rs.own)
+	for r := lo; r < hi; r++ {
+		if r == me {
+			continue
+		}
+		m, err := s.Comm.RecvE(r, tagSnapParity)
+		if err != nil {
+			return fmt.Errorf("psolve: L3 parity wave at step %d: %w", s.Lat.Step(), err)
+		}
+		if err := resil.UnpackInto(&rs.recv, m.Data, m.Aux); err != nil {
+			return err
+		}
+		resil.ParityAdd(&rs.parity, &rs.recv)
+	}
+	resil.Seal(&rs.parity)
+	st.DepositParity(me, &rs.parity)
+	return nil
+}
+
+// cloneSnapMsg copies the pack scratch into a fresh message: the scratch
+// is reused every wave and the transport passes references (and the
+// fault hook may mutate payloads in place).
+func cloneSnapMsg(data []float64, aux []byte) mpi.Message {
+	return mpi.Message{
+		Data: append([]float64(nil), data...),
+		Aux:  append([]byte(nil), aux...),
+	}
+}

@@ -1,0 +1,145 @@
+package resil
+
+import (
+	"fmt"
+	"math"
+
+	"sunwaylb/internal/decomp"
+)
+
+// Parity algebra. A parity record is the bitwise XOR of every group
+// member's snapshot payload, padded to the longest member (uneven
+// decompositions give uneven blocks). XOR is associative and its own
+// inverse, so the missing member equals the parity XORed with every
+// surviving member — one unknown per group, exactly the RAID-5
+// guarantee.
+
+// xorFloats XORs src's float bit patterns into dst[:len(src)].
+//
+//lbm:hot
+func xorFloats(dst, src []float64) {
+	for i, v := range src {
+		dst[i] = math.Float64frombits(math.Float64bits(dst[i]) ^ math.Float64bits(v))
+	}
+}
+
+// xorBytes XORs src into dst[:len(src)].
+//
+//lbm:hot
+func xorBytes(dst, src []byte) {
+	for i, b := range src {
+		dst[i] ^= b
+	}
+}
+
+// ParityReset initialises p as an empty parity record for the given
+// computing rank and step, with capacity for payloads up to n
+// populations and m flags.
+func ParityReset(p *Snapshot, rank, step, n, m int) {
+	p.Rank, p.Step = rank, step
+	p.X0, p.Y0, p.Z0 = 0, 0, 0
+	p.NX, p.NY, p.NZ = 0, 0, 0
+	p.Q = 0
+	p.ensure(n, m)
+	for i := range p.Pops {
+		p.Pops[i] = 0
+	}
+	for i := range p.Flags {
+		p.Flags[i] = 0
+	}
+}
+
+// ParityAdd folds one member snapshot into the parity record, growing
+// the record if the member's payload is longer than anything seen so
+// far. Call Seal once every member has been added.
+func ParityAdd(p *Snapshot, member *Snapshot) {
+	if len(member.Pops) > len(p.Pops) || len(member.Flags) > len(p.Flags) {
+		growParity(p, len(member.Pops), len(member.Flags))
+	}
+	xorFloats(p.Pops, member.Pops)
+	xorBytes(p.Flags, member.Flags)
+}
+
+// growParity extends the parity payload with zero padding, preserving
+// the accumulated prefix.
+func growParity(p *Snapshot, n, m int) {
+	if n < len(p.Pops) {
+		n = len(p.Pops)
+	}
+	if m < len(p.Flags) {
+		m = len(p.Flags)
+	}
+	pops := p.Pops
+	flags := p.Flags
+	if cap(pops) < n {
+		pops = make([]float64, n)
+		copy(pops, p.Pops)
+	} else {
+		old := len(pops)
+		pops = pops[:n]
+		for i := old; i < n; i++ {
+			pops[i] = 0
+		}
+	}
+	if cap(flags) < m {
+		flags = make([]byte, m)
+		copy(flags, p.Flags)
+	} else {
+		old := len(flags)
+		flags = flags[:m]
+		for i := old; i < m; i++ {
+			flags[i] = 0
+		}
+	}
+	p.Pops, p.Flags = pops, flags
+}
+
+// Seal stamps the parity record's checksum after the last ParityAdd.
+func Seal(p *Snapshot) { p.Sum = checksum(p.Pops, p.Flags) }
+
+// Reconstruct recovers the snapshot of the missing rank from a sealed
+// parity record and the snapshots of every other group member. The
+// missing block's geometry comes from the decomposition table (the
+// payload stores no geometry for a dead rank). dst is reused.
+func Reconstruct(dst *Snapshot, parity *Snapshot, survivors []*Snapshot,
+	missing int, b decomp.Block, q, step int) error {
+	if !parity.Verify() {
+		return fmt.Errorf("resil: parity record from rank %d fails checksum", parity.Rank)
+	}
+	cells := b.NX * b.NY * b.NZ
+	n := cells * q
+	if n > len(parity.Pops) || cells > len(parity.Flags) {
+		return fmt.Errorf("resil: parity payload (%d pops) shorter than missing block (%d)",
+			len(parity.Pops), n)
+	}
+	// Accumulate parity ⊕ survivors into a full-width scratch, then
+	// truncate to the missing block's size.
+	dst.ensure(len(parity.Pops), len(parity.Flags))
+	copy(dst.Pops, parity.Pops)
+	copy(dst.Flags, parity.Flags)
+	for _, s := range survivors {
+		if s.Step != step {
+			return fmt.Errorf("resil: survivor rank %d snapshot at step %d, want %d", s.Rank, s.Step, step)
+		}
+		if !s.Verify() {
+			return fmt.Errorf("resil: survivor rank %d snapshot fails checksum", s.Rank)
+		}
+		xorFloats(dst.Pops, s.Pops)
+		xorBytes(dst.Flags, s.Flags)
+	}
+	// Beyond the missing block's extent the XOR must cancel to zero;
+	// a nonzero tail means the equation had more than one unknown.
+	for _, v := range dst.Pops[n:] {
+		if math.Float64bits(v) != 0 {
+			return fmt.Errorf("resil: parity residue beyond missing block (multiple unknowns?)")
+		}
+	}
+	dst.Pops = dst.Pops[:n]
+	dst.Flags = dst.Flags[:cells]
+	dst.Rank, dst.Step = missing, step
+	dst.X0, dst.Y0, dst.Z0 = b.X0, b.Y0, b.Z0
+	dst.NX, dst.NY, dst.NZ = b.NX, b.NY, b.NZ
+	dst.Q = q
+	dst.Sum = checksum(dst.Pops, dst.Flags)
+	return nil
+}

@@ -1,0 +1,183 @@
+package resil
+
+import (
+	"fmt"
+	"math"
+
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/decomp"
+)
+
+// Snapshot is one rank's serialised subdomain state at a step boundary:
+// the interior populations and cell flags of the rank's block, plus
+// enough geometry to place the block back into the global lattice. The
+// same struct doubles as a parity record (XOR of a group's snapshots),
+// in which case the geometry fields describe no block and only the
+// padded payload matters.
+type Snapshot struct {
+	// Rank is the owner (for L1), the original owner of a buddy copy
+	// (for L2), or the computing member (for parity).
+	Rank int
+	// Step is the completed-step count the state belongs to.
+	Step int
+	// X0, Y0, Z0, NX, NY, NZ locate the block in the global domain.
+	X0, Y0, Z0 int
+	NX, NY, NZ int
+	// Q is the descriptor population count.
+	Q int
+	// Pops holds the interior populations in (y, x, z) block order with
+	// q innermost — the same order GatherLattice serialises.
+	Pops []float64
+	// Flags holds the interior cell flags in the same order.
+	Flags []byte
+	// Sum is the FNV-1a checksum of Pops and Flags, so a corrupted
+	// buddy push or parity replica is detected at use time.
+	Sum uint64
+}
+
+// PayloadBytes returns the in-memory size of the snapshot payload.
+func (s *Snapshot) PayloadBytes() int64 {
+	return int64(8*len(s.Pops) + len(s.Flags))
+}
+
+// fnv-1a 64-bit constants.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// fnvU64 folds one 64-bit word into an FNV-1a hash, byte by byte.
+//
+//lbm:hot
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// checksum computes the snapshot payload checksum.
+//
+//lbm:hot
+func checksum(pops []float64, flags []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range pops {
+		h = fnvU64(h, math.Float64bits(v))
+	}
+	for _, f := range flags {
+		h ^= uint64(f)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Verify reports whether the payload still matches the checksum.
+func (s *Snapshot) Verify() bool { return checksum(s.Pops, s.Flags) == s.Sum }
+
+// ensure grows the snapshot's payload buffers to hold n populations and
+// m flags. Kept out of the hot capture path so the per-step capture
+// stays allocation-free in steady state.
+func (s *Snapshot) ensure(n, m int) {
+	if cap(s.Pops) < n {
+		s.Pops = make([]float64, n)
+	}
+	s.Pops = s.Pops[:n]
+	if cap(s.Flags) < m {
+		s.Flags = make([]byte, m)
+	}
+	s.Flags = s.Flags[:m]
+}
+
+// Capture records the lattice's interior block state into the snapshot,
+// reusing the snapshot's buffers (steady-state allocation-free; the
+// first capture sizes them). The lattice holds the rank's local block
+// (interior NX×NY×NZ); b locates that block globally.
+func Capture(s *Snapshot, lat *core.Lattice, b decomp.Block, rank int) {
+	q := lat.Desc.Q
+	cells := b.NX * b.NY * b.NZ
+	s.Rank, s.Step = rank, lat.Step()
+	s.X0, s.Y0, s.Z0 = b.X0, b.Y0, b.Z0
+	s.NX, s.NY, s.NZ = b.NX, b.NY, b.NZ
+	s.Q = q
+	s.ensure(cells*q, cells)
+	s.Sum = captureInto(s.Pops, s.Flags, lat, q)
+}
+
+// captureInto copies the interior populations and flags into the
+// pre-sized buffers and returns the payload checksum (computed in the
+// same canonical pops-then-flags order Verify uses). This is the
+// per-step L1 capture loop: no allocation, no formatting, leaf calls
+// only.
+//
+//lbm:hot
+func captureInto(pops []float64, flags []byte, lat *core.Lattice, q int) uint64 {
+	src := lat.Src()
+	k := 0
+	for y := 0; y < lat.NY; y++ {
+		for x := 0; x < lat.NX; x++ {
+			for z := 0; z < lat.NZ; z++ {
+				idx := lat.Idx(x, y, z)
+				for i := 0; i < q; i++ {
+					pops[k*q+i] = src[i*lat.N+idx]
+				}
+				flags[k] = byte(lat.Flags[idx])
+				k++
+			}
+		}
+	}
+	return checksum(pops, flags)
+}
+
+// copyInto deep-copies src into dst, reusing dst's buffers.
+func copyInto(dst, src *Snapshot) {
+	*dst = Snapshot{
+		Rank: src.Rank, Step: src.Step,
+		X0: src.X0, Y0: src.Y0, Z0: src.Z0,
+		NX: src.NX, NY: src.NY, NZ: src.NZ,
+		Q: src.Q, Sum: src.Sum,
+		Pops:  dst.Pops,
+		Flags: dst.Flags,
+	}
+	dst.ensure(len(src.Pops), len(src.Flags))
+	copy(dst.Pops, src.Pops)
+	copy(dst.Flags, src.Flags)
+}
+
+// packHeader is the number of float64 header words of a packed snapshot.
+const packHeader = 11
+
+// Pack serialises the snapshot for an mpi transfer, appending to the
+// provided buffers (pass nil-or-reused slices; the returned slices are
+// the message payload). The checksum travels split across two words so
+// it survives the float64 payload type exactly.
+func (s *Snapshot) Pack(data []float64, aux []byte) ([]float64, []byte) {
+	data = data[:0]
+	data = append(data,
+		float64(s.Rank), float64(s.Step),
+		float64(s.X0), float64(s.Y0), float64(s.Z0),
+		float64(s.NX), float64(s.NY), float64(s.NZ),
+		float64(s.Q),
+		float64(s.Sum>>32), float64(s.Sum&0xffffffff))
+	data = append(data, s.Pops...)
+	aux = append(aux[:0], s.Flags...)
+	return data, aux
+}
+
+// UnpackInto decodes a packed snapshot into dst, reusing dst's buffers.
+func UnpackInto(dst *Snapshot, data []float64, aux []byte) error {
+	if len(data) < packHeader {
+		return fmt.Errorf("resil: packed snapshot too short (%d words)", len(data))
+	}
+	dst.Rank, dst.Step = int(data[0]), int(data[1])
+	dst.X0, dst.Y0, dst.Z0 = int(data[2]), int(data[3]), int(data[4])
+	dst.NX, dst.NY, dst.NZ = int(data[5]), int(data[6]), int(data[7])
+	dst.Q = int(data[8])
+	dst.Sum = uint64(data[9])<<32 | uint64(data[10])
+	body := data[packHeader:]
+	dst.ensure(len(body), len(aux))
+	copy(dst.Pops, body)
+	copy(dst.Flags, aux)
+	return nil
+}

@@ -1,0 +1,363 @@
+package resil
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sunwaylb/internal/decomp"
+)
+
+// Store is the supervisor-side ledger of the in-memory checkpoint
+// hierarchy: it models each rank's local memory in the simulated
+// machine. Ranks deposit their own L1 snapshots, the L2 buddy copies
+// they received, and the L3 parity replicas they computed; the
+// supervisor consults RecoveryPlan after a failure to decide whether
+// the dead set is repairable from memory or must escalate to the disk
+// path. Two generations are double-buffered so a failure mid-capture
+// still finds the previous complete generation.
+//
+// All methods are safe for concurrent use by rank goroutines; the
+// returned recovery snapshots are read only after the world has been
+// torn down (no rank goroutine is running).
+type Store struct {
+	mu        sync.Mutex
+	ranks     int
+	groupSize int
+	blocks    []decomp.Block
+
+	// Two double-buffered generations; cur receives deposits for the
+	// newest step.
+	gen [2]generation
+	cur int
+
+	bytes    [4]int64 // cumulative deposited bytes per level (L1..L4)
+	deposits [4]int64
+}
+
+// generation is one snapshot wave at a single step boundary.
+type generation struct {
+	step   int               // -1 = empty
+	own    map[int]*Snapshot // L1: rank → its own snapshot
+	buddy  map[int]*Snapshot // L2: holder rank → copy of ring-prev's snapshot
+	parity map[int]*Snapshot // L3: holder rank → group parity replica
+}
+
+// NewStore builds a store for a world of the given size, parity-group
+// size and decomposition table (blocks[r] is rank r's subdomain).
+func NewStore(ranks, groupSize int, blocks []decomp.Block) (*Store, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("resil: store needs ≥ 1 rank, got %d", ranks)
+	}
+	if groupSize < 1 {
+		return nil, fmt.Errorf("resil: group size %d < 1", groupSize)
+	}
+	if len(blocks) != ranks {
+		return nil, fmt.Errorf("resil: %d blocks for %d ranks", len(blocks), ranks)
+	}
+	st := &Store{ranks: ranks, groupSize: groupSize, blocks: blocks}
+	for i := range st.gen {
+		st.gen[i] = generation{
+			step:   -1,
+			own:    make(map[int]*Snapshot),
+			buddy:  make(map[int]*Snapshot),
+			parity: make(map[int]*Snapshot),
+		}
+	}
+	return st, nil
+}
+
+// Ranks returns the world size the store was built for.
+func (st *Store) Ranks() int { return st.ranks }
+
+// GroupSize returns the parity-group size.
+func (st *Store) GroupSize() int { return st.groupSize }
+
+// Group returns the rank interval [lo, hi) of the parity group
+// containing rank r.
+func (st *Store) Group(r int) (lo, hi int) {
+	lo = (r / st.groupSize) * st.groupSize
+	hi = lo + st.groupSize
+	if hi > st.ranks {
+		hi = st.ranks
+	}
+	return lo, hi
+}
+
+// GroupOf returns the parity-group index of rank r.
+func (st *Store) GroupOf(r int) int { return r / st.groupSize }
+
+// Buddy returns the ring-next member of r's group — the rank that holds
+// r's L2 copy. Returns r itself for a singleton group (no buddy).
+func (st *Store) Buddy(r int) int {
+	lo, hi := st.Group(r)
+	if hi-lo < 2 {
+		return r
+	}
+	n := hi - lo
+	return lo + (r-lo+1)%n
+}
+
+// BuddySource returns the rank whose L2 copy rank r holds (ring-prev).
+func (st *Store) BuddySource(r int) int {
+	lo, hi := st.Group(r)
+	if hi-lo < 2 {
+		return r
+	}
+	n := hi - lo
+	return lo + (r-lo+n-1)%n
+}
+
+// genFor returns the generation receiving deposits for step, flipping
+// the double buffer when a new step arrives. Callers hold st.mu.
+func (st *Store) genFor(step int) *generation {
+	if st.gen[st.cur].step == step {
+		return &st.gen[st.cur]
+	}
+	if st.gen[1-st.cur].step == step {
+		return &st.gen[1-st.cur]
+	}
+	// A new step: overwrite the older buffer.
+	if st.gen[1-st.cur].step < st.gen[st.cur].step {
+		st.cur = 1 - st.cur
+	}
+	st.gen[st.cur].step = step
+	return &st.gen[st.cur]
+}
+
+// slot returns (lazily creating) the reusable snapshot slot of a rank
+// in one of a generation's maps. Callers hold st.mu.
+func slot(m map[int]*Snapshot, rank int) *Snapshot {
+	s, ok := m[rank]
+	if !ok {
+		s = &Snapshot{}
+		m[rank] = s
+	}
+	return s
+}
+
+// DepositOwn records rank's L1 snapshot (copied into the store's
+// double-buffered slot, so the caller may keep reusing s).
+func (st *Store) DepositOwn(s *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	g := st.genFor(s.Step)
+	copyInto(slot(g.own, s.Rank), s)
+	st.bytes[0] += s.PayloadBytes()
+	st.deposits[0]++
+}
+
+// DepositBuddy records the L2 copy of s held by holder.
+func (st *Store) DepositBuddy(holder int, s *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	g := st.genFor(s.Step)
+	copyInto(slot(g.buddy, holder), s)
+	st.bytes[1] += s.PayloadBytes()
+	st.deposits[1]++
+}
+
+// DepositParity records the L3 parity replica computed by holder.
+func (st *Store) DepositParity(holder int, p *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	g := st.genFor(p.Step)
+	copyInto(slot(g.parity, holder), p)
+	st.bytes[2] += p.PayloadBytes()
+	st.deposits[2]++
+}
+
+// AccountDisk adds an L4 (disk) checkpoint write to the byte ledger.
+func (st *Store) AccountDisk(n int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.bytes[3] += n
+	st.deposits[3]++
+}
+
+// Bytes returns the cumulative deposited bytes per level (L1..L4).
+func (st *Store) Bytes() [4]int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bytes
+}
+
+// Invalidate wipes every entry held by the given ranks — called after a
+// hot swap, when the dead ranks' memory (their own L1, the buddy copies
+// and parity replicas they stored) is gone for good.
+func (st *Store) Invalidate(ranks []int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, r := range ranks {
+		for i := range st.gen {
+			delete(st.gen[i].own, r)
+			delete(st.gen[i].buddy, r)
+			delete(st.gen[i].parity, r)
+		}
+	}
+}
+
+// Reseed deposits a completed recovery as a fresh L1 generation: the
+// restore distributed rec.Blocks into every rank's memory, which is
+// exactly a new snapshot wave at rec.Step. Buddy and parity coverage
+// rebuilds at the next capture (the post-swap vulnerability window).
+func (st *Store) Reseed(rec *Recovery) {
+	for _, s := range rec.Blocks {
+		st.DepositOwn(s)
+	}
+}
+
+// Recovery is a memory-only repair plan: a consistent set of block
+// snapshots at one step for every rank of the world.
+type Recovery struct {
+	// Step is the snapshot generation every block belongs to.
+	Step int
+	// Blocks maps every rank to its block state: survivors from their
+	// own L1, dead ranks from a buddy copy or a parity reconstruction.
+	Blocks map[int]*Snapshot
+	// BuddyRestores counts dead blocks recovered from an L2 copy.
+	BuddyRestores int
+	// Reconstructions counts dead blocks rebuilt from L3 parity.
+	Reconstructions int
+}
+
+// RecoveryPlan decides whether the dead set is repairable purely from
+// memory. It walks the two generations newest-first; for each it needs
+// a valid own snapshot from every survivor, and for every dead rank
+// either a valid buddy copy on a surviving holder (L2) or a parity
+// equation with exactly one remaining unknown (L3) — L2-recovered
+// blocks feed back into the parity equations, so a buddy chain inside
+// one group resolves as far as the algebra allows. Returns (nil,
+// false) when no generation can repair the loss (multi-loss in one
+// group with no surviving copies, torn capture, checksum failures):
+// the caller escalates to L4.
+func (st *Store) RecoveryPlan(dead []int) (*Recovery, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	isDead := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		if d < 0 || d >= st.ranks {
+			return nil, false
+		}
+		isDead[d] = true
+	}
+	// Try generations newest-first.
+	order := []int{st.cur, 1 - st.cur}
+	if st.gen[1-st.cur].step > st.gen[st.cur].step {
+		order = []int{1 - st.cur, st.cur}
+	}
+	for _, gi := range order {
+		g := &st.gen[gi]
+		if g.step < 0 {
+			continue
+		}
+		if rec, ok := st.planFromGen(g, isDead); ok {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// planFromGen attempts a repair from one generation. Callers hold st.mu.
+func (st *Store) planFromGen(g *generation, isDead map[int]bool) (*Recovery, bool) {
+	step := g.step
+	blocks := make(map[int]*Snapshot, st.ranks)
+	// Survivors with a valid own snapshot anchor the plan; a survivor
+	// whose own copy is missing or stale (a torn capture, or memory
+	// invalidated after a swap) becomes one more unknown for the buddy
+	// and parity passes to solve — its holders are still alive.
+	unresolved := make([]int, 0, st.ranks)
+	for r := 0; r < st.ranks; r++ {
+		if isDead[r] {
+			unresolved = append(unresolved, r)
+			continue
+		}
+		s, ok := g.own[r]
+		if !ok || s.Step != step || !s.Verify() {
+			unresolved = append(unresolved, r)
+			continue
+		}
+		blocks[r] = s
+	}
+	rec := &Recovery{Step: step, Blocks: blocks}
+	// Pass 1: buddy copies. The holder of d's copy is Buddy(d); it must
+	// be alive and its copy must be d's state at this step.
+	sort.Ints(unresolved)
+	remaining := unresolved[:0]
+	for _, d := range unresolved {
+		h := st.Buddy(d)
+		if h != d && !isDead[h] {
+			if c, ok := g.buddy[h]; ok && c.Rank == d && c.Step == step && c.Verify() {
+				blocks[d] = c
+				rec.BuddyRestores++
+				continue
+			}
+		}
+		remaining = append(remaining, d)
+	}
+	// Pass 2: parity, iterated to let each reconstruction unlock the
+	// next (at most one unknown per group per pass).
+	for len(remaining) > 0 {
+		progress := false
+		next := remaining[:0]
+		for _, d := range remaining {
+			if st.reconstructLocked(g, blocks, isDead, d, step, rec) {
+				progress = true
+			} else {
+				next = append(next, d)
+			}
+		}
+		remaining = next
+		if !progress {
+			return nil, false
+		}
+	}
+	return rec, true
+}
+
+// reconstructLocked tries to rebuild dead rank d's block from a parity
+// replica plus every other member's known block. Callers hold st.mu.
+func (st *Store) reconstructLocked(g *generation, blocks map[int]*Snapshot,
+	isDead map[int]bool, d, step int, rec *Recovery) bool {
+	lo, hi := st.Group(d)
+	// Every other member's block must already be known.
+	survivors := make([]*Snapshot, 0, hi-lo-1)
+	for r := lo; r < hi; r++ {
+		if r == d {
+			continue
+		}
+		s, ok := blocks[r]
+		if !ok {
+			return false // another unknown in the group
+		}
+		survivors = append(survivors, s)
+	}
+	// Any live member's parity replica will do.
+	for r := lo; r < hi; r++ {
+		if r == d || isDead[r] {
+			continue
+		}
+		p, ok := g.parity[r]
+		if !ok || p.Step != step || !p.Verify() {
+			continue
+		}
+		out := &Snapshot{}
+		if err := Reconstruct(out, p, survivors, d, st.blocks[d], st.blockQ(survivors), step); err != nil {
+			continue
+		}
+		blocks[d] = out
+		rec.Reconstructions++
+		return true
+	}
+	return false
+}
+
+// blockQ infers the descriptor population count from any survivor.
+func (st *Store) blockQ(survivors []*Snapshot) int {
+	for _, s := range survivors {
+		if s.Q > 0 {
+			return s.Q
+		}
+	}
+	return 0
+}

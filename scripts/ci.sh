@@ -17,8 +17,12 @@
 #   analyze — lbmvet, the domain-specific static-analysis suite: the
 #             whole module must be free of LDM-budget, mpi-error,
 #             span-pairing, hot-allocation and float-determinism findings
-#   chaos   — race-checked chaos smoke: the supervisor must survive a
-#             deterministic rank kill + checkpoint corruption
+#   chaos   — race-checked chaos matrix: the supervisor must survive
+#             deterministic rank kills (single and per-group), link
+#             flaps under the phi detector, multi-loss escalation to
+#             the disk tier, checkpoint corruption and straggler skew —
+#             hot-swapping from the in-memory L2/L3 snapshot hierarchy
+#             where the loss pattern allows it
 #   trace   — observability smoke: a traced distributed chaos run must
 #             export a Chrome trace that round-trips through
 #             postproc -tracestat (ReadChrome + Validate + Analyze)
@@ -88,9 +92,24 @@ analyze() {
 }
 
 chaos() {
-    echo "== chaos smoke: supervised recovery under fault injection =="
-    go test -race -run TestSupervisorRecovers -timeout 120s ./internal/psolve
-    go test -race -run 'TestRecvFromExitedRank|TestAbortUnblocksEveryone' -timeout 120s ./internal/mpi
+    echo "== chaos: supervised recovery matrix under fault injection =="
+    # Crash / flap / multi-kill / corrupt matrix plus the severity-aware
+    # recovery paths: memory-tier hot swaps (buddy + parity), multi-loss
+    # escalation to the L4 disk checkpoint, spare-budget exhaustion and
+    # phi-accrual straggler tolerance — all under the race detector.
+    go test -race -timeout 300s -run \
+        'TestChaosMatrix|TestSupervisorRecovers|TestSupervisorHotSwap|TestSupervisorMultiLoss|TestSupervisorSpareBudget|TestSupervisorPhi|TestSupervisorSnapshotCadence|TestSupervisorShrinkingRecovery' \
+        ./internal/psolve
+    go test -race -timeout 120s -run \
+        'TestRecvFromExitedRank|TestAbortUnblocksEveryone|TestRecvSuspectsSilentPeer|TestRecvNoFalseSuspicionUnderLoad' \
+        ./internal/mpi
+    go test -race -timeout 120s ./internal/fault ./internal/resil
+    # CLI-level smoke: a group kill must hot-swap with zero disk rollbacks.
+    swap=$(go run ./cmd/sunwaylb -preset cavity -nx 16 -ny 16 -nz 16 -steps 8 \
+        -decomp 2x2 -snapshot-every 2 -ckpt-levels 123 -ckpt-group 2 \
+        -spare-ranks 2 -detector phi -max-restarts 2 \
+        -fault-plan 'seed=7;crash@group=0,count=1,step=5' 2>&1)
+    echo "$swap" | grep -q 'hot-swaps=1, disk=0'
 }
 
 trace() {
