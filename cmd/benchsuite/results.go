@@ -28,18 +28,26 @@ import (
 
 // CaseResult is one measured benchmark case.
 type CaseResult struct {
-	Name     string              `json:"name"`
-	Summary  perf.Summary        `json:"summary"`
-	Counters map[string]int64    `json:"counters,omitempty"`
-	Recovery *perf.RecoveryStats `json:"recovery,omitempty"`
+	Name    string       `json:"name"`
+	Summary perf.Summary `json:"summary"`
+	// Goroutines is the peak goroutine count sampled while the case ran —
+	// the case's concurrency footprint (rank goroutines, halo exchanges,
+	// supervisor machinery), so throughput numbers can be read against
+	// how much parallelism actually backed them.
+	Goroutines int                 `json:"goroutines_peak"`
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Recovery   *perf.RecoveryStats `json:"recovery,omitempty"`
 }
 
 // BenchResults is the BENCH_results.json document.
 type BenchResults struct {
-	Generated string       `json:"generated"`
-	GoVersion string       `json:"go_version"`
-	NumCPU    int          `json:"num_cpu"`
-	Cases     []CaseResult `json:"cases"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler's P count for this run: the actual
+	// parallelism available, as opposed to NumCPU's hardware inventory.
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Cases      []CaseResult `json:"cases"`
 }
 
 const (
@@ -236,12 +244,40 @@ func stepDurations(events []trace.Event, rank int) []float64 {
 	return out
 }
 
+// sampleGoroutines polls the runtime's goroutine count in the background
+// until stopped and reports the observed peak.
+func sampleGoroutines() (stop func() int) {
+	quit := make(chan struct{})
+	out := make(chan int, 1)
+	go func() {
+		peak := runtime.NumGoroutine()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				out <- peak
+				return
+			case <-tick.C:
+				if n := runtime.NumGoroutine(); n > peak {
+					peak = n
+				}
+			}
+		}
+	}()
+	return func() int {
+		close(quit)
+		return <-out
+	}
+}
+
 // runJSON executes every measured case and writes the results document.
 func runJSON(path string) error {
 	res := BenchResults{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	type step struct {
 		name string
@@ -254,12 +290,14 @@ func runJSON(path string) error {
 		{"distributed-2x2", runDistributed},
 		{"supervised-hotswap", runSupervisedHotswap},
 	} {
+		peak := sampleGoroutines()
 		c, err := s.run()
+		c.Goroutines = peak()
 		if err != nil {
 			return fmt.Errorf("benchsuite: case %s: %w", s.name, err)
 		}
-		fmt.Printf("%-18s %6.2f MLUPS  mean %.3g s/step (p50 %.3g, p99 %.3g)\n",
-			c.Name, c.Summary.MLUPS, c.Summary.MeanSec, c.Summary.P50Sec, c.Summary.P99Sec)
+		fmt.Printf("%-18s %6.2f MLUPS  mean %.3g s/step (p50 %.3g, p99 %.3g)  %d goroutines peak\n",
+			c.Name, c.Summary.MLUPS, c.Summary.MeanSec, c.Summary.P50Sec, c.Summary.P99Sec, c.Goroutines)
 		res.Cases = append(res.Cases, c)
 	}
 	f, err := os.Create(path)

@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sunwaylb/internal/boundary"
@@ -42,6 +46,32 @@ import (
 	"sunwaylb/internal/trace"
 	"sunwaylb/internal/vis"
 )
+
+// exitInterrupted is the exit code of a run stopped by SIGINT/SIGTERM
+// after saving its state: distinct from success (0) and failure (1), so
+// schedulers can tell "re-submit with -restore" from "broken".
+const exitInterrupted = 3
+
+// errInterrupted marks a run that stopped at a signal after writing its
+// checkpoint.
+var errInterrupted = errors.New("interrupted by signal")
+
+// signalContext returns a context canceled by the first SIGINT/SIGTERM.
+// The first signal asks the run to checkpoint and exit (code 3); a
+// second signal hard-exits immediately with the conventional 130.
+func signalContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		log.Print("sunwaylb: signal: checkpointing and exiting (signal again to hard-exit)")
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
 
 func main() {
 	log.SetFlags(0)
@@ -111,6 +141,23 @@ func main() {
 		tracer = trace.New(trace.Options{MaxEventsPerRank: *traceBuf})
 	}
 
+	ctx, stopSignals := signalContext()
+	defer stopSignals()
+	// exitWith funnels every run's outcome through one place: an
+	// interrupted run still gets its trace written, then exits 3.
+	exitWith := func(err error) {
+		if err != nil && !errors.Is(err, errInterrupted) {
+			log.Fatalf("sunwaylb: %v", err)
+		}
+		if terr := finishTrace(tracer, *tracePath); terr != nil {
+			log.Fatalf("sunwaylb: %v", terr)
+		}
+		if err != nil {
+			log.Print("sunwaylb: interrupted; checkpoint saved where configured (exit 3)")
+			os.Exit(exitInterrupted)
+		}
+	}
+
 	if *decomp != "" {
 		d := distOpts{
 			decomp:      *decomp,
@@ -129,23 +176,13 @@ func main() {
 			detector:    *detector,
 			tracer:      tracer,
 		}
-		if err := runDistributed(cs, d); err != nil {
-			log.Fatalf("sunwaylb: %v", err)
-		}
-		if err := finishTrace(tracer, *tracePath); err != nil {
-			log.Fatalf("sunwaylb: %v", err)
-		}
+		exitWith(runDistributed(ctx, cs, d))
 		return
 	}
 	if *faultPlan != "" {
 		log.Fatal("sunwaylb: -fault-plan requires -decomp (faults target simulated MPI ranks)")
 	}
-	if err := runLocal(cs, *out, *cpPath, *cpEvery, *restore, *reportSecs, tracer); err != nil {
-		log.Fatalf("sunwaylb: %v", err)
-	}
-	if err := finishTrace(tracer, *tracePath); err != nil {
-		log.Fatalf("sunwaylb: %v", err)
-	}
+	exitWith(runLocal(ctx, cs, *out, *cpPath, *cpEvery, *restore, *reportSecs, tracer))
 }
 
 // finishTrace serialises the recorded timeline as Chrome trace-event
@@ -390,7 +427,7 @@ func builtinPreset(name string) (*caseSetup, error) {
 	return nil, fmt.Errorf("unknown preset %q (cavity|channel|cylinder|urban|suboff)", name)
 }
 
-func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, reportSecs float64, tracer *trace.Tracer) error {
+func runLocal(ctx context.Context, cs *caseSetup, out, cpPath string, cpEvery int, restore string, reportSecs float64, tracer *trace.Tracer) error {
 	var lat *core.Lattice
 	var err error
 	startStep := 0
@@ -444,6 +481,17 @@ func runLocal(cs *caseSetup, out, cpPath string, cpEvery int, restore string, re
 	tr := tracer.ForRank(0) // local runs trace as rank 0; nil-safe
 	lastReport := time.Now()
 	for s := startStep + 1; s <= cs.cfg.Steps; s++ {
+		// First SIGINT/SIGTERM: save state at the step boundary and leave
+		// with the interrupted exit code; -restore picks up right here.
+		if ctx.Err() != nil {
+			if cpPath != "" {
+				if err := swio.Checkpoint(cpPath, lat); err != nil {
+					return err
+				}
+				fmt.Printf("interrupt checkpoint %s at step %d\n", cpPath, lat.Step())
+			}
+			return errInterrupted
+		}
 		var endStep func()
 		if tr != nil {
 			endStep = tr.Scope(trace.TrackStep, "step")
@@ -519,7 +567,7 @@ func (d distOpts) supervised() bool {
 		d.detector != ""
 }
 
-func runDistributed(cs *caseSetup, d distOpts) error {
+func runDistributed(ctx context.Context, cs *caseSetup, d distOpts) error {
 	var px, py int
 	if _, err := fmt.Sscanf(strings.ToLower(d.decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
 		return fmt.Errorf("bad -decomp %q, want e.g. 2x2", d.decomp)
@@ -581,6 +629,7 @@ func runDistributed(cs *caseSetup, d distOpts) error {
 		}
 		var stats perf.RecoveryStats
 		m, stats, err = psolve.Supervise(psolve.SupervisorOptions{
+			Ctx:             ctx,
 			Opts:            opts,
 			Steps:           cs.cfg.Steps,
 			CheckpointEvery: d.cpEvery,
@@ -595,6 +644,12 @@ func runDistributed(cs *caseSetup, d distOpts) error {
 			Injector:        inj,
 			Logf:            log.Printf,
 		})
+		if errors.Is(err, psolve.ErrCanceled) {
+			// The supervisor drained the newest recoverable state into
+			// -checkpoint (when set) before reporting the cancellation.
+			fmt.Printf("interrupted: %v\n", err)
+			return errInterrupted
+		}
 		if err != nil {
 			return err
 		}

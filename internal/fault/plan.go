@@ -132,6 +132,51 @@ func intOr(kv map[string]float64, key string, def int) int {
 	return def
 }
 
+// Validate checks that every rank-targeted clause fits a world of the
+// given size. The service layer calls it at admission time so a tenant's
+// plan is rejected up front (HTTP 400) instead of silently never firing —
+// or, worse, being trusted to stay inside its own job's world.
+func (p Plan) Validate(ranks int) error {
+	checkRank := func(kind string, r int) error {
+		if r < 0 || r >= ranks {
+			return fmt.Errorf("fault: %s targets rank %d outside world [0,%d)", kind, r, ranks)
+		}
+		return nil
+	}
+	for _, c := range p.Crashes {
+		if err := checkRank("crash", c.Rank); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.Stragglers {
+		if err := checkRank("straggle", s.Rank); err != nil {
+			return err
+		}
+	}
+	for _, f := range p.Flaps {
+		if err := checkRank("flap", f.Rank); err != nil {
+			return err
+		}
+	}
+	for _, l := range p.Links {
+		if l.Src < -1 || l.Src >= ranks {
+			return fmt.Errorf("fault: link src %d outside world [0,%d) (or -1 for any)", l.Src, ranks)
+		}
+		if l.Dst < -1 || l.Dst >= ranks {
+			return fmt.Errorf("fault: link dst %d outside world [0,%d) (or -1 for any)", l.Dst, ranks)
+		}
+	}
+	// Group bounds depend on the parity-group size, which only the
+	// supervisor knows; the loosest size (1) still requires the group
+	// index to name at least one rank.
+	for _, g := range p.GroupCrashes {
+		if g.Group < 0 || g.Group >= ranks {
+			return fmt.Errorf("fault: group crash targets group %d outside world of %d ranks", g.Group, ranks)
+		}
+	}
+	return nil
+}
+
 // String renders the plan back into the DSL (parseable by ParsePlan).
 func (p Plan) String() string {
 	var parts []string

@@ -32,7 +32,30 @@ var (
 	// wraps ErrRankDead, so existing errors.Is(err, ErrRankDead) checks
 	// treat a suspected peer like a confirmed death.
 	ErrSuspect = fmt.Errorf("peer suspected dead by phi-accrual detector: %w", ErrRankDead)
+	// ErrRankPanic reports that a rank's body panicked with a genuine bug
+	// (not a typed communication abort) inside a world running with
+	// panic containment — the bulkhead mode of a multi-tenant service,
+	// where one tenant's crash must become that rank's error instead of
+	// taking down the whole process.
+	ErrRankPanic = errors.New("mpi: rank body panicked")
 )
+
+// SetContainPanics selects how RunWorld treats a non-communication panic
+// in a rank body. Off (the default), such a panic is a genuine bug and
+// crashes the process loudly. On, it is recovered into the rank's error
+// return wrapping ErrRankPanic, so a supervisor (and the service layer
+// above it) can fail just that run. Install before RunWorld starts ranks.
+func (w *World) SetContainPanics(on bool) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	w.containPanics = on
+}
+
+func (w *World) panicsContained() bool {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.containPanics
+}
 
 // rankPanic aborts a rank out of deeply nested exchange code; RunWorld
 // recovers it into the rank's error return. This mirrors how a real MPI

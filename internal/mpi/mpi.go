@@ -127,15 +127,16 @@ type World struct {
 	}
 
 	// Failure state (see failure.go).
-	fmu         sync.Mutex
-	down        bool
-	cause       error         // first failure cause (nil while healthy)
-	dead        map[int]error // rank → why unreachable (nil = clean exit)
-	notify      chan struct{} // closed and replaced on every state change
-	recvTimeout time.Duration
-	hook        FaultHook
-	tracer      *trace.Tracer
-	detector    *PhiDetector // nil = deadline-only failure detection
+	fmu           sync.Mutex
+	down          bool
+	cause         error         // first failure cause (nil while healthy)
+	dead          map[int]error // rank → why unreachable (nil = clean exit)
+	notify        chan struct{} // closed and replaced on every state change
+	recvTimeout   time.Duration
+	hook          FaultHook
+	tracer        *trace.Tracer
+	detector      *PhiDetector // nil = deadline-only failure detection
+	containPanics bool         // bulkhead mode: rank panics become errors
 }
 
 // internal collective tags live in a reserved negative range so they never
@@ -575,11 +576,15 @@ func RunWorld(w *World, body func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					rp, ok := p.(rankPanic)
-					if !ok {
+					if rp, ok := p.(rankPanic); ok {
+						errs[rank] = rp.err
+					} else if w.panicsContained() {
+						// Bulkhead mode: a tenant's bug kills its rank,
+						// not the process hosting every tenant.
+						errs[rank] = fmt.Errorf("mpi: rank %d: %v: %w", rank, p, ErrRankPanic)
+					} else {
 						panic(p) // genuine bug: crash loudly as before
 					}
-					errs[rank] = rp.err
 				}
 				w.markExit(rank, errs[rank])
 			}()

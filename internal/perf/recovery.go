@@ -56,6 +56,29 @@ type RecoveryStats struct {
 	Downtime time.Duration `json:"downtime_ns"`
 }
 
+// Merge accumulates another run's recovery scorecard into r — the
+// service-level aggregation: the lbmserve /metrics endpoint sums every
+// job's stats into one fleet view. Counters and byte ledgers add;
+// durations add (MTTR stays consistent because Downtime and Restarts
+// both accumulate).
+func (r *RecoveryStats) Merge(o RecoveryStats) {
+	r.Restarts += o.Restarts
+	r.LostSteps += o.LostSteps
+	r.Shrinks += o.Shrinks
+	r.CheckpointsWritten += o.CheckpointsWritten
+	r.CheckpointsRejected += o.CheckpointsRejected
+	r.TimeToRecover += o.TimeToRecover
+	r.HotSwaps += o.HotSwaps
+	r.DiskRollbacks += o.DiskRollbacks
+	r.BuddyRestores += o.BuddyRestores
+	r.Reconstructions += o.Reconstructions
+	r.SparesUsed += o.SparesUsed
+	for i := range r.SnapshotBytes {
+		r.SnapshotBytes[i] += o.SnapshotBytes[i]
+	}
+	r.Downtime += o.Downtime
+}
+
 // Clean reports whether the run needed no recovery at all.
 func (r RecoveryStats) Clean() bool {
 	return r.Restarts == 0 && r.CheckpointsRejected == 0

@@ -26,6 +26,7 @@ package psolve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -43,8 +44,29 @@ import (
 	"sunwaylb/internal/trace"
 )
 
+// ErrCanceled reports that a supervised run was stopped through its
+// context before reaching the target step count. The run is not broken:
+// the supervisor drains first — it preserves the newest recoverable
+// state as an L4 checkpoint at CheckpointPath — so a canceled job can be
+// resumed later via Opts.Restore. Callers test with errors.Is.
+var ErrCanceled = errors.New("psolve: run canceled")
+
 // SupervisorOptions configures a supervised distributed run.
 type SupervisorOptions struct {
+	// Ctx, when non-nil, bounds the run's lifetime. Cancellation tears
+	// the current world down promptly (blocked receives wake, compute
+	// loops observe it at the next step boundary), after which the
+	// supervisor drains — writes the newest recoverable state to
+	// CheckpointPath — and returns an error wrapping ErrCanceled instead
+	// of restarting. A nil Ctx preserves the original run-to-completion
+	// behaviour.
+	Ctx context.Context
+	// ContainPanics runs every world in bulkhead mode: a panic in solver
+	// code becomes that rank's error (wrapping mpi.ErrRankPanic) and the
+	// attempt fails through the normal escalation path instead of
+	// crashing the host process. Service deployments set this; the CLI
+	// keeps the default loud crash.
+	ContainPanics bool
 	// Opts is the base solver configuration. Opts.Restore, if set,
 	// seeds the supervisor's last-good state (resume + rollback base).
 	Opts Options
@@ -181,6 +203,7 @@ func Supervise(o SupervisorOptions) (field *core.MacroField, stats perf.Recovery
 			return nil, stats, werr
 		}
 		w.SetTracer(opts.Trace)
+		w.SetContainPanics(o.ContainPanics)
 		if o.Injector != nil {
 			w.SetFaultHook(o.Injector)
 		}
@@ -230,6 +253,12 @@ func Supervise(o SupervisorOptions) (field *core.MacroField, stats perf.Recovery
 			}
 			for s.Lat.Step() < o.Steps {
 				step := s.Lat.Step()
+				// Step-boundary cancellation check: the watcher goroutine
+				// below wakes blocked receives, but a rank deep in compute
+				// only observes cancellation here.
+				if o.Ctx != nil && o.Ctx.Err() != nil {
+					return fmt.Errorf("rank %d at step %d: %w", c.Rank(), step, ErrCanceled)
+				}
 				if o.Injector == nil || !o.Injector.FlapNow(c.Rank(), step) {
 					c.Heartbeat()
 				}
@@ -284,9 +313,29 @@ func Supervise(o SupervisorOptions) (field *core.MacroField, stats perf.Recovery
 			return nil
 		}
 
+		// The watcher tears the world down the moment the context fires,
+		// so ranks blocked in receives or barriers wake with ErrWorldDown
+		// instead of waiting out their deadlines.
+		var watchDone chan struct{}
+		if o.Ctx != nil {
+			watchDone = make(chan struct{})
+			go func() {
+				select {
+				case <-o.Ctx.Done():
+					w.Fail(fmt.Errorf("%w: %v", ErrCanceled, context.Cause(o.Ctx)))
+				case <-watchDone:
+				}
+			}()
+		}
 		runErr := mpi.RunWorld(w, body)
+		if watchDone != nil {
+			close(watchDone)
+		}
 		if runErr == nil {
 			return result, stats, nil
+		}
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			return nil, stats, superviseDrain(&o, opts, store, lastGood, int(maxStep.Load()), &stats, ctl, logf)
 		}
 		cause := w.FailureCause()
 		if cause == nil {
@@ -353,6 +402,40 @@ func Supervise(o SupervisorOptions) (field *core.MacroField, stats perf.Recovery
 		stats.TimeToRecover += time.Since(recoveryStart)
 		stats.Downtime += time.Since(recoveryStart)
 	}
+}
+
+// superviseDrain handles cooperative shutdown: the run's context was
+// canceled, so instead of restarting, preserve the newest recoverable
+// state as an L4 checkpoint and report ErrCanceled. The best state is
+// whichever is newer of the last verified disk checkpoint and the latest
+// complete in-memory snapshot wave — the same sources the recovery paths
+// trust, so a drained checkpoint is always resumable.
+func superviseDrain(o *SupervisorOptions, opts Options, store *resil.Store,
+	lastGood *core.Lattice, atStep int, stats *perf.RecoveryStats,
+	ctl *trace.RankTracer, logf func(string, ...any)) error {
+	drain := lastGood
+	if store != nil {
+		if rec, ok := store.LatestWave(); ok && (drain == nil || rec.Step > drain.Step()) {
+			if g, aerr := resil.Assemble(rec, opts.GNX, opts.GNY, opts.GNZ,
+				opts.Tau, opts.Smagorinsky, opts.Force); aerr == nil {
+				drain = g
+			}
+		}
+	}
+	drainStep := 0
+	if drain != nil {
+		drainStep = drain.Step()
+		if o.CheckpointPath != "" {
+			if werr := swio.CheckpointRetry(o.CheckpointPath, drain, o.Retry); werr != nil {
+				logf("supervisor: drain checkpoint at step %d failed: %v", drainStep, werr)
+			} else {
+				stats.CheckpointsWritten++
+				logf("supervisor: drained; checkpoint at step %d written to %s", drainStep, o.CheckpointPath)
+			}
+		}
+	}
+	ctl.InstantV(trace.Wall, trace.TrackCtl, "canceled", ctl.Now(), float64(drainStep))
+	return fmt.Errorf("psolve: canceled at step %d (drained at step %d): %w", atStep, drainStep, ErrCanceled)
 }
 
 // newStoreFor builds an empty snapshot store for the current layout.

@@ -1,12 +1,18 @@
 package psolve
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"sunwaylb/internal/core"
 	"sunwaylb/internal/fault"
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/resil"
+	"sunwaylb/internal/swio"
 )
 
 // chaosBase is the shared physical problem for the supervisor tests:
@@ -145,6 +151,135 @@ func TestSupervisorHealthGate(t *testing.T) {
 	}
 	if stats.CheckpointsRejected < 1 {
 		t.Errorf("health gate rejected %d checkpoints, want ≥ 1", stats.CheckpointsRejected)
+	}
+}
+
+// TestSupervisorCancelDrains: cancelling the run's context mid-flight
+// must stop the run with ErrCanceled — not a restart, not a hang — and
+// drain the newest recoverable state into the L4 checkpoint file so the
+// job can be resumed later.
+func TestSupervisorCancelDrains(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 2
+	path := filepath.Join(t.TempDir(), "drain.cpk")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		// Let the run make some progress (and snapshot waves land), then
+		// pull the plug. The exact cut point doesn't matter: drain
+		// correctness is asserted structurally below.
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+		close(done)
+	}()
+	_, stats, err := Supervise(SupervisorOptions{
+		Ctx:             ctx,
+		Opts:            opts,
+		Steps:           1_000_000, // far more than fits in the cancel window
+		SnapshotEvery:   2,
+		Levels:          resil.L1 | resil.L2 | resil.L3 | resil.L4,
+		CheckpointEvery: 50,
+		CheckpointPath:  path,
+		MaxRestarts:     3,
+		Logf:            t.Logf,
+	})
+	<-done
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run returned %v, want ErrCanceled", err)
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("cancellation consumed %d restarts; drain must not retry", stats.Restarts)
+	}
+	if stats.CheckpointsWritten >= 1 {
+		// A drain checkpoint was published: it must be a valid, resumable
+		// L4 state (CRC-verified read-back, step within the run).
+		restored, rerr := swio.Restart(path)
+		if rerr != nil {
+			t.Fatalf("drain checkpoint unreadable: %v", rerr)
+		}
+		if restored.Step() <= 0 || restored.Step() > 1_000_000 {
+			t.Errorf("drain checkpoint at impossible step %d", restored.Step())
+		}
+	}
+}
+
+// TestSupervisorCancelBeforeStart: a context that is already dead must
+// stop the run at the first step boundary; with a restore seed, the
+// drain preserves exactly that seed.
+func TestSupervisorCancelBeforeStart(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 1
+	const steps = 12
+
+	// Build a mid-run state to restore from: 6 steps, gathered on rank 0.
+	var lat *core.Lattice
+	if err := mpi.Run(2, func(c *mpi.Comm) error {
+		s, err := New(c, opts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 6; i++ {
+			s.Step()
+		}
+		g, err := s.GatherLattice(0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			lat = g
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	restoreOpts := opts
+	restoreOpts.Restore = lat
+	path := filepath.Join(t.TempDir(), "predrain.cpk")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Supervise(SupervisorOptions{
+		Ctx:            ctx,
+		Opts:           restoreOpts,
+		Steps:          steps,
+		CheckpointPath: path,
+		MaxRestarts:    1,
+		Logf:           t.Logf,
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled run returned %v, want ErrCanceled", err)
+	}
+	restored, rerr := swio.Restart(path)
+	if rerr != nil {
+		t.Fatalf("drain of the restore seed unreadable: %v", rerr)
+	}
+	if restored.Step() != 6 {
+		t.Errorf("drained checkpoint at step %d, want the restore seed's step 6", restored.Step())
+	}
+}
+
+// TestSupervisorContainsPanics: in bulkhead mode a panic inside solver
+// setup becomes a contained failure of that run — the error wraps
+// mpi.ErrRankPanic and the hosting process (this test) survives.
+func TestSupervisorContainsPanics(t *testing.T) {
+	opts := chaosBase()
+	opts.PX, opts.PY = 2, 1
+	opts.Init = func(gx, gy, gz int) (float64, float64, float64, float64) {
+		if gx == 3 && gy == 2 && gz == 1 {
+			panic("tenant bug: init exploded")
+		}
+		return 1, 0, 0, 0
+	}
+	_, _, err := Supervise(SupervisorOptions{
+		Opts:          opts,
+		Steps:         5,
+		ContainPanics: true,
+	})
+	if err == nil {
+		t.Fatal("panicking run must fail")
+	}
+	if !errors.Is(err, mpi.ErrRankPanic) {
+		t.Errorf("contained panic should wrap mpi.ErrRankPanic, got: %v", err)
 	}
 }
 

@@ -258,6 +258,16 @@ func (st *Store) RecoveryPlan(dead []int) (*Recovery, bool) {
 	return nil, false
 }
 
+// LatestWave returns a consistent recovery plan built from the newest
+// complete snapshot generation with every rank alive — the graceful-drain
+// path's source of truth: a canceled run's supervisor assembles this wave
+// and persists it as an L4 checkpoint so the job can resume where it
+// stopped. It is RecoveryPlan with an empty dead set; ok is false when no
+// generation is complete and verified.
+func (st *Store) LatestWave() (*Recovery, bool) {
+	return st.RecoveryPlan(nil)
+}
+
 // planFromGen attempts a repair from one generation. Callers hold st.mu.
 func (st *Store) planFromGen(g *generation, isDead map[int]bool) (*Recovery, bool) {
 	step := g.step

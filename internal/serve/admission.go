@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrQueueFull rejects a submit whose tenant queue (or the global cap)
+// is out of room and nothing cheaper could be shed. The HTTP layer maps
+// it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// admission is the admission controller of one scheduler shard: bounded
+// FIFO queues per tenant, drained by weighted round-robin so a tenant
+// that floods its queue gets its weight's share of worker slots and not
+// one slot more. All methods are safe for concurrent use.
+type admission struct {
+	mu        sync.Mutex
+	perTenant int            // queue cap per tenant
+	weights   map[string]int // tenant → WRR weight (missing = 1)
+	queues    map[string][]*Job
+	// cycle is the expanded WRR schedule: each tenant appears weight
+	// times, rebuilt (sorted, deterministic) when the tenant set changes.
+	cycle  []string
+	cursor int
+	depth  int
+}
+
+func newAdmission(perTenant int, weights map[string]int) *admission {
+	if perTenant < 1 {
+		perTenant = 16
+	}
+	return &admission{
+		perTenant: perTenant,
+		weights:   weights,
+		queues:    make(map[string][]*Job),
+	}
+}
+
+// submit enqueues the job at its tenant's tail, rejecting with
+// ErrQueueFull when the tenant's bound is hit.
+func (a *admission) submit(j *Job) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tenant := j.Spec.Tenant
+	q := a.queues[tenant]
+	if len(q) >= a.perTenant {
+		return fmt.Errorf("%w: tenant %q at its bound of %d queued jobs", ErrQueueFull, tenant, a.perTenant)
+	}
+	if _, known := a.queues[tenant]; !known {
+		a.queues[tenant] = nil
+		a.rebuildCycle()
+	}
+	a.queues[tenant] = append(a.queues[tenant], j)
+	a.depth++
+	return nil
+}
+
+// rebuildCycle regenerates the expanded WRR schedule. Callers hold mu.
+// Tenants are visited in sorted-name order, each weight times per full
+// cycle, so the schedule is deterministic and fair regardless of map
+// iteration order.
+func (a *admission) rebuildCycle() {
+	names := make([]string, 0, len(a.queues))
+	for t := range a.queues {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	a.cycle = a.cycle[:0]
+	for _, t := range names {
+		w := a.weights[t]
+		if w < 1 {
+			w = 1
+		}
+		for i := 0; i < w; i++ {
+			a.cycle = append(a.cycle, t)
+		}
+	}
+	if len(a.cycle) > 0 {
+		a.cursor %= len(a.cycle)
+	} else {
+		a.cursor = 0
+	}
+}
+
+// next dequeues the next job under the WRR discipline, or nil when every
+// queue is empty. Empty queues forfeit their turn without stalling the
+// cycle.
+func (a *admission) next() *Job {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for scanned := 0; scanned < len(a.cycle); scanned++ {
+		tenant := a.cycle[a.cursor]
+		a.cursor = (a.cursor + 1) % len(a.cycle)
+		if q := a.queues[tenant]; len(q) > 0 {
+			j := q[0]
+			a.queues[tenant] = q[1:]
+			a.depth--
+			return j
+		}
+	}
+	return nil
+}
+
+// requeueFront puts a job back at its tenant's head (a dequeued job
+// whose worker lease was interrupted, or a retry) ignoring the bound:
+// the job already held a queue slot and must not be lost to a race.
+func (a *admission) requeueFront(j *Job) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tenant := j.Spec.Tenant
+	if _, known := a.queues[tenant]; !known {
+		a.queues[tenant] = nil
+		a.rebuildCycle()
+	}
+	a.queues[tenant] = append([]*Job{j}, a.queues[tenant]...)
+	a.depth++
+}
+
+// remove deletes a queued job by ID (tenant cancel); false if it is no
+// longer queued here.
+func (a *admission) remove(id string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for tenant, q := range a.queues {
+		for i, j := range q {
+			if j.ID == id {
+				a.queues[tenant] = append(q[:i:i], q[i+1:]...)
+				a.depth--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// shedLowest removes and returns the lowest-priority queued job (FIFO
+// tail within equal priorities: the newest cheap work goes first), or
+// nil when nothing is queued. Graceful degradation only ever sheds
+// queued work — running jobs are untouchable.
+func (a *admission) shedLowest() *Job {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var victimTenant string
+	victimIdx := -1
+	var victim *Job
+	for tenant, q := range a.queues {
+		for i, j := range q {
+			if victim == nil ||
+				j.Spec.Priority < victim.Spec.Priority ||
+				(j.Spec.Priority == victim.Spec.Priority && j.submitted.After(victim.submitted)) {
+				victim, victimTenant, victimIdx = j, tenant, i
+			}
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	q := a.queues[victimTenant]
+	a.queues[victimTenant] = append(q[:victimIdx:victimIdx], q[victimIdx+1:]...)
+	a.depth--
+	return victim
+}
+
+// size returns the number of queued jobs.
+func (a *admission) size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.depth
+}
+
+// byTenant returns the queue depth per tenant.
+func (a *admission) byTenant(out map[string]int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for tenant, q := range a.queues {
+		if len(q) > 0 {
+			out[tenant] += len(q)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func queuedJob(id, tenant string, priority int) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      JobSpec{Tenant: tenant, Priority: priority},
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+// TestAdmissionWRR: with weights a:2 b:1 and three jobs queued per
+// tenant, the dequeue order is the expanded cycle a a b a b b — tenant a
+// gets exactly its weighted share, and an exhausted tenant forfeits its
+// turns without stalling anyone.
+func TestAdmissionWRR(t *testing.T) {
+	a := newAdmission(8, map[string]int{"a": 2, "b": 1})
+	for i := 0; i < 3; i++ {
+		if err := a.submit(queuedJob(fmt.Sprintf("a%d", i), "a", 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.submit(queuedJob(fmt.Sprintf("b%d", i), "b", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a0", "a1", "b0", "a2", "b1", "b2"}
+	for i, w := range want {
+		j := a.next()
+		if j == nil {
+			t.Fatalf("dequeue %d: queue dry, want %s", i, w)
+		}
+		if j.ID != w {
+			t.Errorf("dequeue %d = %s, want %s", i, j.ID, w)
+		}
+	}
+	if j := a.next(); j != nil {
+		t.Errorf("drained queue still produced %s", j.ID)
+	}
+	if a.size() != 0 {
+		t.Errorf("size = %d after drain, want 0", a.size())
+	}
+}
+
+// TestAdmissionTenantBound: the per-tenant bound rejects the overflow
+// submit with ErrQueueFull while other tenants stay admissible.
+func TestAdmissionTenantBound(t *testing.T) {
+	a := newAdmission(2, nil)
+	if err := a.submit(queuedJob("x0", "x", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.submit(queuedJob("x1", "x", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.submit(queuedJob("x2", "x", 0)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if err := a.submit(queuedJob("y0", "y", 0)); err != nil {
+		t.Errorf("other tenant rejected alongside the full one: %v", err)
+	}
+	// requeueFront ignores the bound: a job pulled out for a worker lease
+	// that fell through must never be lost, and it goes back to its
+	// tenant's head, ahead of work submitted after it.
+	solo := newAdmission(1, nil)
+	if err := solo.submit(queuedJob("first", "z", 0)); err != nil {
+		t.Fatal(err)
+	}
+	j := solo.next()
+	solo.requeueFront(j)
+	if got := solo.next(); got != j {
+		t.Errorf("requeueFront did not restore %s to the head", j.ID)
+	}
+}
+
+// TestAdmissionShedLowest: shedding picks the lowest priority and, on
+// ties, the newest submission — the work whose loss costs least.
+func TestAdmissionShedLowest(t *testing.T) {
+	a := newAdmission(8, nil)
+	older := queuedJob("old", "t", 1)
+	older.submitted = time.Now().Add(-time.Minute)
+	for _, j := range []*Job{queuedJob("hi", "t", 5), older, queuedJob("new", "t", 1)} {
+		if err := a.submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := a.shedLowest(); v == nil || v.ID != "new" {
+		t.Fatalf("shed %v, want the newest priority-1 job", v)
+	}
+	if v := a.shedLowest(); v == nil || v.ID != "old" {
+		t.Fatalf("shed %v, want the remaining priority-1 job", v)
+	}
+	if v := a.shedLowest(); v == nil || v.ID != "hi" {
+		t.Fatalf("shed %v, want the last job", v)
+	}
+	if v := a.shedLowest(); v != nil {
+		t.Errorf("empty controller shed %s", v.ID)
+	}
+}
+
+// TestAdmissionRemove: tenant cancellation plucks a job out of the middle
+// of its queue; unknown IDs report false.
+func TestAdmissionRemove(t *testing.T) {
+	a := newAdmission(8, nil)
+	for i := 0; i < 3; i++ {
+		if err := a.submit(queuedJob(fmt.Sprintf("j%d", i), "t", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.remove("j1") {
+		t.Fatal("remove(j1) = false")
+	}
+	if a.remove("j1") {
+		t.Error("double remove reported true")
+	}
+	if got := a.next().ID; got != "j0" {
+		t.Errorf("head = %s, want j0", got)
+	}
+	if got := a.next().ID; got != "j2" {
+		t.Errorf("next = %s, want j2 (j1 removed)", got)
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sunwaylb/internal/config"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response, Status) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPLifecycle drives a job through the whole API: submit (202),
+// status, list, result digest after completion, cancel conflict on a
+// finished job, healthz and metrics.
+func TestHTTPLifecycle(t *testing.T) {
+	s := testServer(t, Config{Workers: 2})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Malformed and invalid submissions are 400s.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed spec: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJob(t, ts, JobSpec{Tenant: "t", Case: config.Case{Name: "flat", Steps: 10}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid case: %d, want 400", resp.StatusCode)
+	}
+	// A fault plan naming a rank outside the job's own world is rejected
+	// at admission: tenants cannot aim faults past their bulkhead.
+	resp, _ = postJob(t, ts, JobSpec{
+		Tenant: "t", Case: smallCase("outside", 10), Decomp: "2x1",
+		FaultPlan: "seed=1;crash@rank=7,step=2",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-world fault plan: %d, want 400", resp.StatusCode)
+	}
+
+	spec := JobSpec{Tenant: "t", Case: smallCase("http-ok", 8), Decomp: "2x1"}
+	resp, st := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d, want 202", resp.StatusCode)
+	}
+	if st.ID == "" {
+		t.Fatal("submit returned no job ID")
+	}
+
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID, &st); code != http.StatusOK {
+		t.Errorf("status: %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	var list []Status
+	if code := getJSON(t, ts.URL+"/jobs", &list); code != http.StatusOK || len(list) == 0 {
+		t.Errorf("list: code %d, %d jobs", code, len(list))
+	}
+
+	j, _ := s.Job(st.ID)
+	waitJob(t, j)
+
+	var dig ResultDigest
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &dig); code != http.StatusOK {
+		t.Fatalf("result: %d, want 200", code)
+	}
+	if want := FieldChecksum(soloField(t, spec)); dig.Checksum != want {
+		t.Errorf("result checksum %s, solo run %s: not reproducible", dig.Checksum, want)
+	}
+	if dig.NX != 12 || dig.NY != 10 || dig.NZ != 6 || dig.Steps != 8 {
+		t.Errorf("digest dims wrong: %+v", dig)
+	}
+
+	// Cancel after completion conflicts.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel finished job: %d, want 409", dresp.StatusCode)
+	}
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz: %d, want 200", code)
+	}
+	var m Metrics
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Errorf("metrics: %d, want 200", code)
+	}
+	if m.Submitted < 1 || m.Completed < 1 || m.Workers != 2 {
+		t.Errorf("metrics look wrong: %+v", m)
+	}
+}
+
+// TestHTTPBackpressure fills a tiny service until admission pushes back
+// with 429 + Retry-After, then shows a higher-priority submit shedding a
+// queued job instead of being turned away — and the shed victim is never
+// one that is running.
+func TestHTTPBackpressure(t *testing.T) {
+	s := testServer(t, Config{Workers: 1, Shards: 1, QueuePerTenant: 4, MaxQueued: 2})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	long := JobSpec{Tenant: "flood", Case: smallCase("block", 1_000_000), Decomp: "2x1"}
+	resp, blocker := postJob(t, ts, long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker: %d", resp.StatusCode)
+	}
+
+	// Flood until the cap bites. One dequeued job can sit in slot-wait
+	// limbo outside the queue, so the 429 lands within a few submissions.
+	var got429 bool
+	for i := 0; i < 6 && !got429; i++ {
+		resp, _ := postJob(t, ts, JobSpec{Tenant: "flood", Case: smallCase(fmt.Sprintf("q%d", i), 10), Decomp: "2x1"})
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			got429 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("429 without a Retry-After header")
+			}
+		default:
+			t.Fatalf("flood submit %d: %d", i, resp.StatusCode)
+		}
+	}
+	if !got429 {
+		t.Fatal("queue cap never produced a 429")
+	}
+
+	// Graceful degradation: a higher-priority job evicts queued work.
+	resp, vip := postJob(t, ts, JobSpec{Tenant: "vip", Priority: 5, Case: smallCase("vip", 10), Decomp: "2x1"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("priority submit under overload: %d, want 202 via shed", resp.StatusCode)
+	}
+	var list []Status
+	getJSON(t, ts.URL+"/jobs", &list)
+	shedSeen := false
+	for _, st := range list {
+		if st.State == StateShed {
+			shedSeen = true
+			if st.ID == blocker.ID || st.ID == vip.ID {
+				t.Errorf("shed the wrong job: %s", st.ID)
+			}
+			if st.Priority >= 5 {
+				t.Errorf("shed a priority-%d job for a priority-5 submit", st.Priority)
+			}
+		}
+		if st.ID == blocker.ID && st.State == StateShed {
+			t.Error("running blocker was shed; running jobs are untouchable")
+		}
+	}
+	if !shedSeen {
+		t.Error("no job was shed for the priority submit")
+	}
+
+	// Equal-priority submits keep shedding the remaining cheap work, but
+	// once only priority-5 jobs are queued there is nothing strictly
+	// cheaper to evict and the submit is rejected instead.
+	var equal429 bool
+	for i := 0; i < 8 && !equal429; i++ {
+		resp, _ = postJob(t, ts, JobSpec{Tenant: "vip", Priority: 5, Case: smallCase(fmt.Sprintf("vip%d", 2+i), 10), Decomp: "2x1"})
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			equal429 = true
+		default:
+			t.Fatalf("priority flood %d: %d", i, resp.StatusCode)
+		}
+	}
+	if !equal429 {
+		t.Error("equal-priority submits were never rejected; shedding must be strictly-lower-priority only")
+	}
+
+	if _, err := s.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPDrain: a draining daemon answers 503 on healthz and refuses new
+// submissions, and Drain itself returns cleanly with jobs in flight.
+func TestHTTPDrain(t *testing.T) {
+	s := testServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Tenant: "t", Case: smallCase("drainee", 1_000_000), Decomp: "2x1", SnapshotEvery: 2}
+	resp, st := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	j, _ := s.Job(st.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for j.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz: %d, want 503", code)
+	}
+	resp, _ = postJob(t, ts, JobSpec{Tenant: "t", Case: smallCase("late", 5), Decomp: "2x1"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+	if got := j.State(); got != StateCanceled {
+		t.Errorf("in-flight job after drain: %s, want canceled", got)
+	}
+}

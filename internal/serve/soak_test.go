@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sunwaylb/internal/conform"
+)
+
+// TestServeLoadSoak floods the daemon with hundreds of queued jobs across
+// six tenants, a third of them carrying fault plans, and holds the
+// service to its always-on contract: every job completes, the bounded
+// trace ring stays bounded (drops counted, memory O(1)), heap stays
+// sane, and spot-checked results remain bit-identical to solo runs even
+// at full load. Run by the `serve` CI tier; skipped under -short.
+func TestServeLoadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load soak skipped in -short mode")
+	}
+	const (
+		jobs     = 240
+		tenants  = 6
+		traceBuf = 512
+	)
+	s := testServer(t, Config{
+		Workers:        4,
+		Shards:         2,
+		QueuePerTenant: 64,
+		MaxQueued:      512,
+		TraceBuf:       traceBuf,
+		Logf:           nil, // silent: hundreds of jobs would drown the log
+	})
+	s.logf = func(string, ...any) {}
+	defer s.Drain(context.Background())
+
+	var specs []JobSpec
+	var handles []*Job
+	for i := 0; i < jobs; i++ {
+		spec := JobSpec{
+			Tenant:        fmt.Sprintf("soak-%d", i%tenants),
+			Case:          smallCase(fmt.Sprintf("soak-%d", i), 6),
+			Decomp:        "2x1",
+			SnapshotEvery: 2,
+		}
+		switch {
+		case i%3 == 1:
+			// Single rank loss: hot-swap recovery under load.
+			spec.FaultPlan = fmt.Sprintf("seed=%d;crash@rank=1,step=3", 100+i)
+		case i%9 == 4:
+			spec.FaultPlan = fmt.Sprintf("seed=%d;flap@rank=1,step=2,len=2", 200+i)
+			spec.Detector = "phi"
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		specs = append(specs, spec)
+		handles = append(handles, j)
+	}
+
+	for i, j := range handles {
+		st := waitJob(t, j)
+		if st.State != StateDone {
+			t.Fatalf("soak job %d (%s) finished %s: %s", i, j.ID, st.State, st.Error)
+		}
+	}
+
+	// Spot-check bit-identity at full load: one clean, one crashing, one
+	// flapping job against their solo references.
+	for _, i := range []int{0, 1, 4} {
+		if err := conform.Compare(soloField(t, specs[i]), handles[i].Result(), conform.Exact); err != nil {
+			t.Errorf("soak job %d diverged from solo under load: %v", i, err)
+		}
+	}
+
+	m := s.MetricsSnapshot()
+	if m.Completed != jobs {
+		t.Errorf("completed %d of %d jobs", m.Completed, jobs)
+	}
+	if m.Failed != 0 || m.Shed != 0 {
+		t.Errorf("soak lost work: failed=%d shed=%d", m.Failed, m.Shed)
+	}
+	// The always-on telemetry ring must stay bounded no matter how much
+	// the fleet churns: events capped, overflow counted, not grown.
+	if m.TraceEvents > traceBuf {
+		t.Errorf("trace ring grew to %d events, bound is %d", m.TraceEvents, traceBuf)
+	}
+	if m.TraceDropped == 0 {
+		t.Errorf("soak produced no trace drops; ring bound of %d was never exercised", traceBuf)
+	}
+	if m.Recovery.HotSwaps == 0 {
+		t.Error("a third of jobs crashed a rank but the fleet recorded no hot swaps")
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 512<<20 {
+		t.Errorf("heap at %d MiB after soak; daemon memory is not bounded", ms.HeapAlloc>>20)
+	}
+}

@@ -12,17 +12,29 @@ import (
 // the global file system; transient ENOSPC/EIO-style failures are
 // expected and retried with exponential backoff rather than aborting a
 // multi-hour run.
+//
+// The backoff is full-jitter (AWS style): the k-th sleep is a uniform
+// draw from (0, min(MaxDelay, BaseDelay·2^k)]. Without jitter, N ranks
+// that hit the same file-system fault retry in lockstep and re-collide
+// on every attempt; the jitter spreads the herd. The draw is a pure
+// function of (Seed, attempt) — no global RNG — so a replayed scenario
+// backs off identically (the detfloat/replay contract), while distinct
+// seeds (e.g. per rank) decorrelate.
 type RetryPolicy struct {
 	// Attempts is the total number of tries (≥ 1).
 	Attempts int
-	// BaseDelay is the sleep after the first failure; it doubles per
-	// retry up to MaxDelay.
+	// BaseDelay scales the backoff envelope: attempt k draws its sleep
+	// from (0, BaseDelay·2^k], capped at MaxDelay.
 	BaseDelay time.Duration
-	// MaxDelay caps the backoff.
+	// MaxDelay caps the backoff envelope.
 	MaxDelay time.Duration
+	// Seed drives the deterministic jitter. Equal seeds back off
+	// identically; callers that must not collide (N ranks sharing a file
+	// system) pass distinct seeds, conventionally their rank.
+	Seed int64
 }
 
-// DefaultRetryPolicy is the supervisor's default: 4 attempts, 5 ms → 40 ms.
+// DefaultRetryPolicy is the supervisor's default: 4 attempts, 5 ms → 250 ms.
 var DefaultRetryPolicy = RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
 
 // norm fills zero fields with defaults so the zero value is usable.
@@ -39,13 +51,51 @@ func (p RetryPolicy) norm() RetryPolicy {
 	return p
 }
 
+// splitmix64 is the SplitMix64 finalizer — the same seeded mixer the
+// fault injector uses, so jitter decisions are pure functions of their
+// coordinates, never of scheduling.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Delay returns the full-jitter sleep before retry attempt k (0-based:
+// the sleep after the first failure is Delay(0)). The result is in
+// (0, min(MaxDelay, BaseDelay·2^k)] and deterministic in (Seed, k).
+// Exported so other backoff consumers (the service scheduler's
+// retry-after-worker-loss path) share one jitter discipline.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	p = p.norm()
+	envelope := p.BaseDelay
+	for i := 0; i < attempt; i++ {
+		envelope *= 2
+		if envelope >= p.MaxDelay {
+			envelope = p.MaxDelay
+			break
+		}
+	}
+	if envelope > p.MaxDelay {
+		envelope = p.MaxDelay
+	}
+	// Uniform (0, envelope]: scale a 53-bit fraction, round up past 0.
+	h := splitmix64(uint64(p.Seed) ^ 0x52_45_54_52_59) // "RETRY"
+	h = splitmix64(h ^ uint64(attempt))
+	frac := float64(h>>11) / float64(1<<53)
+	d := time.Duration(frac * float64(envelope))
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
 // Do runs op until it succeeds or the attempt budget is exhausted,
-// sleeping with exponential backoff between tries. The last error is
-// returned annotated with the attempt count.
+// sleeping with full-jitter exponential backoff between tries. The last
+// error is returned annotated with the attempt count.
 func (p RetryPolicy) Do(op func() error) error {
 	p = p.norm()
 	var err error
-	delay := p.BaseDelay
 	for attempt := 1; ; attempt++ {
 		if err = op(); err == nil {
 			return nil
@@ -53,10 +103,7 @@ func (p RetryPolicy) Do(op func() error) error {
 		if attempt >= p.Attempts {
 			return fmt.Errorf("swio: giving up after %d attempts: %w", attempt, err)
 		}
-		time.Sleep(delay)
-		if delay *= 2; delay > p.MaxDelay {
-			delay = p.MaxDelay
-		}
+		time.Sleep(p.Delay(attempt - 1))
 	}
 }
 

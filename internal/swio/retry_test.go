@@ -59,6 +59,47 @@ func TestRetryPolicyZeroValue(t *testing.T) {
 	}
 }
 
+// TestRetryDelayJitterBounds: every jittered delay stays inside the
+// full-jitter envelope (0, min(MaxDelay, BaseDelay·2^k)].
+func TestRetryDelayJitterBounds(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	for seed := int64(0); seed < 50; seed++ {
+		p.Seed = seed
+		for k := 0; k < 8; k++ {
+			env := p.BaseDelay << k
+			if env > p.MaxDelay {
+				env = p.MaxDelay
+			}
+			d := p.Delay(k)
+			if d <= 0 || d > env {
+				t.Fatalf("seed %d attempt %d: delay %v outside (0, %v]", seed, k, d, env)
+			}
+		}
+	}
+}
+
+// TestRetryDelayDeterministic: equal seeds back off identically (replay
+// contract); distinct seeds decorrelate so a herd of ranks retrying the
+// same shared-file-system fault does not re-collide in lockstep.
+func TestRetryDelayDeterministic(t *testing.T) {
+	a := RetryPolicy{Attempts: 6, BaseDelay: time.Millisecond, MaxDelay: 64 * time.Millisecond, Seed: 7}
+	b := a
+	same := 0
+	for k := 0; k < 6; k++ {
+		if a.Delay(k) != b.Delay(k) {
+			t.Fatalf("attempt %d: same seed gave different delays", k)
+		}
+		other := a
+		other.Seed = 8
+		if a.Delay(k) == other.Delay(k) {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Error("distinct seeds produced identical backoff sequences; jitter is not decorrelating")
+	}
+}
+
 // TestCheckpointRetry: the retried checkpoint write lands atomically and
 // restarts cleanly; an unwritable path fails with the attempt count.
 func TestCheckpointRetry(t *testing.T) {

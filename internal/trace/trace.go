@@ -96,11 +96,17 @@ const (
 	TrackCkpt  = "checkpoint" // gather, write, verify phases
 	TrackFault = "fault"      // injected faults (instants)
 	TrackCtl   = "control"    // supervisor restarts, rollbacks, shrinks
+	TrackServe = "serve"      // service-level job lifecycle + queue gauges
 )
 
 // RankSupervisor is the pseudo-rank used for events that belong to the
 // run's control plane rather than any solver rank.
 const RankSupervisor = -1
+
+// RankService is the pseudo-rank used by the lbmserve daemon for
+// service-level telemetry (job submit/start/done instants, queue-depth
+// gauges) — one layer above any single run's supervisor.
+const RankService = -2
 
 // Event is one trace record. TS is seconds in the event's clock domain.
 type Event struct {

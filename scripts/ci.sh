@@ -26,10 +26,18 @@
 #   trace   — observability smoke: a traced distributed chaos run must
 #             export a Chrome trace that round-trips through
 #             postproc -tracestat (ReadChrome + Validate + Analyze)
+#   serve   — lbmserve service tier: the full internal/serve suite under
+#             the race detector (chaos isolation with concurrent faulty
+#             tenants bit-identical to solo runs, journal-replay restart,
+#             HTTP API, admission/backpressure, cancellation/deadlines)
+#             including the load soak (hundreds of queued jobs, mixed
+#             fault plans, bounded trace ring and heap), the daemon
+#             SIGTERM-drain smoke, and the spanpair/hotalloc static
+#             rules over the service code
 #   bench   — refresh BENCH_results.json from the measured benchmark
 #             cases so every CI run extends the perf trajectory
 #
-# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|chaos|trace|bench|all]
+# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|chaos|serve|trace|bench|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -112,6 +120,32 @@ chaos() {
     echo "$swap" | grep -q 'hot-swaps=1, disk=0'
 }
 
+serve() {
+    echo "== serve: multi-tenant service tier =="
+    # Full service suite under the race detector, load soak included:
+    # per-job fault isolation must hold bit-identically with hundreds of
+    # concurrent tenants and the daemon's memory must stay bounded.
+    go test -race -count=1 -timeout 600s ./internal/serve
+    # Static contracts on the service code: spans paired, no hot-loop
+    # allocation regressions in the scheduler.
+    go run ./cmd/lbmvet -rules spanpair,hotalloc ./internal/serve
+    # Daemon smoke: SIGTERM must drain cleanly (exit 0) and leave a
+    # replayable journal behind.
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' RETURN
+    go build -o "$out/lbmserve" ./cmd/lbmserve
+    "$out/lbmserve" -addr 127.0.0.1:18431 -data "$out/data" -workers 2 &
+    pid=$!
+    sleep 1
+    curl -sf -X POST 127.0.0.1:18431/jobs -d \
+        '{"tenant":"ci","case":{"name":"smoke","nx":12,"ny":10,"nz":6,"tau":0.7,"steps":400000},"decomp":"2x1","snapshot_every":2}' \
+        >/dev/null
+    sleep 1
+    kill -TERM "$pid"
+    wait "$pid"   # non-zero drain exit fails the tier via set -e
+    test -s "$out/data/jobs.journal"
+}
+
 trace() {
     echo "== trace smoke: traced chaos run + analysis round trip =="
     out=$(mktemp -d)
@@ -140,9 +174,10 @@ case "${1:-all}" in
     conform) conform ;;
     analyze) analyze ;;
     chaos) chaos ;;
+    serve) serve ;;
     trace) trace ;;
     bench) bench ;;
-    all)   tier1; tier2; race; conform; analyze; chaos; trace; bench ;;
-    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|chaos|trace|bench|all]" >&2; exit 2 ;;
+    all)   tier1; tier2; race; conform; analyze; chaos; serve; trace; bench ;;
+    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|chaos|serve|trace|bench|all]" >&2; exit 2 ;;
 esac
 echo "ok"
