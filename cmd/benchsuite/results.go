@@ -18,6 +18,7 @@ import (
 	"sunwaylb/internal/core"
 	"sunwaylb/internal/fault"
 	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/patch"
 	"sunwaylb/internal/perf"
 	"sunwaylb/internal/psolve"
 	"sunwaylb/internal/resil"
@@ -213,6 +214,68 @@ func runSupervisedHotswap() (CaseResult, error) {
 	}, nil
 }
 
+// runPatchHetero times the patch-decomposed world on a heterogeneous
+// worker roster (two CPU cores — one an 8× straggler — a simulated
+// Sunway core group and the GPU node model). A deterministic cost model
+// stands in for wall-clock noise so the balancer's decisions, and hence
+// the migration counters and imbalance trajectory recorded here, are
+// reproducible across runs; per-step wall samples still come from the
+// rank-0 trace spans like the other distributed cases.
+func runPatchHetero() (CaseResult, error) {
+	const gnx, gny, gnz = 48, 48, 24
+	const steps = 30
+	tracer := trace.New(trace.Options{})
+	spc := [4]float64{1.0, 8.0, 0.4, 0.15} // seconds per cell ×1e-8, per worker
+	opts := patch.Options{
+		GNX: gnx, GNY: gny, GNZ: gnz,
+		TX: 4, TY: 2, TZ: 1,
+		Tau:       0.6,
+		PeriodicX: true, PeriodicY: true, PeriodicZ: true,
+		Init: func(gx, gy, gz int) (rho, ux, uy, uz float64) {
+			return 1, 0.02, 0.01, 0.005
+		},
+		Workers: []patch.Worker{
+			{Backend: patch.BackendCore},
+			{Backend: patch.BackendCore}, // the straggler, per the cost model
+			{Backend: patch.BackendSunway},
+			{Backend: patch.BackendGPU},
+		},
+		RebalanceEvery: 5,
+		CostModel: func(worker int, p patch.Patch) float64 {
+			return spc[worker] * float64(p.Cells()) * 1e-8
+		},
+		Trace: tracer,
+	}
+	_, stats, err := patch.Run(opts, steps)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	mon := perf.NewMonitor(int64(gnx) * gny * gnz)
+	for _, d := range stepDurations(tracer.Events(), 0) {
+		mon.Record(d)
+	}
+	counters := map[string]int64{
+		"patches":              int64(stats.Patches),
+		"workers":              int64(stats.Workers),
+		"migrations":           int64(stats.Migrations),
+		"rebalances":           int64(stats.Rebalances),
+		"imbalance_pre_milli":  int64(stats.ImbalancePre * 1000),
+		"imbalance_post_milli": int64(stats.ImbalancePost * 1000),
+	}
+	for p, m := range stats.PatchMLUPS {
+		counters[fmt.Sprintf("patch%d_mlups_milli", p)] = int64(m * 1000)
+	}
+	if stats.ImbalancePost >= stats.ImbalancePre {
+		return CaseResult{}, fmt.Errorf("patch-hetero: balancer did not reduce imbalance (pre %.3f, post %.3f)",
+			stats.ImbalancePre, stats.ImbalancePost)
+	}
+	return CaseResult{
+		Name:     "patch-hetero",
+		Summary:  mon.SummaryStats(),
+		Counters: counters,
+	}, nil
+}
+
 // stepDurations pairs Begin/End events on the given rank's wall-clock
 // step track into per-step durations, in recording order. The step track
 // also carries nested compute/bc spans, so the span name is tracked
@@ -289,6 +352,7 @@ func runJSON(path string) error {
 		{"sunway-sim-cg", runSunwayCG},
 		{"distributed-2x2", runDistributed},
 		{"supervised-hotswap", runSupervisedHotswap},
+		{"patch-hetero", runPatchHetero},
 	} {
 		peak := sampleGoroutines()
 		c, err := s.run()

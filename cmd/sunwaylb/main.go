@@ -37,6 +37,7 @@ import (
 	"sunwaylb/internal/fault"
 	"sunwaylb/internal/geometry"
 	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/patch"
 	"sunwaylb/internal/perf"
 	"sunwaylb/internal/psolve"
 	"sunwaylb/internal/resil"
@@ -88,8 +89,12 @@ func main() {
 
 	// Execution model.
 	var (
-		decomp    = flag.String("decomp", "", "run distributed as PXxPY simulated MPI ranks (e.g. 2x2)")
+		decomp    = flag.String("decomp", "", "run distributed as PXxPY simulated MPI ranks (e.g. 2x2), or 'patch' for patch decomposition")
 		useSunway = flag.Bool("sunway", false, "with -decomp: run each rank's kernel on a simulated SW26010 core group")
+
+		patchTiles     = flag.String("patch-tiles", "2x2x1", "with -decomp=patch: TXxTYxTZ patch tiling of the domain")
+		patchWorkers   = flag.String("patch-workers", "core,core", "with -decomp=patch: worker roster, e.g. 'core,core*4,sunway,gpu' (*F = straggle factor)")
+		rebalanceEvery = flag.Int("rebalance-every", 0, "with -decomp=patch: balance-check interval in steps (0 = never rebalance)")
 	)
 
 	// Checkpoint/restart and fault tolerance.
@@ -175,6 +180,10 @@ func main() {
 			snapEvery:   *snapEvery,
 			detector:    *detector,
 			tracer:      tracer,
+
+			patchTiles:     *patchTiles,
+			patchWorkers:   *patchWorkers,
+			rebalanceEvery: *rebalanceEvery,
 		}
 		exitWith(runDistributed(ctx, cs, d))
 		return
@@ -556,6 +565,10 @@ type distOpts struct {
 	snapEvery   int
 	detector    string
 	tracer      *trace.Tracer
+
+	patchTiles     string
+	patchWorkers   string
+	rebalanceEvery int
 }
 
 // supervised reports whether the run needs the self-healing supervisor
@@ -568,9 +581,12 @@ func (d distOpts) supervised() bool {
 }
 
 func runDistributed(ctx context.Context, cs *caseSetup, d distOpts) error {
+	if strings.ToLower(d.decomp) == "patch" {
+		return runPatch(ctx, cs, d)
+	}
 	var px, py int
 	if _, err := fmt.Sscanf(strings.ToLower(d.decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
-		return fmt.Errorf("bad -decomp %q, want e.g. 2x2", d.decomp)
+		return fmt.Errorf("bad -decomp %q, want e.g. 2x2 or patch", d.decomp)
 	}
 	opts := psolve.Options{
 		GNX: cs.cfg.NX, GNY: cs.cfg.NY, GNZ: cs.cfg.NZ,
@@ -670,6 +686,113 @@ func runDistributed(ctx context.Context, cs *caseSetup, d distOpts) error {
 	doneSteps := cs.cfg.Steps - startStep
 	fmt.Printf("completed %d steps in %.2f s: %s aggregate\n",
 		doneSteps, elapsed, perf.Rate(cells*int64(doneSteps), elapsed))
+	if d.out != "" {
+		return writeImages(m, d.out)
+	}
+	return nil
+}
+
+// runPatch executes -decomp=patch: the domain is tiled into patches
+// assigned to a heterogeneous worker roster, with optional periodic
+// rebalancing and the patch supervisor when fault-tolerance flags are
+// set. Mirrors runDistributed's boundary conventions (x is never
+// periodic; y/z follow the case).
+func runPatch(ctx context.Context, cs *caseSetup, d distOpts) error {
+	if d.useSunway {
+		return fmt.Errorf("-sunway is meaningless with -decomp=patch; put 'sunway' workers in -patch-workers instead")
+	}
+	if d.restore != "" {
+		return fmt.Errorf("-restore is not supported with -decomp=patch yet")
+	}
+	var tx, ty, tz int
+	if _, err := fmt.Sscanf(strings.ToLower(d.patchTiles), "%dx%dx%d", &tx, &ty, &tz); err != nil || tx < 1 || ty < 1 || tz < 1 {
+		return fmt.Errorf("bad -patch-tiles %q, want e.g. 2x2x1", d.patchTiles)
+	}
+	workers, err := patch.ParseWorkers(d.patchWorkers)
+	if err != nil {
+		return err
+	}
+	opts := patch.Options{
+		GNX: cs.cfg.NX, GNY: cs.cfg.NY, GNZ: cs.cfg.NZ,
+		TX: tx, TY: ty, TZ: tz,
+		Tau:            cs.cfg.Tau,
+		Smagorinsky:    cs.smag,
+		FaceBC:         cs.faceBC,
+		PeriodicY:      cs.periodicY,
+		PeriodicZ:      cs.periodicZ,
+		Walls:          cs.walls,
+		Init:           cs.init,
+		Workers:        workers,
+		RebalanceEvery: d.rebalanceEvery,
+		Trace:          d.tracer,
+	}
+	fmt.Printf("%s: %d×%d×%d cells as %d×%d×%d patches over %d workers (%s), %d steps\n",
+		cs.cfg.Name, cs.cfg.NX, cs.cfg.NY, cs.cfg.NZ, tx, ty, tz, len(workers), d.patchWorkers, cs.cfg.Steps)
+
+	start := time.Now()
+	var m *core.MacroField
+	var stats *patch.Stats
+	if d.supervised() {
+		var inj *fault.Injector
+		if d.faultPlan != "" {
+			plan, perr := fault.ParsePlan(d.faultPlan)
+			if perr != nil {
+				return perr
+			}
+			inj = fault.NewInjector(plan)
+			fmt.Printf("fault plan: %s\n", plan)
+		}
+		var levels resil.Levels
+		if d.ckptLevels != "" {
+			levels, err = resil.ParseLevels(d.ckptLevels)
+			if err != nil {
+				return err
+			}
+		}
+		m, stats, err = patch.Supervise(patch.SupervisorOptions{
+			Ctx:             ctx,
+			Opts:            opts,
+			Steps:           cs.cfg.Steps,
+			CheckpointEvery: d.cpEvery,
+			CheckpointPath:  d.cpPath,
+			MaxRestarts:     d.maxRestarts,
+			SnapshotEvery:   d.snapEvery,
+			Levels:          levels,
+			GroupSize:       d.ckptGroup,
+			Injector:        inj,
+			Logf:            log.Printf,
+		})
+		if errors.Is(err, patch.ErrCanceled) {
+			fmt.Printf("interrupted: %v\n", err)
+			return errInterrupted
+		}
+		if err != nil {
+			return err
+		}
+		if inj != nil {
+			fmt.Printf("faults injected: %s\n", inj.Stats())
+		}
+	} else {
+		m, stats, err = patch.Run(opts, cs.cfg.Steps)
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	cells := int64(cs.cfg.NX) * int64(cs.cfg.NY) * int64(cs.cfg.NZ)
+	fmt.Printf("completed %d steps in %.2f s: %s aggregate\n",
+		cs.cfg.Steps, elapsed, perf.Rate(cells*int64(cs.cfg.Steps), elapsed))
+	if stats != nil {
+		fmt.Printf("patches: %d over %d workers, %d migrations in %d rebalances",
+			stats.Patches, stats.Workers, stats.Migrations, stats.Rebalances)
+		if stats.ImbalancePre > 0 {
+			fmt.Printf(", imbalance %.2f → %.2f", stats.ImbalancePre, stats.ImbalancePost)
+		}
+		if stats.Recoveries+stats.Restarts > 0 {
+			fmt.Printf(", %d recoveries, %d restarts", stats.Recoveries, stats.Restarts)
+		}
+		fmt.Println()
+	}
 	if d.out != "" {
 		return writeImages(m, d.out)
 	}

@@ -92,6 +92,27 @@ func TestCLISmoke(t *testing.T) {
 		t.Errorf("distributed restore did not resume:\n%s", out)
 	}
 
+	// Patch decomposition over a heterogeneous roster with rebalancing.
+	out = run("-preset", "cavity", "-nx", "16", "-ny", "16", "-nz", "12",
+		"-steps", "10", "-decomp", "patch", "-patch-tiles", "2x2x1",
+		"-patch-workers", "core,core*5,sunway", "-rebalance-every", "3")
+	if !strings.Contains(out, "patches: 4 over 3 workers") {
+		t.Errorf("no patch summary:\n%s", out)
+	}
+
+	// Supervised patch run: kill a worker mid-run; its patches migrate to
+	// the survivors from the in-memory snapshot wave.
+	out = run("-preset", "cavity", "-nx", "16", "-ny", "16", "-nz", "12",
+		"-steps", "12", "-decomp", "patch", "-patch-tiles", "2x2x1",
+		"-patch-workers", "core,core,core", "-snapshot-every", "2",
+		"-max-restarts", "2", "-fault-plan", "seed=3;crash@rank=1,step=6")
+	if !strings.Contains(out, "completed") {
+		t.Errorf("patch chaos run did not complete:\n%s", out)
+	}
+	if !strings.Contains(out, "crashes=1") {
+		t.Errorf("patch chaos run reported no injected crash:\n%s", out)
+	}
+
 	// Bad flags fail cleanly.
 	if _, err := exec.Command(bin, "-preset", "nope").CombinedOutput(); err == nil {
 		t.Error("unknown preset must exit non-zero")
@@ -106,5 +127,13 @@ func TestCLISmoke(t *testing.T) {
 	if _, err := exec.Command(bin, "-preset", "cavity", "-decomp", "2x1",
 		"-fault-plan", "bogus@x=1").CombinedOutput(); err == nil {
 		t.Error("malformed -fault-plan must exit non-zero")
+	}
+	if _, err := exec.Command(bin, "-preset", "cavity", "-decomp", "patch",
+		"-patch-workers", "quantum").CombinedOutput(); err == nil {
+		t.Error("unknown -patch-workers backend must exit non-zero")
+	}
+	if _, err := exec.Command(bin, "-preset", "cavity", "-decomp", "patch",
+		"-patch-tiles", "2x2").CombinedOutput(); err == nil {
+		t.Error("malformed -patch-tiles must exit non-zero")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sunwaylb/internal/core"
 	"sunwaylb/internal/gpu"
 	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/patch"
 	"sunwaylb/internal/psolve"
 	"sunwaylb/internal/sunway"
 	"sunwaylb/internal/swlb"
@@ -268,7 +269,9 @@ func stepperBackend(name string, stepper func(l *core.Lattice) (psolve.Stepper, 
 //   - every swlb optimization stage on a simulated Sunway core group,
 //   - the GPU node model,
 //   - multi-rank 1-D and 2-D decompositions at 2, 4 and 8 ranks,
-//     sequential and on-the-fly, plus stitched 3-D block decompositions.
+//     sequential and on-the-fly, plus stitched 3-D block decompositions,
+//   - the patch-decomposed world: homogeneous, mixed core/swlb/gpu
+//     owners, and mixed owners with a forced migration after every step.
 func Backends() []Backend {
 	bs := []Backend{
 		{Name: "core/unfused", Run: func(c *Case) (*core.MacroField, error) {
@@ -295,6 +298,11 @@ func Backends() []Backend {
 	for _, st := range swlbStages() {
 		bs = append(bs, stepperBackend(st.Name, swlbStage(st.Opt)))
 	}
+	bs = append(bs,
+		patchBackend("patch/2x2x1", 2, 2, 1, 0, func() []patch.Worker { return make([]patch.Worker, 2) }),
+		patchBackend("patch/mixed", 2, 2, 2, 0, patchMixedWorkers),
+		patchBackend("patch/mixed-migrate", 2, 1, 2, 1, patchMixedWorkers),
+	)
 	return bs
 }
 

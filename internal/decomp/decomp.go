@@ -38,9 +38,20 @@ func (b Block) SurfaceCells() int {
 	return total - ix*iy*iz
 }
 
-// split divides n cells into parts pieces, spreading the remainder over
-// the leading parts; it returns the start offset and size of piece i.
-func split(n, parts, i int) (start, size int) {
+// Split divides n cells into parts contiguous pieces and returns the
+// start offset and size of piece i (0 ≤ i < parts).
+//
+// Fairness contract (asserted by TestSplitFairness and FuzzDecompose,
+// relied on by every Decompose* variant and the patch tiler in
+// internal/patch):
+//
+//   - pieces are contiguous and in order: piece i ends where piece i+1
+//     starts, piece 0 starts at 0 and piece parts−1 ends at n;
+//   - no two pieces differ in size by more than one cell — every piece
+//     is ⌊n/parts⌋ or ⌈n/parts⌉ cells;
+//   - the n mod parts remainder cells go to the leading pieces, so the
+//     mapping from (n, parts, i) to extents is deterministic.
+func Split(n, parts, i int) (start, size int) {
 	base := n / parts
 	rem := n % parts
 	if i < rem {
@@ -59,8 +70,8 @@ func Decompose2D(gnx, gny, gnz, px, py int) ([]Block, error) {
 	blocks := make([]Block, 0, px*py)
 	for y := 0; y < py; y++ {
 		for x := 0; x < px; x++ {
-			x0, nx := split(gnx, px, x)
-			y0, ny := split(gny, py, y)
+			x0, nx := Split(gnx, px, x)
+			y0, ny := Split(gny, py, y)
 			blocks = append(blocks, Block{X0: x0, Y0: y0, Z0: 0, NX: nx, NY: ny, NZ: gnz})
 		}
 	}
@@ -76,7 +87,7 @@ func Decompose1D(gnx, gny, gnz, p int) ([]Block, error) {
 	}
 	blocks := make([]Block, 0, p)
 	for i := 0; i < p; i++ {
-		x0, nx := split(gnx, p, i)
+		x0, nx := Split(gnx, p, i)
 		blocks = append(blocks, Block{X0: x0, NX: nx, NY: gny, NZ: gnz})
 	}
 	return blocks, nil
@@ -93,9 +104,9 @@ func Decompose3D(gnx, gny, gnz, px, py, pz int) ([]Block, error) {
 	for z := 0; z < pz; z++ {
 		for y := 0; y < py; y++ {
 			for x := 0; x < px; x++ {
-				x0, nx := split(gnx, px, x)
-				y0, ny := split(gny, py, y)
-				z0, nz := split(gnz, pz, z)
+				x0, nx := Split(gnx, px, x)
+				y0, ny := Split(gny, py, y)
+				z0, nz := Split(gnz, pz, z)
 				blocks = append(blocks, Block{X0: x0, Y0: y0, Z0: z0, NX: nx, NY: ny, NZ: nz})
 			}
 		}

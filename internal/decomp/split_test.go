@@ -1,0 +1,45 @@
+package decomp
+
+import "testing"
+
+// TestSplitFairness asserts the fairness contract documented on Split,
+// which every Decompose* variant and the patch tiler in internal/patch
+// rely on: contiguous in-order pieces, no two extents differing by more
+// than one cell, and the remainder going to the leading pieces.
+func TestSplitFairness(t *testing.T) {
+	for n := 1; n <= 97; n++ {
+		for parts := 1; parts <= n; parts++ {
+			base := n / parts
+			rem := n % parts
+			end := 0
+			minSize, maxSize := n+1, -1
+			for i := 0; i < parts; i++ {
+				start, size := Split(n, parts, i)
+				if start != end {
+					t.Fatalf("Split(%d,%d,%d): start=%d, want contiguous %d", n, parts, i, start, end)
+				}
+				if size != base && size != base+1 {
+					t.Fatalf("Split(%d,%d,%d): size=%d, want %d or %d", n, parts, i, size, base, base+1)
+				}
+				// Remainder cells belong to the leading pieces.
+				if wantBig := i < rem; (size == base+1) != wantBig {
+					t.Fatalf("Split(%d,%d,%d): size=%d, remainder must go to the first %d pieces",
+						n, parts, i, size, rem)
+				}
+				if size < minSize {
+					minSize = size
+				}
+				if size > maxSize {
+					maxSize = size
+				}
+				end = start + size
+			}
+			if end != n {
+				t.Fatalf("Split(%d,%d,·): pieces end at %d, want %d", n, parts, end, n)
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("Split(%d,%d,·): extents differ by %d > 1 cell", n, parts, maxSize-minSize)
+			}
+		}
+	}
+}

@@ -62,7 +62,7 @@ func balancedCuts(w []float64, parts int) ([]int, error) {
 	if total <= 0 {
 		// Degenerate: fall back to equal sizes.
 		for i := 1; i < parts; i++ {
-			cuts[i], _ = split(n, parts, i)
+			cuts[i], _ = Split(n, parts, i)
 		}
 		return cuts, nil
 	}

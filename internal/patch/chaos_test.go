@@ -1,0 +1,97 @@
+package patch_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sunwaylb/internal/conform"
+	"sunwaylb/internal/fault"
+	"sunwaylb/internal/patch"
+)
+
+// TestMigrationChaos is the owner-death acceptance scenario: worker 1 of
+// three is killed mid-run. Its two patches must migrate to the healthy
+// owners from the in-memory wave (L1 for patches whose deposits survive,
+// L2/L3 for the rest), the run resumes at a shrunken world, and the
+// final field is bit-identical to both the unfaulted patch run and the
+// serial kernel. Run under -race by scripts/ci.sh patch.
+func TestMigrationChaos(t *testing.T) {
+	const steps = 12
+	ref := serialRef(t, boxOptions(1, 1, 1, workers(1)), steps)
+
+	clean, cleanStats, err := patch.Run(boxOptions(3, 2, 1, workers(3)), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conform.Compare(ref, clean, conform.Exact); err != nil {
+		t.Fatalf("unfaulted patch run diverged from serial: %v", err)
+	}
+	if cleanStats.Recoveries != 0 || cleanStats.Restarts != 0 {
+		t.Fatalf("unfaulted run recovered: %+v", cleanStats)
+	}
+
+	plan, err := fault.ParsePlan("seed=11;crash@rank=1,step=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := patch.Supervise(patch.SupervisorOptions{
+		Opts:          boxOptions(3, 2, 1, workers(3)),
+		Steps:         steps,
+		SnapshotEvery: 2,
+		GroupSize:     2,
+		MaxRestarts:   2,
+		Injector:      fault.NewInjector(plan),
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats %+v)", err, stats)
+	}
+	if stats.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1 (memory-plan patch migration)", stats.Recoveries)
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("restarts = %d, want 0: single owner loss must not escalate", stats.Restarts)
+	}
+	if stats.Workers != 2 {
+		t.Errorf("final workers = %d, want 2 after losing one of three", stats.Workers)
+	}
+	if err := conform.Compare(ref, got, conform.Exact); err != nil {
+		t.Errorf("recovered run diverged from serial: %v", err)
+	}
+	if err := conform.Compare(clean, got, conform.Exact); err != nil {
+		t.Errorf("recovered run diverged from unfaulted run: %v", err)
+	}
+}
+
+// TestChaosEscalatesToCheckpoint: kill two of three workers at once —
+// more than the buddy/parity algebra can repair when their patches share
+// groups — and verify the supervisor rolls back to the L4 disk
+// checkpoint and still converges to the serial answer.
+func TestChaosEscalatesToCheckpoint(t *testing.T) {
+	const steps = 12
+	ref := serialRef(t, boxOptions(1, 1, 1, workers(1)), steps)
+	plan, err := fault.ParsePlan("seed=7;crash@rank=1,step=7;crash@rank=2,step=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := patch.Supervise(patch.SupervisorOptions{
+		Opts:            boxOptions(3, 2, 1, workers(3)),
+		Steps:           steps,
+		SnapshotEvery:   2,
+		GroupSize:       2,
+		MaxRestarts:     3,
+		CheckpointEvery: 4,
+		CheckpointPath:  filepath.Join(t.TempDir(), "patch.ckpt"),
+		Injector:        fault.NewInjector(plan),
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (stats %+v)", err, stats)
+	}
+	if stats.Recoveries+stats.Restarts == 0 {
+		t.Error("double loss triggered no recovery at all")
+	}
+	if err := conform.Compare(ref, got, conform.Exact); err != nil {
+		t.Errorf("recovered run diverged from serial: %v", err)
+	}
+}

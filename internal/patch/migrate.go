@@ -1,0 +1,171 @@
+package patch
+
+import (
+	"fmt"
+
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/resil"
+	"sunwaylb/internal/trace"
+)
+
+// migrate executes an adopted plan: every moving patch is serialized as
+// a checksummed interior snapshot on its old owner, shipped, verified
+// and reinstalled on its new owner, and the replicated owner map flips.
+// All sends are posted before any receive, so any permutation of owners
+// is deadlock-free. Migration happens at a step boundary, before the
+// next z exchange, so the freshly installed lattice's halos are rebuilt
+// from current interior state before its kernel reads them — migrated
+// runs are bit-identical to pinned ones.
+func (n *node) migrate(newOwner []int) error {
+	moves := 0
+	for p := range newOwner {
+		if n.owner[p] == newOwner[p] {
+			continue
+		}
+		moves++
+		if n.owner[p] != n.me {
+			continue
+		}
+		resil.Capture(&n.snap, n.lats[p], n.til.Patches[p].Block, p)
+		data, aux := n.snap.Pack(nil, nil)
+		n.c.Send(newOwner[p], n.til.migTag(p), mpi.Message{Data: data, Aux: aux})
+		delete(n.lats, p)
+		delete(n.strs, p)
+		delete(n.fresh, p)
+		if n.tr != nil {
+			n.tr.InstantV(trace.Wall, trace.TrackPatch, "migrate-out", n.tr.Now(), float64(p))
+		}
+	}
+	for p := range newOwner {
+		if n.owner[p] == newOwner[p] || newOwner[p] != n.me {
+			continue
+		}
+		m := n.c.Recv(n.owner[p], n.til.migTag(p))
+		if err := resil.UnpackInto(&n.rsnap, m.Data, m.Aux); err != nil {
+			return fmt.Errorf("patch: migrating patch %d to worker %d: %w", p, n.me, err)
+		}
+		if err := n.installPatch(p, &n.rsnap); err != nil {
+			return err
+		}
+		if n.tr != nil {
+			n.tr.InstantV(trace.Wall, trace.TrackPatch, "migrate-in", n.tr.Now(), float64(p))
+		}
+	}
+	copy(n.owner, newOwner)
+	n.rebuildMine()
+	if n.me == 0 && n.rc.stats != nil {
+		n.rc.stats.Rebalances++
+		n.rc.stats.Migrations += moves
+	}
+	return nil
+}
+
+// wave runs one snapshot wave over the owned patches: L1 deposits each
+// patch's own snapshot, L2 places a copy with the patch's ring buddy,
+// L3 folds the XOR parity of each patch's group. The store is keyed by
+// patch ID — a deposit "held by" patch p lives in p's current owner's
+// memory, so the supervisor invalidates exactly the patches a dead
+// worker owned at the wave (see supervise.go).
+func (n *node) wave(done int) error {
+	rc := n.rc
+	if n.tr != nil {
+		defer n.tr.Scope(trace.TrackCkpt, "patch-wave")()
+	}
+	for _, p := range n.mine {
+		resil.Capture(&n.snap, n.lats[p], n.til.Patches[p].Block, p)
+		if rc.levels.Has(resil.L1) {
+			rc.store.DepositOwn(&n.snap)
+		}
+		if rc.levels.Has(resil.L2) {
+			if b := rc.store.Buddy(p); b != p {
+				rc.store.DepositBuddy(b, &n.snap)
+			}
+		}
+	}
+	if rc.levels.Has(resil.L3) && rc.store.GroupSize() >= 2 {
+		return n.parityWave(done)
+	}
+	return nil
+}
+
+// parityWave computes the L3 group XOR for every parity group this
+// worker owns patches in. Group members owned by other workers are
+// exchanged over mpi: each owner sends its members once to every other
+// distinct owner of the group, then folds the full group locally, so
+// every member patch deposits the identical parity record. Groups are
+// processed in ascending order on every rank and sends always precede
+// receives, which keeps the wave deadlock-free.
+func (n *node) parityWave(done int) error {
+	st := n.rc.store
+	P := n.til.P()
+	gs := st.GroupSize()
+	for lo := 0; lo < P; lo += gs {
+		hi := lo + gs
+		if hi > P {
+			hi = P
+		}
+		if hi-lo < 2 {
+			continue // singleton group: no parity algebra
+		}
+		mineIn := 0
+		for p := lo; p < hi; p++ {
+			if n.owner[p] == n.me {
+				mineIn++
+			}
+		}
+		if mineIn == 0 {
+			continue
+		}
+		// Ship my members once to each other distinct owner of the group.
+		for q := lo; q < hi; q++ {
+			if n.owner[q] != n.me {
+				continue
+			}
+			resil.Capture(&n.snap, n.lats[q], n.til.Patches[q].Block, q)
+			n.data, n.aux = n.snap.Pack(n.data, n.aux)
+			sent := make(map[int]bool, hi-lo)
+			for r := lo; r < hi; r++ {
+				t := n.owner[r]
+				if t == n.me || sent[t] {
+					continue
+				}
+				sent[t] = true
+				n.c.Isend(t, n.til.parityTag(q), mpi.Message{
+					Data: append([]float64(nil), n.data...),
+					Aux:  append([]byte(nil), n.aux...),
+				})
+			}
+		}
+		// Collect the full group: local captures plus one receive per
+		// remote member.
+		for j, r := 0, lo; r < hi; j, r = j+1, r+1 {
+			if n.owner[r] == n.me {
+				resil.Capture(&n.group[j], n.lats[r], n.til.Patches[r].Block, r)
+				continue
+			}
+			m, err := n.c.RecvE(n.owner[r], n.til.parityTag(r))
+			if err != nil {
+				return fmt.Errorf("patch: L3 parity wave at step %d: %w", done, err)
+			}
+			if err := resil.UnpackInto(&n.group[j], m.Data, m.Aux); err != nil {
+				return err
+			}
+		}
+		// Fold and deposit the identical parity record for each of my
+		// members.
+		for p := lo; p < hi; p++ {
+			if n.owner[p] != n.me {
+				continue
+			}
+			cells := n.til.Patches[p].Cells()
+			q := n.lats[p].Desc.Q
+			resil.ParityReset(&n.par, p, done, cells*q, cells)
+			for j := 0; j < hi-lo; j++ {
+				resil.ParityAdd(&n.par, &n.group[j])
+			}
+			resil.Seal(&n.par)
+			st.DepositParity(p, &n.par)
+		}
+	}
+	return nil
+}

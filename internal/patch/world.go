@@ -1,0 +1,711 @@
+package patch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sunwaylb/internal/boundary"
+	"sunwaylb/internal/core"
+	"sunwaylb/internal/fault"
+	"sunwaylb/internal/lattice"
+	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/psolve"
+	"sunwaylb/internal/resil"
+	"sunwaylb/internal/trace"
+)
+
+// Options configures a patch-mode run. The physics fields mirror
+// psolve.Options; the patch-specific fields describe the tiling, the
+// worker roster and the balancer policy.
+type Options struct {
+	// Global lattice extents.
+	GNX, GNY, GNZ int
+	// Patches per axis. Zero means 1 (no cut along that axis).
+	TX, TY, TZ int
+
+	Tau         float64
+	Smagorinsky float64
+	Force       [3]float64
+
+	PeriodicX, PeriodicY, PeriodicZ bool
+	// FaceBC maps global faces to boundary conditions; a patch applies
+	// the condition of every global face it touches, in the same fixed
+	// face order psolve and the conform stitchers use.
+	FaceBC map[core.Face]boundary.Condition
+	// Walls marks solid cells in global coordinates.
+	Walls func(gx, gy, gz int) bool
+	// Init yields the initial macroscopic state in global coordinates;
+	// nil means rest equilibrium (rho=1, u=0).
+	Init func(gx, gy, gz int) (rho, ux, uy, uz float64)
+
+	// Workers is the owner roster: one world rank per entry. The world
+	// size is len(Workers).
+	Workers []Worker
+
+	// RebalanceEvery triggers the measured-cost balancer every k steps
+	// (0 disables it). The balancer migrates patches when the per-worker
+	// step-cost imbalance (max/mean) exceeds Threshold and the greedy
+	// replan predicts a shorter makespan.
+	RebalanceEvery int
+	Threshold      float64 // imbalance trigger, default 1.2
+	SmoothAlpha    float64 // EWMA weight of the newest cost sample, default 0.5
+
+	// ForceMigrateEvery rotates every patch to the next worker every k
+	// steps regardless of measurements — the conform oracle uses it to
+	// prove migration bit-identity. It overrides the balancer at the
+	// boundaries where it fires.
+	ForceMigrateEvery int
+
+	// CostModel, when set, replaces the wall-clock per-patch cost sample
+	// with a deterministic model (benchmarks and tests use it so balancer
+	// decisions are reproducible). It must be a pure function.
+	CostModel func(worker int, p Patch) float64
+
+	Trace *trace.Tracer
+}
+
+func (o *Options) normalize() error {
+	if o.TX == 0 {
+		o.TX = 1
+	}
+	if o.TY == 0 {
+		o.TY = 1
+	}
+	if o.TZ == 0 {
+		o.TZ = 1
+	}
+	if len(o.Workers) == 0 {
+		return fmt.Errorf("patch: empty worker roster")
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 1.2
+	}
+	if o.SmoothAlpha <= 0 || o.SmoothAlpha > 1 {
+		o.SmoothAlpha = 0.5
+	}
+	if o.Init == nil {
+		o.Init = func(_, _, _ int) (float64, float64, float64, float64) { return 1, 0, 0, 0 }
+	}
+	return nil
+}
+
+// Message tags. Halo tags identify (destination patch, packed face);
+// migration and parity tags identify the patch being shipped. All are
+// ≥ 1 as the mpi transport requires.
+func haloTag(dstPatch int, face core.Face) int { return 1 + dstPatch*6 + int(face) }
+
+func (t *Tiling) migTag(p int) int    { return 1 + 6*t.P() + p }
+func (t *Tiling) parityTag(p int) int { return 1 + 7*t.P() + p }
+
+// runConfig is the shared state of one attempt: the tiling, the starting
+// owner map, optional restore snapshots, and the supervisor's store and
+// bookkeeping hooks. Plain Run uses a bare config; Supervise threads the
+// resilience machinery through the same path.
+type runConfig struct {
+	opt           *Options
+	til           *Tiling
+	steps         int
+	start         int
+	owner         []int // starting owner map (copied per rank)
+	restore       map[int]*resil.Snapshot
+	store         *resil.Store
+	levels        resil.Levels
+	snapshotEvery int
+	waves         *waveLog
+	inj           *fault.Injector
+	ctx           context.Context
+	contain       bool
+	onCheckpoint  func(done int) error // rank-0 L4 hook, after a synced wave
+	ckptEvery     int
+	stats         *Stats
+}
+
+// node is the per-rank state of the patch world: the patches this worker
+// currently owns, their executors, and the scratch the exchange and
+// snapshot paths reuse.
+type node struct {
+	rc  *runConfig
+	c   *mpi.Comm
+	me  int
+	tr  *trace.RankTracer
+	til *Tiling
+
+	owner []int // replicated owner map, updated in lockstep on every rank
+	mine  []int // owned patch IDs, ascending (derived from owner)
+
+	lats  map[int]*core.Lattice
+	strs  map[int]psolve.Stepper
+	fresh map[int]bool
+	conds [][]boundary.Condition // per patch, static
+
+	cost     []float64 // EWMA step-cost per patch (meaningful for owned entries)
+	straggle float64   // straggler-model multiplier for this worker's samples
+	names    []string  // precomputed per-patch counter names
+
+	// Face scratch sized for the largest face over all patches.
+	buf []float64
+	flg []core.CellType
+	rfl []core.CellType
+
+	// Snapshot scratch for waves and migrations.
+	snap  resil.Snapshot
+	rsnap resil.Snapshot
+	par   resil.Snapshot
+	group []resil.Snapshot
+	data  []float64
+	aux   []byte
+}
+
+func newNode(rc *runConfig, c *mpi.Comm) (*node, error) {
+	n := &node{
+		rc:    rc,
+		c:     c,
+		me:    c.Rank(),
+		tr:    c.Trace(),
+		til:   rc.til,
+		owner: append([]int(nil), rc.owner...),
+		lats:  make(map[int]*core.Lattice),
+		strs:  make(map[int]psolve.Stepper),
+		fresh: make(map[int]bool),
+		cost:  make([]float64, rc.til.P()),
+	}
+	w := rc.opt.Workers[n.me]
+	n.straggle = w.Straggle
+	if rc.inj != nil {
+		if f := rc.inj.StragglerFactor(n.me); f > 1 {
+			if n.straggle < 1 {
+				n.straggle = 1
+			}
+			n.straggle *= f
+		}
+	}
+	maxFace := 0
+	for _, p := range n.til.Patches {
+		fx := (p.NY + 2) * (p.NZ + 2)
+		fy := (p.NX + 2) * (p.NZ + 2)
+		fz := (p.NX + 2) * (p.NY + 2)
+		for _, f := range [3]int{fx, fy, fz} {
+			if f > maxFace {
+				maxFace = f
+			}
+		}
+		n.names = append(n.names, fmt.Sprintf("patch%d", p.ID))
+		n.conds = append(n.conds, n.patchConds(p))
+	}
+	q := lattice.D3Q19.Q
+	n.buf = make([]float64, maxFace*q)
+	n.flg = make([]core.CellType, maxFace)
+	n.rfl = make([]core.CellType, maxFace)
+	if rc.store != nil {
+		n.group = make([]resil.Snapshot, rc.store.GroupSize())
+	}
+	for _, p := range n.til.Patches {
+		if n.owner[p.ID] != n.me {
+			continue
+		}
+		if s, ok := rc.restore[p.ID]; ok {
+			if err := n.installPatch(p.ID, s); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := n.buildFresh(p); err != nil {
+			return nil, err
+		}
+	}
+	n.rebuildMine()
+	return n, nil
+}
+
+// buildFresh constructs a patch lattice from the case's walls and initial
+// state, exactly as the stitched conform driver builds its blocks.
+func (n *node) buildFresh(p Patch) error {
+	opt := n.rc.opt
+	l, err := core.NewLattice(&lattice.D3Q19, p.NX, p.NY, p.NZ, opt.Tau)
+	if err != nil {
+		return err
+	}
+	l.Smagorinsky = opt.Smagorinsky
+	l.Force = opt.Force
+	for y := 0; y < p.NY; y++ {
+		for x := 0; x < p.NX; x++ {
+			for z := 0; z < p.NZ; z++ {
+				if opt.Walls != nil && opt.Walls(p.X0+x, p.Y0+y, p.Z0+z) {
+					l.SetWall(x, y, z)
+				}
+			}
+		}
+	}
+	for y := 0; y < p.NY; y++ {
+		for x := 0; x < p.NX; x++ {
+			for z := 0; z < p.NZ; z++ {
+				if l.CellTypeAt(x, y, z) != core.Fluid {
+					continue
+				}
+				rho, ux, uy, uz := opt.Init(p.X0+x, p.Y0+y, p.Z0+z)
+				l.SetCell(x, y, z, rho, ux, uy, uz)
+			}
+		}
+	}
+	l.SetStep(n.rc.start)
+	return n.adopt(p.ID, l)
+}
+
+// adopt registers a lattice as an owned patch and builds its executor.
+func (n *node) adopt(id int, l *core.Lattice) error {
+	st, err := n.rc.opt.Workers[n.me].newStepper(l)
+	if err != nil {
+		return fmt.Errorf("patch: worker %d executor for patch %d: %w", n.me, id, err)
+	}
+	if ts, ok := st.(traceSetter); ok {
+		ts.SetTrace(n.tr)
+	}
+	n.lats[id] = l
+	n.strs[id] = st
+	n.fresh[id] = true
+	return nil
+}
+
+// installPatch rebuilds a patch from a verified snapshot — the receive
+// half of a migration and the restore half of a recovery. Only the
+// interior is restored; every halo cell the kernel reads is rewritten
+// from current interior state by the z→BC→x→y exchange sequence before
+// the next kernel application, so an installed patch is bit-identical
+// to one that never moved.
+func (n *node) installPatch(id int, s *resil.Snapshot) error {
+	if !s.Verify() {
+		return fmt.Errorf("patch: snapshot of patch %d fails checksum at install", id)
+	}
+	p := n.til.Patches[id]
+	if s.NX != p.NX || s.NY != p.NY || s.NZ != p.NZ {
+		return fmt.Errorf("patch: snapshot of patch %d is %dx%dx%d, tile wants %dx%dx%d",
+			id, s.NX, s.NY, s.NZ, p.NX, p.NY, p.NZ)
+	}
+	opt := n.rc.opt
+	l, err := core.NewLattice(&lattice.D3Q19, p.NX, p.NY, p.NZ, opt.Tau)
+	if err != nil {
+		return err
+	}
+	l.Smagorinsky = opt.Smagorinsky
+	l.Force = opt.Force
+	q := l.Desc.Q
+	dst := l.Src()
+	k := 0
+	for y := 0; y < p.NY; y++ {
+		for x := 0; x < p.NX; x++ {
+			for z := 0; z < p.NZ; z++ {
+				idx := l.Idx(x, y, z)
+				for i := 0; i < q; i++ {
+					dst[i*l.N+idx] = s.Pops[k*q+i]
+				}
+				l.Flags[idx] = core.CellType(s.Flags[k])
+				k++
+			}
+		}
+	}
+	l.SetStep(s.Step)
+	return n.adopt(id, l)
+}
+
+// patchConds selects the global-face conditions this patch applies, in
+// the fixed face order psolve and the conform stitchers share.
+func (n *node) patchConds(p Patch) []boundary.Condition {
+	opt := n.rc.opt
+	if opt.FaceBC == nil {
+		return nil
+	}
+	touches := map[core.Face]bool{
+		core.FaceXMin: p.X0 == 0,
+		core.FaceXMax: p.X0+p.NX == opt.GNX,
+		core.FaceYMin: p.Y0 == 0,
+		core.FaceYMax: p.Y0+p.NY == opt.GNY,
+		core.FaceZMin: p.Z0 == 0,
+		core.FaceZMax: p.Z0+p.NZ == opt.GNZ,
+	}
+	var out []boundary.Condition
+	for _, f := range []core.Face{core.FaceXMin, core.FaceXMax, core.FaceYMin,
+		core.FaceYMax, core.FaceZMin, core.FaceZMax} {
+		if touches[f] && opt.FaceBC[f] != nil {
+			out = append(out, opt.FaceBC[f])
+		}
+	}
+	return out
+}
+
+func (n *node) rebuildMine() {
+	n.mine = n.mine[:0]
+	for p, o := range n.owner {
+		if o == n.me {
+			n.mine = append(n.mine, p)
+		}
+	}
+}
+
+func (n *node) periodic(axis int) bool {
+	switch axis {
+	case 0:
+		return n.rc.opt.PeriodicX
+	case 1:
+		return n.rc.opt.PeriodicY
+	default:
+		return n.rc.opt.PeriodicZ
+	}
+}
+
+// stepOnce advances every patch one time step: z halos, global-face
+// conditions, x halos, y halos, then each owned patch's kernel — the
+// same phase order as psolve and the conform stitchers, so halo corners
+// resolve identically regardless of how patches are distributed.
+func (n *node) stepOnce() {
+	if n.tr != nil {
+		n.tr.Begin(trace.Wall, trace.TrackStep, "step", n.tr.Now())
+		defer func() { n.tr.End(trace.Wall, trace.TrackStep, n.tr.Now()) }()
+	}
+	n.exchange(2)
+	for _, p := range n.mine {
+		for _, bc := range n.conds[p] {
+			bc.Apply(n.lats[p])
+		}
+	}
+	n.exchange(0)
+	n.exchange(1)
+	n.compute()
+}
+
+// compute steps the owned patches in ID order, sampling per-patch cost
+// into the EWMA the balancer reads and onto the trace's patch track.
+func (n *node) compute() {
+	opt := n.rc.opt
+	for _, p := range n.mine {
+		st := n.strs[p]
+		if n.fresh[p] {
+			// The first exchange may have imported wall flags from the
+			// neighbours; refresh the executor's geometry-derived state.
+			st.Rebuild()
+			n.fresh[p] = false
+		}
+		t0 := time.Now()
+		dt := st.Step()
+		if dt <= 0 {
+			dt = time.Since(t0).Seconds()
+		}
+		if opt.CostModel != nil {
+			dt = opt.CostModel(n.me, n.til.Patches[p])
+		}
+		if n.straggle > 1 {
+			dt *= n.straggle
+		}
+		if prev := n.cost[p]; prev > 0 {
+			n.cost[p] = opt.SmoothAlpha*dt + (1-opt.SmoothAlpha)*prev
+		} else {
+			n.cost[p] = dt
+		}
+		if n.tr != nil {
+			n.tr.Counter(trace.Wall, trace.TrackPatch, n.names[p], n.tr.Now(), n.cost[p])
+		}
+	}
+}
+
+func opposite(f core.Face) core.Face {
+	switch f {
+	case core.FaceXMin:
+		return core.FaceXMax
+	case core.FaceXMax:
+		return core.FaceXMin
+	case core.FaceYMin:
+		return core.FaceYMax
+	case core.FaceYMax:
+		return core.FaceYMin
+	case core.FaceZMin:
+		return core.FaceZMax
+	default:
+		return core.FaceZMin
+	}
+}
+
+// eachPair enumerates the face-adjacent patch pairs of one axis in the
+// deterministic order the conform stitcher uses: for every tile (plus
+// the periodic wrap), the pair (a, a's +axis neighbour).
+func (n *node) eachPair(axis int, fn func(a, b int)) {
+	t := n.til
+	parts := t.parts(axis)
+	periodic := n.periodic(axis)
+	for cz := 0; cz < t.TZ; cz++ {
+		for cy := 0; cy < t.TY; cy++ {
+			for cx := 0; cx < t.TX; cx++ {
+				coord := [3]int{cx, cy, cz}
+				if coord[axis] == parts-1 && !periodic {
+					continue
+				}
+				next := coord
+				next[axis] = (coord[axis] + 1) % parts
+				fn(t.At(coord[0], coord[1], coord[2]), t.At(next[0], next[1], next[2]))
+			}
+		}
+	}
+}
+
+// exchange runs one axis phase of the halo protocol. Same-owner pairs
+// copy locally; cross-owner pairs ship packed faces over mpi. All sends
+// are posted before any receive (the transport's sends never block), so
+// the phase is deadlock-free for every owner map. Pack reads the
+// interior boundary layer and Unpack writes the halo layer, so transfers
+// within one phase never alias.
+func (n *node) exchange(axis int) {
+	parts := n.til.parts(axis)
+	var minFace, maxFace core.Face
+	switch axis {
+	case 0:
+		minFace, maxFace = core.FaceXMin, core.FaceXMax
+	case 1:
+		minFace, maxFace = core.FaceYMin, core.FaceYMax
+	default:
+		minFace, maxFace = core.FaceZMin, core.FaceZMax
+	}
+	if parts == 1 {
+		if n.periodic(axis) {
+			for _, p := range n.mine {
+				n.lats[p].PeriodicAxis(axis)
+			}
+		}
+		return
+	}
+	n.eachPair(axis, func(a, b int) {
+		n.ship(a, b, maxFace)
+		n.ship(b, a, minFace)
+	})
+	n.eachPair(axis, func(a, b int) {
+		n.absorb(a, b, maxFace)
+		n.absorb(b, a, minFace)
+	})
+}
+
+// ship packs face of patch src for patch dst: a local unpack when both
+// are owned here, a non-blocking send otherwise.
+func (n *node) ship(src, dst int, face core.Face) {
+	if n.owner[src] != n.me {
+		return
+	}
+	ls := n.lats[src]
+	cells := ls.FaceCells(face)
+	q := ls.Desc.Q
+	ls.PackFace(face, n.buf[:cells*q], n.flg[:cells])
+	if n.owner[dst] == n.me {
+		n.lats[dst].UnpackFace(opposite(face), n.buf[:cells*q], n.flg[:cells])
+		return
+	}
+	n.c.Send(n.owner[dst], haloTag(dst, face), cloneFaceMsg(n.buf[:cells*q], n.flg[:cells]))
+}
+
+// absorb receives the face of patch src into patch dst's halo when dst
+// is owned here and src is remote.
+func (n *node) absorb(src, dst int, face core.Face) {
+	if n.owner[dst] != n.me || n.owner[src] == n.me {
+		return
+	}
+	m := n.c.Recv(n.owner[src], haloTag(dst, face))
+	ld := n.lats[dst]
+	cells := ld.FaceCells(opposite(face))
+	ld.UnpackFace(opposite(face), m.Data, decodeFlags(m.Aux, n.rfl[:cells]))
+}
+
+func cloneFaceMsg(data []float64, flags []core.CellType) mpi.Message {
+	d := append([]float64(nil), data...)
+	a := make([]byte, len(flags))
+	for i, f := range flags {
+		a[i] = byte(f)
+	}
+	return mpi.Message{Data: d, Aux: a}
+}
+
+func decodeFlags(aux []byte, out []core.CellType) []core.CellType {
+	for i := range out {
+		out[i] = core.CellType(aux[i])
+	}
+	return out
+}
+
+// gather stitches every patch's macroscopic field into the global field
+// on rank 0 (nil elsewhere). The payload per owned patch is its ID
+// followed by the rho/ux/uy/uz channels in interior (y,x,z) order.
+func (n *node) gather() *core.MacroField {
+	var payload []float64
+	for _, p := range n.mine {
+		b := n.til.Patches[p].Block
+		m := n.lats[p].ComputeMacro()
+		payload = append(payload, float64(p))
+		for _, ch := range [4][]float64{m.Rho, m.Ux, m.Uy, m.Uz} {
+			for y := 0; y < b.NY; y++ {
+				for x := 0; x < b.NX; x++ {
+					for z := 0; z < b.NZ; z++ {
+						payload = append(payload, ch[m.Idx(x, y, z)])
+					}
+				}
+			}
+		}
+	}
+	msgs := n.c.Gather(0, mpi.Message{Data: payload})
+	if msgs == nil {
+		return nil
+	}
+	opt := n.rc.opt
+	out := &core.MacroField{
+		NX: opt.GNX, NY: opt.GNY, NZ: opt.GNZ,
+		Rho: make([]float64, opt.GNX*opt.GNY*opt.GNZ),
+		Ux:  make([]float64, opt.GNX*opt.GNY*opt.GNZ),
+		Uy:  make([]float64, opt.GNX*opt.GNY*opt.GNZ),
+		Uz:  make([]float64, opt.GNX*opt.GNY*opt.GNZ),
+	}
+	for _, m := range msgs {
+		d := m.Data
+		for len(d) > 0 {
+			p := int(d[0])
+			d = d[1:]
+			b := n.til.Patches[p].Block
+			cells := b.Cells()
+			chans := [4][]float64{out.Rho, out.Ux, out.Uy, out.Uz}
+			for ci, ch := range chans {
+				src := d[ci*cells : (ci+1)*cells]
+				k := 0
+				for y := 0; y < b.NY; y++ {
+					for x := 0; x < b.NX; x++ {
+						for z := 0; z < b.NZ; z++ {
+							ch[out.Idx(b.X0+x, b.Y0+y, b.Z0+z)] = src[k]
+							k++
+						}
+					}
+				}
+			}
+			d = d[4*cells:]
+		}
+	}
+	return out
+}
+
+// Run executes a patch-mode simulation to completion on a fresh world
+// and returns the gathered global field plus the balancer statistics.
+func Run(opt Options, steps int) (*core.MacroField, *Stats, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, nil, err
+	}
+	til, err := NewTiling(opt.GNX, opt.GNY, opt.GNZ, opt.TX, opt.TY, opt.TZ)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Patches: til.P(), Workers: len(opt.Workers)}
+	rc := &runConfig{
+		opt:   &opt,
+		til:   til,
+		steps: steps,
+		owner: initialOwner(til.P(), len(opt.Workers)),
+		stats: stats,
+	}
+	field, err := runAttempt(rc, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	return field, stats, nil
+}
+
+// initialOwner distributes patches round-robin over the workers.
+func initialOwner(patches, workers int) []int {
+	owner := make([]int, patches)
+	for p := range owner {
+		owner[p] = p % workers
+	}
+	return owner
+}
+
+// runAttempt drives one world through the step loop. onWorld, when set,
+// receives the world handle before the run starts (the supervisor uses
+// it to inspect the death ledger afterwards).
+func runAttempt(rc *runConfig, onWorld func(*mpi.World)) (*core.MacroField, error) {
+	w, err := mpi.NewWorld(len(rc.opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+	w.SetTracer(rc.opt.Trace)
+	w.SetContainPanics(rc.contain)
+	if rc.inj != nil {
+		w.SetFaultHook(rc.inj)
+		w.SetRecvTimeout(5 * time.Second)
+	}
+	if onWorld != nil {
+		onWorld(w)
+	}
+	var result *core.MacroField
+	var watchDone chan struct{}
+	if rc.ctx != nil {
+		watchDone = make(chan struct{})
+		go func() {
+			select {
+			case <-rc.ctx.Done():
+				w.Fail(fmt.Errorf("patch: run canceled: %w", context.Cause(rc.ctx)))
+			case <-watchDone:
+			}
+		}()
+	}
+	runErr := mpi.RunWorld(w, func(c *mpi.Comm) error {
+		n, err := newNode(rc, c)
+		if err != nil {
+			return err
+		}
+		for s := rc.start; s < rc.steps; s++ {
+			if rc.ctx != nil && rc.ctx.Err() != nil {
+				return fmt.Errorf("patch: worker %d canceled at step %d: %w", n.me, s, rc.ctx.Err())
+			}
+			if rc.inj != nil {
+				if !rc.inj.FlapNow(n.me, s) {
+					c.Heartbeat()
+				}
+				if rc.inj.CrashNow(n.me, s) {
+					cerr := fmt.Errorf("worker %d at step %d: %w", n.me, s, fault.ErrInjectedCrash)
+					c.Crash(cerr)
+					return cerr
+				}
+			}
+			n.stepOnce()
+			done := s + 1
+			if rc.store != nil && rc.snapshotEvery > 0 && done%rc.snapshotEvery == 0 && done < rc.steps {
+				if rc.waves != nil {
+					rc.waves.record(done, n.owner)
+				}
+				if werr := n.wave(done); werr != nil {
+					return werr
+				}
+				if rc.onCheckpoint != nil && rc.ckptEvery > 0 && done%rc.ckptEvery == 0 {
+					// Sync so every deposit of this wave is in the store
+					// before rank 0 assembles the L4 checkpoint from it.
+					if berr := c.BarrierE(); berr != nil {
+						return berr
+					}
+					if n.me == 0 {
+						if cerr := rc.onCheckpoint(done); cerr != nil {
+							return cerr
+						}
+					}
+				}
+			}
+			if n.rebalanceDue(done) {
+				if rerr := n.rebalance(done); rerr != nil {
+					return rerr
+				}
+			}
+		}
+		if ferr := n.finishStats(); ferr != nil {
+			return ferr
+		}
+		if g := n.gather(); g != nil {
+			result = g
+		}
+		return nil
+	})
+	if watchDone != nil {
+		close(watchDone)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return result, nil
+}

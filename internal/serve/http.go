@@ -195,6 +195,24 @@ type Metrics struct {
 	TraceEvents  int   `json:"trace_events"`
 	TraceDropped int64 `json:"trace_dropped"`
 	Goroutines   int   `json:"goroutines"`
+	// Patch aggregates the patch-decomposed jobs' balancer activity;
+	// omitted until the first patch-mode job runs.
+	Patch *PatchMetrics `json:"patch,omitempty"`
+}
+
+// PatchMetrics is the fleet's patch-mode scorecard: how many jobs ran
+// patch-decomposed, how much the balancer and the recovery path moved
+// patches, and the last finished job's placement and imbalance.
+type PatchMetrics struct {
+	Jobs       int64 `json:"jobs"`
+	Migrations int64 `json:"migrations"`
+	Rebalances int64 `json:"rebalances"`
+	// LastImbalance is the final measured max/mean worker-load ratio of
+	// the most recent patch job that reported one.
+	LastImbalance float64 `json:"last_imbalance,omitempty"`
+	// PatchesPerOwner is the final patch placement of the most recent
+	// patch job (index = worker).
+	PatchesPerOwner []int `json:"patches_per_owner,omitempty"`
 }
 
 // MetricsSnapshot assembles the current fleet metrics.
@@ -216,6 +234,15 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Recovery:      s.agg,
 		JobSec:        s.latency.SummaryStats(),
 		JournalReplay: s.replayed,
+	}
+	if s.patchJobs > 0 {
+		m.Patch = &PatchMetrics{
+			Jobs:            s.patchJobs,
+			Migrations:      s.patchMigrations,
+			Rebalances:      s.patchRebalances,
+			LastImbalance:   s.patchLastImbalance,
+			PatchesPerOwner: append([]int(nil), s.patchPerOwner...),
+		}
 	}
 	s.mu.Unlock()
 	m.Queued = s.queuedTotal()

@@ -19,6 +19,7 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,7 +44,8 @@ type JobSpec struct {
 	Priority int `json:"priority,omitempty"`
 	// Case is the simulation description (same schema as cases/*.json).
 	Case config.Case `json:"case"`
-	// Decomp is the process grid, e.g. "2x2" (default "2x1").
+	// Decomp is the process grid, e.g. "2x2" (default "2x1"), or "patch"
+	// / "patchN" for the patch-decomposed world on N workers (default 2).
 	Decomp string `json:"decomp,omitempty"`
 	// FaultPlan optionally injects deterministic faults into this job
 	// only (the CLI's -fault-plan DSL). Validated at admission against
@@ -74,8 +76,29 @@ type JobSpec struct {
 	Retries int `json:"retries,omitempty"`
 }
 
+// patchWorkerCount reports the worker count of a "patch"/"patchN"
+// decomp spec: 0 when the spec is not patch-decomposed, -1 when it is
+// malformed ("patchx", "patch0").
+func patchWorkerCount(decomp string) int {
+	d := strings.ToLower(strings.TrimSpace(decomp))
+	if !strings.HasPrefix(d, "patch") {
+		return 0
+	}
+	rest := d[len("patch"):]
+	if rest == "" {
+		return 2
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return -1
+	}
+	return n
+}
+
 // normalize fills defaults and validates the spec, returning the parsed
-// process grid.
+// process grid. Patch-decomposed jobs report their worker roster as an
+// N×1 grid so world-sized validation (fault plans name workers the job
+// actually has) works unchanged.
 func (sp *JobSpec) normalize() (px, py int, err error) {
 	if sp.Tenant == "" {
 		sp.Tenant = "default"
@@ -83,8 +106,13 @@ func (sp *JobSpec) normalize() (px, py int, err error) {
 	if sp.Decomp == "" {
 		sp.Decomp = "2x1"
 	}
-	if _, err := fmt.Sscanf(strings.ToLower(sp.Decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
-		return 0, 0, fmt.Errorf("serve: bad decomp %q, want e.g. 2x2", sp.Decomp)
+	if n := patchWorkerCount(sp.Decomp); n != 0 {
+		if n < 0 || n > 64 {
+			return 0, 0, fmt.Errorf("serve: bad decomp %q, want patch or patchN with N in [1,64]", sp.Decomp)
+		}
+		px, py = n, 1
+	} else if _, err := fmt.Sscanf(strings.ToLower(sp.Decomp), "%dx%d", &px, &py); err != nil || px < 1 || py < 1 {
+		return 0, 0, fmt.Errorf("serve: bad decomp %q, want e.g. 2x2 or patchN", sp.Decomp)
 	}
 	if err := sp.Case.Validate(); err != nil {
 		return 0, 0, err

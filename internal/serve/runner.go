@@ -11,6 +11,7 @@ import (
 	"sunwaylb/internal/core"
 	"sunwaylb/internal/fault"
 	"sunwaylb/internal/mpi"
+	"sunwaylb/internal/patch"
 	"sunwaylb/internal/perf"
 	"sunwaylb/internal/psolve"
 	"sunwaylb/internal/resil"
@@ -192,6 +193,9 @@ func jobSeed(id string) int64 {
 // isolation: a private injector (or none), a private snapshot store, a
 // private checkpoint file, and panic containment on.
 func (s *Server) superviseJob(ctx context.Context, j *Job) (*core.MacroField, perf.RecoveryStats, error) {
+	if patchWorkerCount(j.Spec.Decomp) != 0 {
+		return s.supervisePatchJob(ctx, j)
+	}
 	opts, err := BuildOptions(j.Spec)
 	if err != nil {
 		return nil, perf.RecoveryStats{}, err
@@ -232,6 +236,102 @@ func (s *Server) superviseJob(ctx context.Context, j *Job) (*core.MacroField, pe
 		Injector:        inj,
 		Retry:           retry,
 	})
+}
+
+// supervisePatchJob is superviseJob for patch-decomposed jobs: the same
+// periodic shear box runs through the patch world's own supervisor,
+// where owner death is repaired by migrating the dead worker's patches
+// to survivors from the in-memory snapshot wave. The patch stats are
+// folded into the fleet's patch gauges (served by /metrics) and mapped
+// onto the recovery scorecard (memory-plan recoveries as hot swaps,
+// full restarts as disk rollbacks).
+func (s *Server) supervisePatchJob(ctx context.Context, j *Job) (*core.MacroField, perf.RecoveryStats, error) {
+	opts, err := BuildPatchOptions(j.Spec)
+	if err != nil {
+		return nil, perf.RecoveryStats{}, err
+	}
+	var inj *fault.Injector
+	if j.Spec.FaultPlan != "" {
+		plan, perr := fault.ParsePlan(j.Spec.FaultPlan)
+		if perr != nil {
+			return nil, perf.RecoveryStats{}, perr
+		}
+		inj = fault.NewInjector(plan)
+	}
+	levels, lerr := resil.ParseLevels(j.Spec.Levels)
+	if lerr != nil {
+		return nil, perf.RecoveryStats{}, lerr
+	}
+	retry := s.cfg.Retry
+	retry.Seed = jobSeed(j.ID)
+	field, pst, err := patch.Supervise(patch.SupervisorOptions{
+		Ctx:             ctx,
+		Opts:            opts,
+		Steps:           j.Spec.Case.Steps,
+		CheckpointEvery: j.Spec.Case.CheckpointEvery,
+		CheckpointPath:  s.checkpointPath(j),
+		MaxRestarts:     j.Spec.MaxRestarts,
+		SnapshotEvery:   j.Spec.SnapshotEvery,
+		Levels:          levels,
+		GroupSize:       j.Spec.GroupSize,
+		Injector:        inj,
+		Retry:           retry,
+	})
+	var rec perf.RecoveryStats
+	if pst != nil {
+		rec.HotSwaps = pst.Recoveries
+		rec.DiskRollbacks = pst.Restarts
+		rec.Restarts = pst.Recoveries + pst.Restarts
+		s.mu.Lock()
+		s.patchJobs++
+		s.patchMigrations += int64(pst.Migrations)
+		s.patchRebalances += int64(pst.Rebalances)
+		if pst.ImbalancePost > 0 {
+			s.patchLastImbalance = pst.ImbalancePost
+		}
+		if len(pst.PatchesPerOwner) > 0 {
+			s.patchPerOwner = append([]int(nil), pst.PatchesPerOwner...)
+		}
+		s.mu.Unlock()
+	}
+	if errors.Is(err, patch.ErrCanceled) {
+		// The runner's lifecycle switch speaks psolve's cancel sentinel.
+		err = fmt.Errorf("%w: %v", psolve.ErrCanceled, err)
+	}
+	return field, rec, err
+}
+
+// BuildPatchOptions translates a patch-decomposed job spec into the
+// patch world configuration: the same periodic shear box BuildOptions
+// produces, tiled so every worker can own at least one patch (clamped
+// to the halo protocol's two-cell minimum extent). Exported so tests
+// can run the exact solo configuration a service job runs.
+func BuildPatchOptions(spec JobSpec) (patch.Options, error) {
+	n, _, err := (&spec).normalize()
+	if err != nil {
+		return patch.Options{}, err
+	}
+	if patchWorkerCount(spec.Decomp) == 0 {
+		return patch.Options{}, fmt.Errorf("serve: decomp %q is not patch-decomposed", spec.Decomp)
+	}
+	clamp := func(t, nCells int) int {
+		if t > nCells/2 {
+			t = nCells / 2
+		}
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	return patch.Options{
+		GNX: spec.Case.NX, GNY: spec.Case.NY, GNZ: spec.Case.NZ,
+		TX: clamp(n, spec.Case.NX), TY: clamp(2, spec.Case.NY), TZ: 1,
+		Tau:         spec.Case.Tau,
+		Smagorinsky: spec.Case.Smagorinsky,
+		PeriodicX:   true, PeriodicY: true, PeriodicZ: true,
+		Init:    ShearInit,
+		Workers: make([]patch.Worker, n),
+	}, nil
 }
 
 // ShearInit is the deterministic initial condition of every service job:

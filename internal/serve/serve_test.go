@@ -129,6 +129,79 @@ func TestChaosIsolation(t *testing.T) {
 	}
 }
 
+// TestPatchJobConformance: a patch-decomposed job — including one that
+// loses a worker mid-run and repairs by migrating its patches — must be
+// bit-identical to a psolve solo run of the same periodic shear box,
+// and the fleet metrics must expose the patch gauges.
+func TestPatchJobConformance(t *testing.T) {
+	s := testServer(t, Config{Workers: 2})
+	defer s.Drain(context.Background())
+
+	clean := JobSpec{Tenant: "pat", Case: smallCase("patch-clean", 10), Decomp: "patch3"}
+	faulted := JobSpec{
+		Tenant: "pat",
+		Case:   smallCase("patch-chaos", 12),
+		Decomp: "patch3",
+		// Valid only because patch3 presents a 3-worker world: worker 2
+		// dies and its patches migrate to the survivors from memory.
+		FaultPlan: "seed=5;crash@rank=2,step=6",
+	}
+
+	jc, err := s.Submit(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := s.Submit(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		j    *Job
+		spec JobSpec
+	}{{jc, clean}, {jf, faulted}} {
+		st := waitJob(t, tc.j)
+		if st.State != StateDone {
+			t.Fatalf("patch job %s finished %s: %s", tc.spec.Case.Name, st.State, st.Error)
+		}
+		// The psolve solo run of the same box is the cross-subsystem
+		// reference: patch world and rank world must agree on every bit.
+		solo := tc.spec
+		solo.Decomp = "1x1"
+		solo.FaultPlan = "" // the reference runs the same physics, unfaulted
+		if err := conform.Compare(soloField(t, solo), tc.j.Result(), conform.Exact); err != nil {
+			t.Errorf("patch job %s diverged from the psolve solo run: %v", tc.spec.Case.Name, err)
+		}
+	}
+	if st := jf.Stats(); st.HotSwaps < 1 || st.DiskRollbacks != 0 {
+		t.Errorf("faulted patch job recovery: %+v, want memory-plan migration only", st)
+	}
+
+	m := s.MetricsSnapshot()
+	if m.Patch == nil {
+		t.Fatal("metrics missing patch gauges after patch jobs ran")
+	}
+	if m.Patch.Jobs != 2 {
+		t.Errorf("patch jobs gauge = %d, want 2", m.Patch.Jobs)
+	}
+	if m.Patch.Migrations < 1 {
+		t.Errorf("patch migrations gauge = %d, want ≥1 from the recovery", m.Patch.Migrations)
+	}
+	if len(m.Patch.PatchesPerOwner) == 0 {
+		t.Error("patch placement gauge empty")
+	}
+
+	if _, err := s.Submit(JobSpec{Case: smallCase("bad", 5), Decomp: "patch0"}); err == nil {
+		t.Error("accepted malformed patch decomp")
+	}
+	if _, err := s.Submit(JobSpec{
+		Case: smallCase("bad", 5), Decomp: "patch2",
+		FaultPlan: "seed=1;crash@rank=5,step=2",
+	}); err == nil {
+		t.Error("accepted fault plan naming a worker outside the patch world")
+	}
+}
+
 // TestTenantPanicContained: a job whose fault plan cannot exist — here a
 // panic planted via a defective case — must fail alone. The daemon and
 // a concurrently running clean job are untouched.

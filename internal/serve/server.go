@@ -127,6 +127,11 @@ type Server struct {
 	running                                                int
 	agg                                                    perf.RecoveryStats
 	latency                                                *perf.Monitor
+	// Patch-mode gauges (under mu): accumulated across every
+	// patch-decomposed job that produced stats.
+	patchJobs, patchMigrations, patchRebalances int64
+	patchLastImbalance                          float64
+	patchPerOwner                               []int
 }
 
 // NewServer builds a daemon over DataDir, replaying any existing journal:

@@ -97,6 +97,7 @@ const (
 	TrackFault = "fault"      // injected faults (instants)
 	TrackCtl   = "control"    // supervisor restarts, rollbacks, shrinks
 	TrackServe = "serve"      // service-level job lifecycle + queue gauges
+	TrackPatch = "patch"      // per-patch cost samples, migrations, imbalance
 )
 
 // RankSupervisor is the pseudo-rank used for events that belong to the

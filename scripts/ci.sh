@@ -34,10 +34,17 @@
 #             fault plans, bounded trace ring and heap), the daemon
 #             SIGTERM-drain smoke, and the spanpair/hotalloc static
 #             rules over the service code
+#   patch   — patch-decomposition tier: the internal/patch suite under
+#             the race detector (tiling fuzz seeds, bit-identity across
+#             tilings/backends/forced migrations, the balancer's
+#             straggler response, and the migration chaos tests that
+#             kill owners mid-run), the mixed-backend conformance slice
+#             with mid-run migrations, and the hotalloc/spanpair static
+#             rules over the patch code
 #   bench   — refresh BENCH_results.json from the measured benchmark
 #             cases so every CI run extends the perf trajectory
 #
-# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|chaos|serve|trace|bench|all]
+# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|chaos|serve|trace|patch|bench|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -146,6 +153,20 @@ serve() {
     test -s "$out/data/jobs.journal"
 }
 
+patch() {
+    echo "== patch: patch decomposition + measured-throughput balancing =="
+    # The whole patch suite — including the migration chaos tests that
+    # kill an owner mid-step — must hold under the race detector.
+    go test -race -count=1 -timeout 600s ./internal/patch
+    # Mixed-backend stitched oracles: homogeneous, core+swlb+gpu, and
+    # core+swlb+gpu with a forced migration after every step, all
+    # bit-identical (MaxULP=0) to the serial kernel across seeds.
+    go run ./cmd/conform -seed 3 -cases 8 -run 'patch/'
+    # Static contracts on the patch code: spans paired, no hot-loop
+    # allocation regressions in the exchange/migration paths.
+    go run ./cmd/lbmvet -rules hotalloc,spanpair ./internal/patch
+}
+
 trace() {
     echo "== trace smoke: traced chaos run + analysis round trip =="
     out=$(mktemp -d)
@@ -176,8 +197,9 @@ case "${1:-all}" in
     chaos) chaos ;;
     serve) serve ;;
     trace) trace ;;
+    patch) patch ;;
     bench) bench ;;
-    all)   tier1; tier2; race; conform; analyze; chaos; serve; trace; bench ;;
-    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|chaos|serve|trace|bench|all]" >&2; exit 2 ;;
+    all)   tier1; tier2; race; conform; analyze; chaos; serve; trace; patch; bench ;;
+    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|chaos|serve|trace|patch|bench|all]" >&2; exit 2 ;;
 esac
 echo "ok"
