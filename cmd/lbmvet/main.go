@@ -1,9 +1,11 @@
 // Lbmvet is SunwayLB's domain-specific static-analysis suite: a
 // multichecker that enforces the simulator's correctness contracts across
 // the module — LDM budgets on CPE kernels, mpi error discipline, trace
-// span pairing and nil-safety, hot-loop allocation freedom, and
-// float determinism. See DESIGN.md "Static-analysis contracts" for the
-// rule-to-paper mapping and README "Static analysis" for usage.
+// span pairing and nil-safety, hot-loop allocation freedom, float
+// determinism, goroutine lifecycle hygiene, lock pairing, channel
+// protocol safety, and per-cell memory-traffic budgets. See DESIGN.md
+// "Static-analysis contracts" for the rule-to-paper mapping and README
+// "Static analysis" for usage.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //	go run ./cmd/lbmvet internal/swlb    # one package directory
 //	go run ./cmd/lbmvet -rules mpierr,detfloat ./...
 //	go run ./cmd/lbmvet -json ./...      # machine-readable findings
+//	go run ./cmd/lbmvet -list -json      # machine-readable rule inventory
 //
 // Suppress an individual finding with a trailing or preceding comment:
 //
@@ -44,6 +47,22 @@ func main() {
 	}
 	flag.Parse()
 	if *list {
+		if *jsonOut {
+			type rule struct {
+				Name string `json:"name"`
+				Doc  string `json:"doc"`
+			}
+			var rules []rule
+			for _, a := range analysis.All() {
+				rules = append(rules, rule{a.Name, a.Doc})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rules); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		for _, a := range analysis.All() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
@@ -72,9 +91,14 @@ func main() {
 	if *rules != "" {
 		selected = strings.Split(*rules, ",")
 	}
-	analyzers := analysis.ByName(selected)
-	if len(analyzers) == 0 {
-		fatal(fmt.Errorf("no analyzers match -rules %q", *rules))
+	analyzers, unknown := analysis.ByName(selected)
+	if len(unknown) > 0 {
+		var known []string
+		for _, a := range analysis.All() {
+			known = append(known, a.Name)
+		}
+		fatal(fmt.Errorf("unknown rule(s) %s in -rules %q; known rules: %s",
+			strings.Join(unknown, ","), *rules, strings.Join(known, ",")))
 	}
 
 	findings := analysis.Run(pkgs, analyzers)

@@ -1,20 +1,28 @@
 // Package analysis is lbmvet's stdlib-only static-analysis framework: a
 // package loader built on go/parser + go/types (no golang.org/x/tools
 // dependency — the repo stays offline-buildable), a finding/diagnostic
-// model with file:line positions and //lint:ignore suppressions, and the
-// five domain analyzers that enforce SunwayLB's correctness contracts:
+// model with file:line positions and //lint:ignore suppressions, an
+// intra-procedural CFG + forward-dataflow engine (cfg.go, dataflow.go),
+// and the nine domain analyzers that enforce SunwayLB's correctness
+// contracts:
 //
-//	ldmbudget — CPE kernels must fit the chip's LDM byte budget
-//	mpierr    — blocking mpi ops must not drop or mis-compare errors
-//	spanpair  — trace spans must pair Begin/End; nil-safe types must guard
-//	hotalloc  — //lbm:hot functions must not allocate, box, or call fmt
-//	detfloat  — physics paths must stay bit-deterministic
+//	ldmbudget  — CPE kernels must fit the chip's LDM byte budget
+//	mpierr     — blocking mpi ops must not drop or mis-compare errors
+//	spanpair   — trace spans must pair Begin/End; nil-safe types must guard
+//	hotalloc   — //lbm:hot functions must not allocate, box, or call fmt
+//	detfloat   — physics paths must stay bit-deterministic
+//	goleak     — goroutines in serve/patch/psolve must have a cancellation path
+//	locksafe   — Lock/Unlock must pair on every path; no lock copies
+//	chanproto  — channel protocols must not drop sends, double-close, or leak consumers
+//	memtraffic — //lbm:hot kernels must meet their per-cell traffic budget
 //
 // The contracts come from the paper's hardware model (§III-B LDM
-// capacities, §IV-C kernel structure), from the failure model of
-// internal/mpi (typed errors instead of hangs) and from the
-// checkpoint/replay determinism requirement (DESIGN.md §7). See DESIGN.md
-// "Static-analysis contracts" for the rule-to-contract mapping.
+// capacities and ~380 B/cell traffic budget, §IV-C kernel structure),
+// from the failure model of internal/mpi (typed errors instead of
+// hangs), from the goroutine lifecycle discipline of the serve/patch
+// supervisors, and from the checkpoint/replay determinism requirement
+// (DESIGN.md §7). See DESIGN.md "Static-analysis contracts" for the
+// rule-to-contract mapping.
 package analysis
 
 import (
@@ -120,6 +128,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 // A suppression covers findings of the named rule (or any rule for *) on
 // the comment's own line and on the line immediately after it, so it can
 // trail the offending statement or sit on its own line directly above.
+// When the line after the comment starts a simple statement that spans
+// several lines (a wrapped call or assignment), the suppression covers
+// the statement's whole line range; compound statements (if/for/switch)
+// and statements containing function literals keep the one-line scope,
+// so suppressing a finding in one branch never silences the others.
 type suppressions struct {
 	// byFile maps filename → line → rules silenced at that line.
 	byFile    map[string]map[int][]string
@@ -168,7 +181,59 @@ func collectSuppressions(pkg *Package) *suppressions {
 			}
 		}
 	}
+	s.extendMultiLine(pkg)
 	return s
+}
+
+// extendMultiLine widens suppressions over multi-line simple statements:
+// a //lint:ignore whose next line starts a wrapped call or assignment
+// covers every line of that statement. Compound statements and
+// statements containing function literals are excluded so suppressing
+// one branch of an if/switch (or one finding inside a closure) never
+// silences findings on the other lines.
+func (s *suppressions) extendMultiLine(pkg *Package) {
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+		lines := s.byFile[filename]
+		if lines == nil {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			switch st.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.DeclStmt, *ast.ReturnStmt, *ast.SendStmt:
+			default:
+				return true
+			}
+			start := pkg.Fset.Position(st.Pos()).Line
+			end := pkg.Fset.Position(st.End()).Line
+			if end == start || len(lines[start]) == 0 {
+				return true
+			}
+			if hasFuncLit(st) {
+				return true
+			}
+			rules := append([]string(nil), lines[start]...)
+			for l := start + 1; l <= end; l++ {
+				lines[l] = append(lines[l], rules...)
+			}
+			return true
+		})
+	}
+}
+
+func hasFuncLit(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // isPkgPath reports whether obj belongs to the package with the given

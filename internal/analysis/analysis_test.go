@@ -139,15 +139,16 @@ func TestSuppressions(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	if got := ByName(nil); len(got) != len(All()) {
-		t.Fatalf("ByName(nil) = %d analyzers, want %d", len(got), len(All()))
+	if got, unknown := ByName(nil); len(got) != len(All()) || len(unknown) != 0 {
+		t.Fatalf("ByName(nil) = %d analyzers (unknown %v), want %d", len(got), unknown, len(All()))
 	}
-	got := ByName([]string{"detfloat", "mpierr"})
-	if len(got) != 2 || got[0].Name != "detfloat" || got[1].Name != "mpierr" {
-		t.Fatalf("ByName subset = %v", got)
+	got, unknown := ByName([]string{"detfloat", "mpierr"})
+	if len(got) != 2 || got[0].Name != "detfloat" || got[1].Name != "mpierr" || len(unknown) != 0 {
+		t.Fatalf("ByName subset = %v, unknown %v", got, unknown)
 	}
-	if len(ByName([]string{"nosuch"})) != 0 {
-		t.Fatal("ByName(nosuch) should resolve to nothing")
+	got, unknown = ByName([]string{"detfloat", "nosuch"})
+	if len(got) != 1 || len(unknown) != 1 || unknown[0] != "nosuch" {
+		t.Fatalf("ByName(detfloat,nosuch) = %v, unknown %v; want the typo surfaced", got, unknown)
 	}
 }
 

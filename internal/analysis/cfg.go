@@ -1,0 +1,388 @@
+package analysis
+
+// An intra-procedural control-flow graph over one function body, built
+// directly from the AST. Each node executes at most one "atomic unit": a
+// simple statement (assignment, call, send, return, defer, go, ...) or a
+// guard expression (if/for condition, switch tag, range operand). Compound
+// statements contribute edges, not nodes, so a dataflow transfer function
+// never has to worry about descending into nested control flow.
+//
+// Modelling decisions, chosen for the analyzers that consume the graph
+// (goleak, locksafe, chanproto):
+//
+//   - return statements and calls to the builtin panic edge to the shared
+//     exit node; panic edges are marked so exit-state checks can treat
+//     unwinding differently from returning.
+//   - function literals are opaque: their bodies get their own CFGs and
+//     are analyzed as independent functions.
+//   - defer statements are ordinary nodes (their arguments are evaluated
+//     in-line) and are additionally collected in cfg.defers so exit checks
+//     can apply deferred cleanup.
+//   - select commits to one of its communication clauses; a select with no
+//     clauses blocks forever (no successors).
+//   - switch case guards are not modelled; control edges go from the tag
+//     node straight to each clause body (plus the fall-out edge when there
+//     is no default clause).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgNode is one CFG vertex.
+type cfgNode struct {
+	index int
+	// stmt is the simple statement executed here (nil for synthetic
+	// nodes: entry, exit, condition-less loop heads).
+	stmt ast.Stmt
+	// cond is the guard expression evaluated here (if/for conditions,
+	// switch tags, range operands); nil otherwise.
+	cond ast.Expr
+	// inSelect marks communication statements that are select arms: a
+	// send here does not commit the goroutine the way a bare send does.
+	inSelect bool
+	// isPanic marks nodes that leave the function by panicking rather
+	// than returning.
+	isPanic bool
+	succs   []*cfgNode
+}
+
+// shallowNodes returns the AST nodes evaluated at this node, without any
+// nested statements — safe for transfer functions to ast.Inspect.
+func (n *cfgNode) shallowNodes() []ast.Node {
+	var out []ast.Node
+	if rs, ok := n.stmt.(*ast.RangeStmt); ok {
+		// The head of a range loop evaluates the operand and assigns the
+		// iteration variables; the body is separate nodes.
+		if rs.Key != nil {
+			out = append(out, rs.Key)
+		}
+		if rs.Value != nil {
+			out = append(out, rs.Value)
+		}
+		out = append(out, rs.X)
+		return out
+	}
+	if n.stmt != nil {
+		out = append(out, n.stmt)
+	}
+	if n.cond != nil {
+		out = append(out, n.cond)
+	}
+	return out
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry, exit *cfgNode
+	nodes       []*cfgNode
+	// defers lists the defer statements in source order; whether a given
+	// defer actually runs is path-dependent, which exit checks treat
+	// conservatively.
+	defers []*ast.DeferStmt
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{c: &cfg{}}
+	b.c.entry = b.newNode(nil, nil)
+	b.c.exit = b.newNode(nil, nil)
+	first := b.block(body.List, b.c.exit)
+	b.c.entry.succs = []*cfgNode{first}
+	// Resolve goto targets now that every label has been seen.
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			g.node.succs = []*cfgNode{target}
+		} else {
+			g.node.succs = []*cfgNode{b.c.exit}
+		}
+	}
+	return b.c
+}
+
+// reachable returns the node set reachable from entry.
+func (c *cfg) reachable() map[*cfgNode]bool {
+	seen := make(map[*cfgNode]bool)
+	stack := []*cfgNode{c.entry}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.succs...)
+	}
+	return seen
+}
+
+// exitReachable reports whether any return path exists: a goroutine whose
+// body's exit is unreachable can never terminate.
+func (c *cfg) exitReachable() bool {
+	return c.reachable()[c.exit]
+}
+
+type loopTarget struct {
+	label string
+	node  *cfgNode
+}
+
+type pendingGoto struct {
+	node  *cfgNode
+	label string
+}
+
+type cfgBuilder struct {
+	c         *cfg
+	breaks    []loopTarget
+	continues []loopTarget
+	labels    map[string]*cfgNode
+	gotos     []pendingGoto
+	// fallthroughTarget is the body entry of the next switch clause.
+	fallthroughTarget *cfgNode
+	// pendingLabel is the label of the labeled statement being built, so
+	// loops and switches can register labeled break/continue targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newNode(stmt ast.Stmt, cond ast.Expr) *cfgNode {
+	n := &cfgNode{index: len(b.c.nodes), stmt: stmt, cond: cond}
+	b.c.nodes = append(b.c.nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) breakTarget(label string) *cfgNode {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if label == "" || b.breaks[i].label == label {
+			return b.breaks[i].node
+		}
+	}
+	return b.c.exit // malformed input; keep the graph connected
+}
+
+func (b *cfgBuilder) continueTarget(label string) *cfgNode {
+	for i := len(b.continues) - 1; i >= 0; i-- {
+		if b.continues[i].node != nil && (label == "" || b.continues[i].label == label) {
+			return b.continues[i].node
+		}
+	}
+	return b.c.exit
+}
+
+// block builds stmts so control falls through to next, returning the
+// entry node of the sequence.
+func (b *cfgBuilder) block(stmts []ast.Stmt, next *cfgNode) *cfgNode {
+	for i := len(stmts) - 1; i >= 0; i-- {
+		next = b.stmt(stmts[i], next)
+	}
+	return next
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case nil:
+		return next
+	case *ast.EmptyStmt:
+		return next
+	case *ast.BlockStmt:
+		return b.block(s.List, next)
+
+	case *ast.LabeledStmt:
+		// A synthetic label node keeps goto resolution independent of
+		// build order; the labeled statement hangs off it.
+		lbl := b.newNode(nil, nil)
+		if b.labels == nil {
+			b.labels = make(map[string]*cfgNode)
+		}
+		b.labels[s.Label.Name] = lbl
+		b.pendingLabel = s.Label.Name
+		inner := b.stmt(s.Stmt, next)
+		b.pendingLabel = ""
+		lbl.succs = []*cfgNode{inner}
+		return lbl
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s, nil)
+		n.succs = []*cfgNode{b.c.exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.newNode(s, nil)
+		switch s.Tok {
+		case token.BREAK:
+			n.succs = []*cfgNode{b.breakTarget(labelName(s.Label))}
+		case token.CONTINUE:
+			n.succs = []*cfgNode{b.continueTarget(labelName(s.Label))}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{node: n, label: labelName(s.Label)})
+		case token.FALLTHROUGH:
+			if b.fallthroughTarget != nil {
+				n.succs = []*cfgNode{b.fallthroughTarget}
+			} else {
+				n.succs = []*cfgNode{next}
+			}
+		}
+		return n
+
+	case *ast.DeferStmt:
+		b.c.defers = append(b.c.defers, s)
+		n := b.newNode(s, nil)
+		n.succs = []*cfgNode{next}
+		return n
+
+	case *ast.ExprStmt:
+		n := b.newNode(s, nil)
+		if isPanicCall(s.X) {
+			n.isPanic = true
+			n.succs = []*cfgNode{b.c.exit}
+		} else {
+			n.succs = []*cfgNode{next}
+		}
+		return n
+
+	case *ast.IfStmt:
+		cond := b.newNode(nil, s.Cond)
+		thenEntry := b.block(s.Body.List, next)
+		elseEntry := next
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, next)
+		}
+		cond.succs = []*cfgNode{thenEntry, elseEntry}
+		if s.Init != nil {
+			return b.stmt(s.Init, cond)
+		}
+		return cond
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		head := b.newNode(nil, s.Cond)
+		cont := head
+		if s.Post != nil {
+			cont = b.stmt(s.Post, head)
+		}
+		b.breaks = append(b.breaks, loopTarget{label, next})
+		b.continues = append(b.continues, loopTarget{label, cont})
+		bodyEntry := b.block(s.Body.List, cont)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if s.Cond != nil {
+			head.succs = []*cfgNode{bodyEntry, next}
+		} else {
+			head.succs = []*cfgNode{bodyEntry}
+		}
+		if s.Init != nil {
+			return b.stmt(s.Init, head)
+		}
+		return head
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newNode(s, nil)
+		b.breaks = append(b.breaks, loopTarget{label, next})
+		b.continues = append(b.continues, loopTarget{label, head})
+		bodyEntry := b.block(s.Body.List, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		head.succs = []*cfgNode{bodyEntry, next}
+		return head
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s.Init, s.Tag, nil, s.Body, next)
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s.Init, nil, s.Assign, s.Body, next)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.newNode(nil, nil)
+		b.breaks = append(b.breaks, loopTarget{label, next})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			bodyEntry := b.block(cc.Body, next)
+			if cc.Comm != nil {
+				comm := b.stmt(cc.Comm, bodyEntry)
+				comm.inSelect = true
+				head.succs = append(head.succs, comm)
+			} else {
+				head.succs = append(head.succs, bodyEntry)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// A select with no clauses blocks forever: head keeps no succs.
+		return head
+
+	default:
+		// Assign, IncDec, Send, Go, Decl, ...: one node, one successor.
+		n := b.newNode(s, nil)
+		n.succs = []*cfgNode{next}
+		return n
+	}
+}
+
+// switchStmt builds expression and type switches: the tag/assign node
+// fans out to each clause body; fallthrough edges to the following clause.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, next *cfgNode) *cfgNode {
+	label := b.takeLabel()
+	head := b.newNode(assign, tag)
+	b.breaks = append(b.breaks, loopTarget{label, next})
+	hasDefault := false
+	// Build clauses in reverse so each knows its fallthrough target.
+	entries := make([]*cfgNode, len(body.List))
+	following := next
+	for i := len(body.List) - 1; i >= 0; i-- {
+		cc := body.List[i].(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		saved := b.fallthroughTarget
+		b.fallthroughTarget = following
+		entries[i] = b.block(cc.Body, next)
+		b.fallthroughTarget = saved
+		following = entries[i]
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	head.succs = append(head.succs, entries...)
+	if !hasDefault {
+		head.succs = append(head.succs, next)
+	}
+	if init != nil {
+		return b.stmt(init, head)
+	}
+	return head
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// function literals: a closure's statements belong to its own CFG.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// Structural tests for the CFG builder: reachability through loops,
+// branches, selects and gotos, panic-edge marking, defer collection and
+// select-arm tagging — the properties goleak/locksafe/chanproto lean on.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse %q: %v", body, err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestCFGExitReachable(t *testing.T) {
+	cases := []struct {
+		name, body string
+		want       bool
+	}{
+		{"straight line", "x := 1\n_ = x", true},
+		{"infinite loop", "for {\n\tx := 1\n\t_ = x\n}", false},
+		{"loop with break", "for {\n\tif true {\n\t\tbreak\n\t}\n}", true},
+		{"loop with return", "for {\n\treturn\n}", true},
+		{"bounded loop", "for i := 0; i < 3; i++ {\n\t_ = i\n}", true},
+		{"empty select blocks forever", "select {}", false},
+		{"select with arms", "var c chan int\nselect {\ncase c <- 1:\ncase <-c:\n}", true},
+		{"labeled continue never exits", "L:\nfor {\n\tcontinue L\n}", false},
+		{"labeled break exits", "L:\nfor {\n\tfor {\n\t\tbreak L\n\t}\n}", true},
+		{"goto forward", "goto done\ndone:\n\treturn", true},
+		{"panic unwinds to exit", "panic(\"boom\")", true},
+		{"range loop", "var xs []int\nfor _, v := range xs {\n\t_ = v\n}", true},
+		{"switch all arms return", "switch 1 {\ncase 1:\n\treturn\ndefault:\n\treturn\n}", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := buildCFG(parseBody(t, c.body))
+			if got := g.exitReachable(); got != c.want {
+				t.Errorf("exitReachable(%q) = %v, want %v", c.body, got, c.want)
+			}
+		})
+	}
+}
+
+func TestCFGPanicMarked(t *testing.T) {
+	g := buildCFG(parseBody(t, "if true {\n\tpanic(\"boom\")\n}\nreturn"))
+	var panics int
+	for _, n := range g.nodes {
+		if n.isPanic {
+			panics++
+			if len(n.succs) != 1 || n.succs[0] != g.exit {
+				t.Errorf("panic node should edge to exit, got %d succs", len(n.succs))
+			}
+		}
+	}
+	if panics != 1 {
+		t.Errorf("want exactly one panic-marked node, got %d", panics)
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	g := buildCFG(parseBody(t, "var c chan int\ndefer close(c)\nif true {\n\tdefer print()\n}"))
+	if len(g.defers) != 2 {
+		t.Errorf("want 2 collected defers, got %d", len(g.defers))
+	}
+}
+
+func TestCFGSelectArmsMarked(t *testing.T) {
+	g := buildCFG(parseBody(t, "var c chan int\nselect {\ncase c <- 1:\ncase v := <-c:\n\t_ = v\n}"))
+	var inSelect int
+	for _, n := range g.nodes {
+		if n.inSelect {
+			inSelect++
+		}
+	}
+	if inSelect != 2 {
+		t.Errorf("want both comm clauses marked inSelect, got %d", inSelect)
+	}
+}
+
+func TestCFGSwitchFallout(t *testing.T) {
+	// Without a default clause the tag node keeps a fall-out edge, so the
+	// break after the switch is reachable; adding a default whose arms all
+	// continue removes it.
+	g := buildCFG(parseBody(t, "for {\n\tswitch 1 {\n\tcase 1:\n\t\tcontinue\n\t}\n\tbreak\n}"))
+	if !g.exitReachable() {
+		t.Error("switch without default must keep its fall-out edge")
+	}
+	g = buildCFG(parseBody(t, "for {\n\tswitch 1 {\n\tcase 1:\n\t\tcontinue\n\tdefault:\n\t\tcontinue\n\t}\n\tbreak\n}"))
+	if g.exitReachable() {
+		t.Error("exhaustive switch with all arms continuing must not invent an exit path")
+	}
+}

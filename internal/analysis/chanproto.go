@@ -1,0 +1,483 @@
+package analysis
+
+// chanproto checks channel protocol discipline on the CFG — the bug
+// classes of the patch migration protocol (owner → recipient handoff
+// over per-patch channels) and the serve job lifecycle:
+//
+//   - double close: close(ch) where ch is already closed on every path
+//     (panic), or may be closed on some path (latent panic);
+//   - send on closed: a send reachable only after a close;
+//   - sends before receivers: a send on an unbuffered channel made in
+//     this function before any goroutine or callee that could receive
+//     exists — the protocol must spawn the receiving side first;
+//   - leaked consumer: a spawned goroutine ranges over a locally made
+//     channel that nothing ever closes, so the consumer never exits;
+//   - hot-path blocking sends: inside //lbm:hot functions a bare send
+//     must be provably buffered or wrapped in a select (a full channel
+//     would stall the lattice step).
+//
+// As everywhere in lbmvet the analysis is path-insensitive with joins at
+// merges: "may already be closed" findings point at protocol shapes
+// where one branch closes and another path can still reach the close.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerChanProto is the chanproto rule.
+var AnalyzerChanProto = &Analyzer{
+	Name: "chanproto",
+	Doc:  "channel protocol: no double close, send-on-closed, orphan sends or hot blocking sends",
+	Run:  runChanProto,
+}
+
+const (
+	chanMayOpen = 1 << iota
+	chanMayClosed
+)
+
+func runChanProto(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkChanFlow(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkChanFlow(pass, lit.Body)
+				}
+				return true
+			})
+			if funcDirective(fn, "hot") != nil {
+				checkHotSends(pass, fn)
+			}
+		}
+	}
+}
+
+// localChan describes a channel made in the analyzed function.
+type localChan struct {
+	def      ast.Node // the statement or spec that makes it
+	buffered bool     // capacity provably > 0
+	sole     bool     // exactly one definition, and it is a make
+}
+
+// localChans finds the function's own channels: objects declared in body
+// whose definitions are make(chan ...) calls.
+func localChans(pass *Pass, body *ast.BlockStmt) map[types.Object]*localChan {
+	out := make(map[types.Object]*localChan)
+	env := newEvalEnv(pass.Info(), body, nil)
+	record := func(id *ast.Ident, rhs ast.Expr, at ast.Node) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := pass.Info().Defs[id]
+		if obj == nil {
+			if obj = pass.Info().Uses[id]; obj == nil {
+				return
+			}
+		}
+		if obj.Pos() < body.Pos() || obj.Pos() >= body.End() {
+			return
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return
+		}
+		lc := out[obj]
+		if lc == nil {
+			lc = &localChan{def: at, sole: true}
+			out[obj] = lc
+		} else {
+			lc.sole = false
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			lc.sole = false
+			return
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "make" {
+			lc.sole = false
+			return
+		}
+		if len(call.Args) >= 2 {
+			if n, ok := env.eval(call.Args[1]); ok && n > 0 {
+				lc.buffered = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, s.Rhs[i], s)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					record(name, s.Values[i], s)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chanFact is the dataflow fact: close-state bits per channel key, plus a
+// "receiver may exist" bit per local channel.
+type chanFact struct {
+	state map[string]uint8
+	peer  map[types.Object]bool
+}
+
+type chanFlow struct {
+	pass   *Pass
+	locals map[types.Object]*localChan
+}
+
+func (c *chanFlow) entryFact() flowFact {
+	return &chanFact{state: map[string]uint8{}, peer: map[types.Object]bool{}}
+}
+
+func (c *chanFlow) equal(a, b flowFact) bool {
+	fa, fb := a.(*chanFact), b.(*chanFact)
+	if len(fa.state) != len(fb.state) || len(fa.peer) != len(fb.peer) {
+		return false
+	}
+	for k, v := range fa.state {
+		if fb.state[k] != v {
+			return false
+		}
+	}
+	for k, v := range fa.peer {
+		if fb.peer[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *chanFlow) join(a, b flowFact) flowFact {
+	fa, fb := a.(*chanFact), b.(*chanFact)
+	out := &chanFact{
+		state: make(map[string]uint8, len(fa.state)+len(fb.state)),
+		peer:  make(map[types.Object]bool, len(fa.peer)+len(fb.peer)),
+	}
+	for k, v := range fa.state {
+		out.state[k] = v
+	}
+	for k, v := range fb.state {
+		if cur, ok := out.state[k]; ok {
+			out.state[k] = cur | v
+		} else {
+			out.state[k] = v | chanMayOpen
+		}
+	}
+	for k, v := range fa.state {
+		if _, ok := fb.state[k]; !ok {
+			out.state[k] = v | chanMayOpen
+		}
+	}
+	for k, v := range fa.peer {
+		out.peer[k] = v
+	}
+	for k, v := range fb.peer {
+		out.peer[k] = out.peer[k] || v
+	}
+	return out
+}
+
+func (c *chanFlow) transfer(n *cfgNode, in flowFact) flowFact {
+	if _, isDefer := n.stmt.(*ast.DeferStmt); isDefer {
+		return in // defers run at exit
+	}
+	fact := in.(*chanFact)
+	var out *chanFact
+	mutate := func() *chanFact {
+		if out == nil {
+			out = &chanFact{
+				state: make(map[string]uint8, len(fact.state)+1),
+				peer:  make(map[types.Object]bool, len(fact.peer)+1),
+			}
+			for k, v := range fact.state {
+				out.state[k] = v
+			}
+			for k, v := range fact.peer {
+				out.peer[k] = v
+			}
+		}
+		return out
+	}
+	markPeer := func(e ast.Expr) {
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := objectOf(c.pass.Info(), id); obj != nil && c.locals[obj] != nil {
+					mutate().peer[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	// A go statement hands every referenced channel to another goroutine,
+	// including channels captured by its function literal.
+	if gs, ok := n.stmt.(*ast.GoStmt); ok {
+		markPeer(gs.Call.Fun)
+		for _, arg := range gs.Call.Args {
+			markPeer(arg)
+		}
+		return factOr(in, out)
+	}
+	for _, sn := range n.shallowNodes() {
+		inspectShallow(sn, func(m ast.Node) bool {
+			switch e := m.(type) {
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "close":
+						if len(e.Args) == 1 {
+							key := exprString(e.Args[0])
+							mutate().state[key] = chanMayClosed
+						}
+						return true
+					case "len", "cap":
+						return true
+					}
+				}
+				// Any other call may keep a reference and receive later.
+				for _, arg := range e.Args {
+					markPeer(arg)
+				}
+			case *ast.SendStmt:
+				markPeer(e.Value)
+			case *ast.ReturnStmt:
+				for _, res := range e.Results {
+					markPeer(res)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range e.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "make" {
+							// Re-making a channel reopens its key.
+							if i < len(e.Lhs) {
+								key := exprString(e.Lhs[i])
+								if _, tracked := fact.state[key]; tracked {
+									mutate().state[key] = chanMayOpen
+								}
+							}
+							continue
+						}
+					}
+					markPeer(rhs)
+				}
+				// Any other assignment to a tracked variable starts a
+				// fresh generation: the previous channel's close-state
+				// no longer describes the new value (the restart-loop
+				// `var ch; ...; close(ch)` pattern).
+				for _, lhs := range e.Lhs {
+					key := exprString(lhs)
+					if st, tracked := fact.state[key]; tracked && st != chanMayOpen {
+						mutate().state[key] = chanMayOpen
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range e.Values {
+					if call, ok := v.(*ast.CallExpr); ok {
+						if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "make" {
+							continue
+						}
+					}
+					markPeer(v)
+				}
+				// Re-declaration likewise resets the key (a var decl
+				// re-entered through a loop back edge).
+				for _, name := range e.Names {
+					if st, tracked := fact.state[name.Name]; tracked && st != chanMayOpen {
+						mutate().state[name.Name] = chanMayOpen
+					}
+				}
+			}
+			return true
+		})
+	}
+	return factOr(in, out)
+}
+
+func factOr(in flowFact, out *chanFact) flowFact {
+	if out == nil {
+		return in
+	}
+	return out
+}
+
+// checkChanFlow reports channel-protocol violations in one function body.
+func checkChanFlow(pass *Pass, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	flow := &chanFlow{pass: pass, locals: localChans(pass, body)}
+	in := forward(g, flow)
+
+	nodes := make([]*cfgNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if _, reached := in[n]; reached {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodePos(nodes[i]) < nodePos(nodes[j]) })
+
+	for _, n := range nodes {
+		fact := in[n].(*chanFact)
+		if _, isDefer := n.stmt.(*ast.DeferStmt); isDefer {
+			continue
+		}
+		// Sends: closed-state and receiver-ordering checks.
+		if send, ok := n.stmt.(*ast.SendStmt); ok {
+			key := exprString(send.Chan)
+			if st, tracked := fact.state[key]; tracked && st == chanMayClosed {
+				pass.Reportf(send.Pos(), "send on %s which is closed on every path here (panics)", key)
+			}
+			if !n.inSelect {
+				if id, ok := send.Chan.(*ast.Ident); ok {
+					if obj := objectOf(pass.Info(), id); obj != nil {
+						if lc := flow.locals[obj]; lc != nil && lc.sole && !lc.buffered && !fact.peer[obj] {
+							pass.Reportf(send.Pos(),
+								"send on unbuffered %s before any receiver can exist: spawn the receiving goroutine before sending (sends-before-receives)", key)
+						}
+					}
+				}
+			}
+		}
+		for _, sn := range n.shallowNodes() {
+			inspectShallow(sn, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "close" || len(call.Args) != 1 {
+					return true
+				}
+				key := exprString(call.Args[0])
+				switch st, tracked := fact.state[key]; {
+				case tracked && st == chanMayClosed:
+					pass.Reportf(call.Pos(), "double close of %s: closed on every path here (panics)", key)
+				case tracked && st&chanMayClosed != 0:
+					pass.Reportf(call.Pos(), "%s may already be closed on some path here (close exactly once)", key)
+				}
+				return true
+			})
+		}
+	}
+	checkLeakedConsumers(pass, body, flow.locals)
+}
+
+// checkLeakedConsumers flags locally made channels that a spawned
+// goroutine ranges over but that nothing in the function ever closes or
+// hands off.
+func checkLeakedConsumers(pass *Pass, body *ast.BlockStmt, locals map[types.Object]*localChan) {
+	if len(locals) == 0 {
+		return
+	}
+	ranged := make(map[types.Object]bool)
+	closed := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	note := func(m map[types.Object]bool, e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := objectOf(pass.Info(), id); obj != nil && locals[obj] != nil {
+				m[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := e.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if rs, ok := m.(*ast.RangeStmt); ok {
+						note(ranged, rs.X)
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "close":
+					if len(e.Args) == 1 {
+						note(closed, e.Args[0])
+					}
+					return true
+				case "len", "cap", "make":
+					return true
+				}
+			}
+			for _, arg := range e.Args {
+				note(escaped, arg)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				note(escaped, res)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range e.Rhs {
+				note(escaped, rhs)
+			}
+		}
+		return true
+	})
+	var objs []types.Object
+	for obj := range ranged {
+		if !closed[obj] && !escaped[obj] {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		pass.Reportf(locals[obj].def.Pos(),
+			"%s is ranged by a spawned goroutine but never closed: the consumer leaks when this function returns", obj.Name())
+	}
+}
+
+// checkHotSends forbids bare blocking sends in //lbm:hot functions: a
+// send must be inside a select, inside a spawned goroutine, or on a
+// provably buffered channel.
+func checkHotSends(pass *Pass, fn *ast.FuncDecl) {
+	locals := localChans(pass, fn.Body)
+	var walk func(n ast.Node, inSelect, inGo bool)
+	walk = func(n ast.Node, inSelect, inGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch e := m.(type) {
+			case *ast.SelectStmt:
+				walk(e.Body, true, inGo)
+				return false
+			case *ast.GoStmt:
+				walk(e.Call, inSelect, true)
+				return false
+			case *ast.SendStmt:
+				if inSelect || inGo {
+					return true
+				}
+				if id, ok := e.Chan.(*ast.Ident); ok {
+					if obj := objectOf(pass.Info(), id); obj != nil {
+						if lc := locals[obj]; lc != nil && lc.sole && lc.buffered {
+							return true
+						}
+					}
+				}
+				pass.Reportf(e.Pos(),
+					"blocking send in //lbm:hot function %s: wrap it in a select with default or use a provably buffered channel", fn.Name.Name)
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false, false)
+}

@@ -1,0 +1,225 @@
+package analysis
+
+// A small forward dataflow framework over the CFG of cfg.go, plus the one
+// generic analysis every consumer needs: reaching definitions. Facts are
+// joined at control-flow merges (path-insensitive, may-analysis), and the
+// worklist iterates to a fixpoint, so loops converge as long as the
+// lattice is finite — which every client here guarantees by tracking
+// finitely many keys with small bit states.
+//
+// Transfer functions must be pure: they run an unpredictable number of
+// times while the worklist converges, so diagnostics are emitted by a
+// separate reporting pass over the final facts.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flowFact is one analysis' abstract state (a client-defined map, treated
+// immutably by convention: transfer returns a fresh fact when it changes
+// anything).
+type flowFact any
+
+// flowAnalysis defines a forward dataflow problem.
+type flowAnalysis interface {
+	// entryFact is the state on entry to the function.
+	entryFact() flowFact
+	// transfer computes the state after executing node n.
+	transfer(n *cfgNode, in flowFact) flowFact
+	// join merges the states of two incoming edges.
+	join(a, b flowFact) flowFact
+	// equal reports whether two facts are identical (fixpoint test).
+	equal(a, b flowFact) bool
+}
+
+// edgeTransferrer is an optional refinement: a client that implements it
+// can specialise the fact flowing along one particular successor edge
+// (e.g. "on the else-edge of `ch != nil`, ch is nil"). succIdx indexes
+// from.succs.
+type edgeTransferrer interface {
+	transferEdge(from *cfgNode, succIdx int, out flowFact) flowFact
+}
+
+// forward solves the dataflow problem and returns every reachable node's
+// IN fact. Unreachable nodes have no entry in the result.
+func forward(c *cfg, a flowAnalysis) map[*cfgNode]flowFact {
+	in := make(map[*cfgNode]flowFact)
+	et, hasEdges := a.(edgeTransferrer)
+	in[c.entry] = a.entryFact()
+	work := []*cfgNode{c.entry}
+	queued := map[*cfgNode]bool{c.entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		out := a.transfer(n, in[n])
+		for i, succ := range n.succs {
+			edgeOut := out
+			if hasEdges {
+				edgeOut = et.transferEdge(n, i, out)
+			}
+			cur, seen := in[succ]
+			var next flowFact
+			if !seen {
+				next = edgeOut
+			} else {
+				next = a.join(cur, edgeOut)
+			}
+			if !seen || !a.equal(cur, next) {
+				in[succ] = next
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ---- reaching definitions ----
+
+// defsFact maps each variable to the set of right-hand sides that may
+// currently define it; a nil expression in the set stands for a definition
+// the analysis cannot name (parameter, compound assignment, closure
+// capture, ...).
+type defsFact map[types.Object]map[ast.Expr]bool
+
+// reachingDefs is the reaching-definitions problem: which assignment(s)
+// may have produced each variable's current value at a program point.
+type reachingDefs struct {
+	info *types.Info
+}
+
+func (r *reachingDefs) entryFact() flowFact { return defsFact{} }
+
+func (r *reachingDefs) equal(a, b flowFact) bool {
+	fa, fb := a.(defsFact), b.(defsFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for obj, da := range fa {
+		db, ok := fb[obj]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for e := range da {
+			if !db[e] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r *reachingDefs) join(a, b flowFact) flowFact {
+	fa, fb := a.(defsFact), b.(defsFact)
+	out := make(defsFact, len(fa)+len(fb))
+	for obj, d := range fa {
+		set := make(map[ast.Expr]bool, len(d))
+		for e := range d {
+			set[e] = true
+		}
+		out[obj] = set
+	}
+	for obj, d := range fb {
+		set := out[obj]
+		if set == nil {
+			set = make(map[ast.Expr]bool, len(d))
+			out[obj] = set
+		}
+		for e := range d {
+			set[e] = true
+		}
+	}
+	return out
+}
+
+func (r *reachingDefs) transfer(n *cfgNode, in flowFact) flowFact {
+	fact := in.(defsFact)
+	var defs []struct {
+		id  *ast.Ident
+		rhs ast.Expr
+	}
+	record := func(e ast.Expr, rhs ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			defs = append(defs, struct {
+				id  *ast.Ident
+				rhs ast.Expr
+			}{id, rhs})
+		}
+	}
+	switch s := n.stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) && (s.Tok == token.DEFINE || s.Tok == token.ASSIGN) {
+			for i, lhs := range s.Lhs {
+				record(lhs, s.Rhs[i])
+			}
+		} else {
+			// Multi-value, compound (+=, ...): definitions are opaque.
+			for _, lhs := range s.Lhs {
+				record(lhs, nil)
+			}
+		}
+	case *ast.IncDecStmt:
+		record(s.X, nil)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							record(name, vs.Values[i])
+						} else {
+							record(name, nil)
+						}
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		record(s.Key, nil)
+		record(s.Value, nil)
+	}
+	if len(defs) == 0 {
+		return in
+	}
+	out := make(defsFact, len(fact)+len(defs))
+	for obj, d := range fact {
+		out[obj] = d
+	}
+	for _, d := range defs {
+		obj := r.info.Defs[d.id]
+		if obj == nil {
+			obj = r.info.Uses[d.id]
+		}
+		if obj == nil {
+			continue
+		}
+		out[obj] = map[ast.Expr]bool{d.rhs: true}
+	}
+	return out
+}
+
+// soleDef returns the unique reaching definition of obj at the fact, or
+// nil when there are none, several, or an unknown one.
+func soleDef(fact defsFact, obj types.Object) ast.Expr {
+	set := fact[obj]
+	if len(set) != 1 {
+		return nil
+	}
+	for e := range set {
+		return e // may be nil (unknown), which the caller treats as "no"
+	}
+	return nil
+}
+
+// objectOf resolves an identifier to its object, trying uses then defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

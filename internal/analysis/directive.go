@@ -14,25 +14,53 @@ package analysis
 //	    overrides the default 64 KiB budget (256KiB for SW26010-Pro-only
 //	    kernels).
 //
+//	//lbm:traffic budget=<bytes> [assume <name>=<int>...]
+//	    Attached to a //lbm:hot kernel: declares the per-cell main-memory
+//	    traffic budget (the paper's §III-B model budgets ~380 B/cell for
+//	    the fused D3Q19 step) that memtraffic checks the kernel's
+//	    symbolic load/store estimate against. assume pins loop bounds the
+//	    same way //lbm:ldm does; dotted names (assume d.Q=19) pin field
+//	    selectors.
+//
 //	//lbm:nilsafe
 //	    Attached to a type declaration: every pointer-receiver method of
 //	    the type must nil-guard the receiver before touching its fields
 //	    (spanpair enforces the zero-cost-off tracer contract).
+//
+// One comment line may carry several keys: `//lbm:hot traffic budget=380`
+// is the hot marker and the traffic annotation in one line. Malformed
+// values are diagnosed at the exact key=value position, never silently
+// dropped.
 
 import (
 	"go/ast"
+	"go/token"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // directive is one parsed //lbm: comment.
 type directive struct {
-	// Kind is "hot", "ldm", "nilsafe", ...
+	// Kind is "hot", "ldm", "traffic", "nilsafe", ...
 	Kind string
 	// Args holds the key=value pairs (and bare words map to "true").
 	Args map[string]string
 	// Raw is the full comment text after //lbm:.
 	Raw string
+	// Pos is the position of the //lbm: comment itself; argPos locates
+	// each key's key=value field for position-accurate diagnostics.
+	Pos    token.Pos
+	argPos map[string]token.Pos
+}
+
+// keyPos returns the position of one argument's key=value field, falling
+// back to the directive position.
+func (d *directive) keyPos(k string) token.Pos {
+	if p, ok := d.argPos[k]; ok {
+		return p
+	}
+	return d.Pos
 }
 
 // parseDirectives extracts //lbm: directives from a doc comment group.
@@ -46,19 +74,54 @@ func parseDirectives(doc *ast.CommentGroup) []directive {
 		if !ok {
 			continue
 		}
-		fields := strings.Fields(rest)
+		fields := splitFields(rest)
 		if len(fields) == 0 {
 			continue
 		}
-		d := directive{Kind: fields[0], Args: make(map[string]string), Raw: rest}
+		base := c.Pos() + token.Pos(len("//lbm:"))
+		d := directive{
+			Kind:   fields[0].text,
+			Args:   make(map[string]string),
+			Raw:    rest,
+			Pos:    c.Pos(),
+			argPos: make(map[string]token.Pos),
+		}
 		for _, f := range fields[1:] {
-			if k, v, found := strings.Cut(f, "="); found {
+			pos := base + token.Pos(f.off)
+			if k, v, found := strings.Cut(f.text, "="); found {
 				d.Args[k] = v
+				d.argPos[k] = pos
 			} else {
-				d.Args[f] = "true"
+				d.Args[f.text] = "true"
+				d.argPos[f.text] = pos
 			}
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+type field struct {
+	text string
+	off  int // byte offset within the post-prefix directive text
+}
+
+// splitFields is strings.Fields with byte offsets preserved.
+func splitFields(s string) []field {
+	var out []field
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				out = append(out, field{s[start:i], start})
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, field{s[start:], start})
 	}
 	return out
 }
@@ -69,6 +132,22 @@ func funcDirective(fn *ast.FuncDecl, kind string) *directive {
 	for _, d := range parseDirectives(fn.Doc) {
 		if d.Kind == kind {
 			return &d
+		}
+	}
+	return nil
+}
+
+// trafficDirective returns the //lbm:traffic annotation of a function:
+// either a standalone //lbm:traffic line or traffic keys folded into the
+// //lbm:hot line (`//lbm:hot traffic budget=380`). Nil when the function
+// carries no traffic annotation.
+func trafficDirective(fn *ast.FuncDecl) *directive {
+	if d := funcDirective(fn, "traffic"); d != nil {
+		return d
+	}
+	if d := funcDirective(fn, "hot"); d != nil {
+		if _, ok := d.Args["traffic"]; ok {
+			return d
 		}
 	}
 	return nil

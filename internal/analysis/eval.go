@@ -104,6 +104,13 @@ func (env *evalEnv) eval(e ast.Expr) (int64, bool) {
 	switch v := e.(type) {
 	case *ast.ParenExpr:
 		return env.eval(v.X)
+	case *ast.SelectorExpr:
+		// Field selectors can be pinned by dotted assume keys
+		// (//lbm:traffic assume d.Q=19).
+		if val, ok := env.assume[exprString(v)]; ok {
+			return val, true
+		}
+		return 0, false
 	case *ast.Ident:
 		if val, ok := env.assume[v.Name]; ok {
 			return val, true

@@ -1,0 +1,448 @@
+package analysis
+
+// goleak enforces the service subsystems' goroutine-lifecycle discipline
+// (the SupervisorOptions.Ctx contract): every goroutine spawned in
+// internal/serve, internal/patch or internal/psolve must be cancellable
+// or provably terminating. Three checks, all on the CFG of cfg.go:
+//
+//  1. termination — the spawned body's exit node must be reachable: a
+//     bare `for { work() }` (or `for { v := <-ch; ... }` with no break)
+//     can never return and leaks once its inputs dry up.
+//  2. bounded blocking — a body that parks on sync.WaitGroup.Wait or
+//     sync.Cond.Wait and contains no channel receive/select has no
+//     cancellation path; if the wait is bounded by construction, say so
+//     with a //lint:ignore and a reason.
+//  3. watcher close — when a function spawns a goroutine that receives
+//     from a locally made channel (the watchdog pattern), every exit path
+//     of the spawner must close or signal that channel, or the watcher
+//     outlives the work it watches. The dataflow is nil-guard aware: on
+//     the nil edge of `if ch != nil`, the channel was never made, so no
+//     watcher exists either.
+//
+// Other packages are out of scope: batch-style code (mpi rank loops, CPE
+// fan-out) joins its goroutines with WaitGroups inside one call and has
+// no daemon lifecycle to violate.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerGoLeak is the goleak rule.
+var AnalyzerGoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in serve/patch/psolve must have a cancellation or termination path",
+	Run:  runGoLeak,
+}
+
+// goleakScoped limits the rule to the daemon-style subsystems (and its
+// own fixtures).
+func goleakScoped(path string) bool {
+	for _, frag := range []string{"/serve", "/patch", "/psolve", "/goleak/"} {
+		if strings.Contains(path+"/", frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoLeak(pass *Pass) {
+	if !goleakScoped(pass.Pkg.Path) {
+		return
+	}
+	decls := packageFuncDecls(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpawnsIn(pass, decls, fn.Body)
+		}
+	}
+}
+
+// packageFuncDecls maps function and method objects to their
+// declarations, so `go s.loop()` resolves to the body it runs.
+func packageFuncDecls(pkg *Package) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pkg.Info.Defs[fn.Name]; obj != nil {
+					out[obj] = fn
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSpawnsIn runs the three lifecycle checks on every go statement in
+// one function body (including spawns inside nested closures — each
+// closure body is scanned once, from its lexical position here).
+func checkSpawnsIn(pass *Pass, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) {
+	var watchers []watcherSpawn
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		spawned := spawnedBody(pass, decls, gs)
+		if spawned == nil {
+			return true
+		}
+		g := buildCFG(spawned)
+		if !g.exitReachable() {
+			pass.Reportf(gs.Pos(),
+				"goroutine can never terminate: no return path from its loop; select on a ctx.Done()/done channel (SupervisorOptions.Ctx discipline)")
+		} else if prim := unboundedWait(pass, spawned); prim != "" {
+			pass.Reportf(gs.Pos(),
+				"goroutine blocks on %s with no channel receive or select to cancel it; if the wait is bounded by construction, document why with //lint:ignore goleak", prim)
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			for _, obj := range watchedChannels(pass, lit.Body) {
+				// Only channels the spawner itself declares: a channel
+				// passed in from outside is its caller's to close.
+				if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+					watchers = append(watchers, watcherSpawn{gs: gs, ch: obj})
+				}
+			}
+		}
+		return true
+	})
+	if len(watchers) > 0 {
+		checkWatcherClose(pass, body, watchers)
+	}
+}
+
+// spawnedBody resolves the body a go statement runs: a literal's body, or
+// the declaration of a same-package function/method.
+func spawnedBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn := decls[objectOf(pass.Info(), fun)]; fn != nil {
+			return fn.Body
+		}
+	case *ast.SelectorExpr:
+		if fn := decls[objectOf(pass.Info(), fun.Sel)]; fn != nil {
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// unboundedWait returns the description of a blocking sync wait
+// (WaitGroup.Wait / Cond.Wait) in a body that has no channel operation at
+// all, or "" when the body can be cancelled.
+func unboundedWait(pass *Pass, body *ast.BlockStmt) string {
+	hasChanOp := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectStmt:
+			hasChanOp = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				hasChanOp = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pass.Info().Types[e.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					hasChanOp = true
+				}
+			}
+		}
+		return !hasChanOp
+	})
+	if hasChanOp {
+		return ""
+	}
+	wait := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		if obj := pass.Info().Uses[sel.Sel]; obj != nil && isPkgPath(obj, "sync") {
+			wait = exprString(sel.X) + ".Wait"
+			return false
+		}
+		return true
+	})
+	return wait
+}
+
+type watcherSpawn struct {
+	gs *ast.GoStmt
+	ch types.Object
+}
+
+// watchedChannels returns the local channel variables a goroutine body
+// receives from — the channels whose close the spawner owes.
+func watchedChannels(pass *Pass, body *ast.BlockStmt) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	note := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := objectOf(pass.Info(), id)
+		if obj == nil || seen[obj] {
+			return
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return
+		}
+		seen[obj] = true
+		out = append(out, obj)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				note(e.X)
+			}
+		case *ast.RangeStmt:
+			note(e.X)
+		}
+		return true
+	})
+	return out
+}
+
+// watcherFact tracks, per watched channel, whether an un-signalled
+// watcher goroutine may be outstanding at a program point.
+type watcherFact map[types.Object]bool
+
+type watcherFlow struct {
+	pass     *Pass
+	spawns   map[*ast.GoStmt][]types.Object
+	watched  map[types.Object]bool
+	funcLits map[*ast.FuncLit]bool // go-statement literals: not escapes
+}
+
+func (w *watcherFlow) entryFact() flowFact { return watcherFact{} }
+
+func (w *watcherFlow) equal(a, b flowFact) bool {
+	fa, fb := a.(watcherFact), b.(watcherFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if fb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *watcherFlow) join(a, b flowFact) flowFact {
+	fa, fb := a.(watcherFact), b.(watcherFact)
+	out := make(watcherFact, len(fa)+len(fb))
+	for k, v := range fa {
+		out[k] = v
+	}
+	for k, v := range fb {
+		out[k] = out[k] || v
+	}
+	return out
+}
+
+func (w *watcherFlow) transfer(n *cfgNode, in flowFact) flowFact {
+	fact := in.(watcherFact)
+	var set, clear []types.Object
+	if gs, ok := n.stmt.(*ast.GoStmt); ok {
+		set = w.spawns[gs]
+	}
+	for _, sn := range n.shallowNodes() {
+		ast.Inspect(sn, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok && w.funcLits[lit] {
+				return false
+			}
+			switch e := m.(type) {
+			case *ast.CallExpr:
+				// close(ch) discharges the watcher; so does handing ch to
+				// any other function (ownership transfer).
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+					if obj := chanIdentObj(w.pass, e.Args[0]); obj != nil && w.watched[obj] {
+						clear = append(clear, obj)
+					}
+					return true
+				}
+				for _, arg := range e.Args {
+					if obj := chanIdentObj(w.pass, arg); obj != nil && w.watched[obj] {
+						clear = append(clear, obj)
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanIdentObj(w.pass, e.Chan); obj != nil && w.watched[obj] {
+					clear = append(clear, obj)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range e.Results {
+					if obj := chanIdentObj(w.pass, res); obj != nil && w.watched[obj] {
+						clear = append(clear, obj)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(set) == 0 && len(clear) == 0 {
+		return in
+	}
+	out := make(watcherFact, len(fact)+len(set))
+	for k, v := range fact {
+		out[k] = v
+	}
+	for _, obj := range set {
+		out[obj] = true
+	}
+	for _, obj := range clear {
+		out[obj] = false
+	}
+	return out
+}
+
+// transferEdge refines nil tests: on the edge where `ch == nil` holds,
+// the channel was never made, so no watcher was spawned on it.
+func (w *watcherFlow) transferEdge(from *cfgNode, succIdx int, out flowFact) flowFact {
+	cmp, ok := from.cond.(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return out
+	}
+	var chExpr ast.Expr
+	if isNilIdent(cmp.Y) {
+		chExpr = cmp.X
+	} else if isNilIdent(cmp.X) {
+		chExpr = cmp.Y
+	} else {
+		return out
+	}
+	obj := chanIdentObj(w.pass, chExpr)
+	if obj == nil || !w.watched[obj] {
+		return out
+	}
+	// succs[0] is the then-edge. ch==nil on: then-edge of EQL, else-edge
+	// of NEQ.
+	nilEdge := (cmp.Op == token.EQL) == (succIdx == 0)
+	if !nilEdge {
+		return out
+	}
+	fact := out.(watcherFact)
+	if !fact[obj] {
+		return out
+	}
+	refined := make(watcherFact, len(fact))
+	for k, v := range fact {
+		refined[k] = v
+	}
+	refined[obj] = false
+	return refined
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func chanIdentObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objectOf(pass.Info(), id)
+	if obj == nil {
+		return nil
+	}
+	if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return obj
+}
+
+// checkWatcherClose verifies that every exit path of the spawning
+// function discharges its watcher channels.
+func checkWatcherClose(pass *Pass, body *ast.BlockStmt, watchers []watcherSpawn) {
+	g := buildCFG(body)
+	flow := &watcherFlow{
+		pass:     pass,
+		spawns:   make(map[*ast.GoStmt][]types.Object),
+		watched:  make(map[types.Object]bool),
+		funcLits: make(map[*ast.FuncLit]bool),
+	}
+	for _, w := range watchers {
+		flow.spawns[w.gs] = append(flow.spawns[w.gs], w.ch)
+		flow.watched[w.ch] = true
+		if lit, ok := w.gs.Call.Fun.(*ast.FuncLit); ok {
+			flow.funcLits[lit] = true
+		}
+	}
+	// Deferred closes discharge watchers on every path.
+	deferClosed := make(map[types.Object]bool)
+	for _, d := range g.defers {
+		if id, ok := d.Call.Fun.(*ast.Ident); ok && id.Name == "close" && len(d.Call.Args) == 1 {
+			if obj := chanIdentObj(pass, d.Call.Args[0]); obj != nil {
+				deferClosed[obj] = true
+			}
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+					if obj := chanIdentObj(pass, call.Args[0]); obj != nil {
+						deferClosed[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	in := forward(g, flow)
+	// Join the facts flowing into exit from non-panic edges (panics unwind
+	// the whole group; the watcher dies with the process).
+	leaked := make(map[types.Object]bool)
+	for _, n := range g.nodes {
+		if n.isPanic {
+			continue
+		}
+		inFact, reached := in[n]
+		if !reached {
+			continue
+		}
+		exits := false
+		for _, s := range n.succs {
+			if s == g.exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		out := flow.transfer(n, inFact).(watcherFact)
+		for obj, pending := range out {
+			if pending && !deferClosed[obj] {
+				leaked[obj] = true
+			}
+		}
+	}
+	for _, w := range watchers {
+		if leaked[w.ch] && !deferClosed[w.ch] {
+			pass.Reportf(w.gs.Pos(),
+				"watcher goroutine on %s may leak: some exit path of the spawner neither closes nor signals %s", w.ch.Name(), w.ch.Name())
+			leaked[w.ch] = false // one report per channel
+		}
+	}
+}

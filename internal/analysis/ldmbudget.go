@@ -65,6 +65,8 @@ func runLDMBudget(pass *Pass) {
 }
 
 // parseLDMDirective extracts the assume map and budget from //lbm:ldm.
+// Malformed values are findings at the offending key=value, not silent
+// no-ops: an ignored budget is a disabled contract.
 func parseLDMDirective(pass *Pass, dir *directive) (map[string]int64, int64) {
 	assume := make(map[string]int64)
 	budget := int64(defaultLDMBudget)
@@ -72,11 +74,13 @@ func parseLDMDirective(pass *Pass, dir *directive) (map[string]int64, int64) {
 		return assume, budget
 	}
 	for k, v := range dir.Args {
-		if k == "assume" {
-			continue // marker word, values follow as k=v pairs
+		if v == "true" {
+			continue // bare marker word (assume, ...)
 		}
 		n, ok := parseByteSize(v)
 		if !ok {
+			pass.Reportf(dir.keyPos(k),
+				"malformed //lbm:%s value %s=%s: want an integer or byte size like 64KiB", dir.Kind, k, v)
 			continue
 		}
 		if k == "budget" {
@@ -183,7 +187,7 @@ func (c *ldmChecker) stmtCost(st ast.Stmt) (int64, bool) {
 		if body == 0 {
 			return 0, okB
 		}
-		trip, okT := c.tripCount(s)
+		trip, okT := loopTripCount(c.env, s)
 		if !okT {
 			c.pass.Reportf(s.Pos(),
 				"LDM allocation inside a loop whose trip count cannot be bounded; use a counted loop or //lbm:ldm assume")
@@ -221,19 +225,20 @@ func (c *ldmChecker) caseMax(body *ast.BlockStmt) (int64, bool) {
 	return m, ok
 }
 
-// tripCount folds the canonical counted loop `for i := A; i < B; i++`
-// (and the <= / i += k variants) into an iteration bound.
-func (c *ldmChecker) tripCount(s *ast.ForStmt) (int64, bool) {
+// loopTripCount folds the canonical counted loop `for i := A; i < B; i++`
+// (and the <= / i += k variants) into an iteration bound. Shared by
+// ldmbudget (LDM working sets) and memtraffic (per-cell byte estimates).
+func loopTripCount(env *evalEnv, s *ast.ForStmt) (int64, bool) {
 	init, iOK := s.Init.(*ast.AssignStmt)
 	cond, cOK := s.Cond.(*ast.BinaryExpr)
 	if !iOK || !cOK || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
 		return 0, false
 	}
-	lo, ok := c.env.eval(init.Rhs[0])
+	lo, ok := env.eval(init.Rhs[0])
 	if !ok {
 		return 0, false
 	}
-	hi, ok := c.env.eval(cond.Y)
+	hi, ok := env.eval(cond.Y)
 	if !ok {
 		return 0, false
 	}
@@ -256,7 +261,7 @@ func (c *ldmChecker) tripCount(s *ast.ForStmt) (int64, bool) {
 		if len(post.Rhs) != 1 {
 			return 0, false
 		}
-		st, ok := c.env.eval(post.Rhs[0])
+		st, ok := env.eval(post.Rhs[0])
 		if !ok || st <= 0 {
 			return 0, false
 		}

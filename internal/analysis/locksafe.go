@@ -1,0 +1,399 @@
+package analysis
+
+// locksafe checks sync.Mutex/RWMutex discipline on the CFG: the serve
+// scheduler and patch balancer guard shared tables with manual
+// Lock/Unlock pairs across early returns, and the race detector only
+// catches a missed unlock when a schedule happens to contend. The rule
+// runs a per-function forward dataflow with a tiny lattice per lock key
+// ({may-locked, may-unlocked}, joined at merges) and reports only
+// definite states, so divergent-but-correct branch patterns stay quiet:
+//
+//   - a Lock where the lock is definitely held — double lock, deadlock;
+//   - an Unlock where the lock is definitely not held — double unlock,
+//     runtime fatal;
+//   - a function exit where the lock may still be held and no defer
+//     releases it — the missing-unlock-on-error-path bug class;
+//   - an explicit panic while definitely holding a lock that no defer
+//     releases — the unlock-on-panic-path contract;
+//   - lock values copied: by-value receivers/params/results of
+//     lock-bearing types, and assignments that copy a lock-bearing value
+//     (the go vet copylocks classes that matter here).
+//
+// Function literals are analyzed as functions of their own: a closure
+// that locks and unlocks internally is checked internally, and a
+// `defer mu.Unlock()` (or a deferred closure that unlocks) discharges
+// the exit check.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerLockSafe is the locksafe rule.
+var AnalyzerLockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "Lock/Unlock must pair on every path; no double lock/unlock or lock copies",
+	Run:  runLockSafe,
+}
+
+const (
+	lockMayHeld = 1 << iota
+	lockMayFree
+)
+
+func runLockSafe(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, fn)
+			if fn.Body == nil {
+				continue
+			}
+			checkLockFlow(pass, fn.Name.Name, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockFlow(pass, fn.Name.Name+" closure", lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// syncLockCall classifies a call as a sync lock operation, returning the
+// lock key ("s.mu", "b.cond.L", ... with an /R suffix for reader locks)
+// and the method name; ok is false for anything else.
+func syncLockCall(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	obj := pass.Info().Uses[sel.Sel]
+	if obj == nil || !isPkgPath(obj, "sync") {
+		return "", "", false
+	}
+	key = exprString(sel.X)
+	if strings.HasPrefix(sel.Sel.Name, "R") || sel.Sel.Name == "TryRLock" {
+		key += "/R"
+	}
+	return key, sel.Sel.Name, true
+}
+
+// lockFact maps lock keys to their may-state bits.
+type lockFact map[string]uint8
+
+type lockFlow struct {
+	pass     *Pass
+	poisoned map[string]bool // keys touched by TryLock: state unknowable
+}
+
+func (l *lockFlow) entryFact() flowFact { return lockFact{} }
+
+func (l *lockFlow) equal(a, b flowFact) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if fb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lockFlow) join(a, b flowFact) flowFact {
+	fa, fb := a.(lockFact), b.(lockFact)
+	out := make(lockFact, len(fa)+len(fb))
+	for k, v := range fa {
+		out[k] = v
+	}
+	for k, v := range fb {
+		if cur, ok := out[k]; ok {
+			out[k] = cur | v
+		} else {
+			// Touched on one path only: the other path left it free.
+			out[k] = v | lockMayFree
+		}
+	}
+	for k, v := range fa {
+		if _, ok := fb[k]; !ok {
+			out[k] = v | lockMayFree
+		}
+	}
+	return out
+}
+
+func (l *lockFlow) transfer(n *cfgNode, in flowFact) flowFact {
+	// A defer's lock ops run at exit, not here; deferUnlockKeys accounts
+	// for them in the exit and panic checks.
+	if _, isDefer := n.stmt.(*ast.DeferStmt); isDefer {
+		return in
+	}
+	fact := in.(lockFact)
+	var out lockFact
+	mutate := func() lockFact {
+		if out == nil {
+			out = make(lockFact, len(fact)+1)
+			for k, v := range fact {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	for _, sn := range n.shallowNodes() {
+		inspectShallow(sn, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, method, ok := syncLockCall(l.pass, call)
+			if !ok || l.poisoned[key] {
+				return true
+			}
+			switch method {
+			case "Lock", "RLock":
+				mutate()[key] = lockMayHeld
+			case "Unlock", "RUnlock":
+				mutate()[key] = lockMayFree
+			}
+			return true
+		})
+	}
+	if out == nil {
+		return in
+	}
+	return out
+}
+
+// checkLockFlow runs the pairing dataflow over one function body.
+func checkLockFlow(pass *Pass, name string, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	flow := &lockFlow{pass: pass, poisoned: make(map[string]bool)}
+	// TryLock makes a key's state branch-dependent in a way the lattice
+	// cannot see; give up on those keys entirely.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, method, ok := syncLockCall(pass, call); ok && strings.HasPrefix(method, "Try") {
+				flow.poisoned[key] = true
+				flow.poisoned[strings.TrimSuffix(key, "/R")] = true
+			}
+		}
+		return true
+	})
+	in := forward(g, flow)
+	deferred := deferUnlockKeys(pass, g)
+
+	// Report pass over the converged facts, in source order.
+	nodes := make([]*cfgNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if _, reached := in[n]; reached {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodePos(nodes[i]) < nodePos(nodes[j]) })
+
+	lockSite := make(map[string]ast.Node)
+	exitHeld := make(map[string]bool)
+	for _, n := range nodes {
+		fact := in[n].(lockFact)
+		if _, isDefer := n.stmt.(*ast.DeferStmt); !isDefer {
+			for _, sn := range n.shallowNodes() {
+				inspectShallow(sn, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					key, method, ok := syncLockCall(pass, call)
+					if !ok || flow.poisoned[key] {
+						return true
+					}
+					state, tracked := fact[key]
+					switch method {
+					case "Lock", "RLock":
+						if lockSite[key] == nil {
+							lockSite[key] = call
+						}
+						if tracked && state == lockMayHeld {
+							pass.Reportf(call.Pos(), "double lock of %s: already held on every path here (deadlock)", key)
+						}
+					case "Unlock", "RUnlock":
+						if tracked && state == lockMayFree {
+							pass.Reportf(call.Pos(), "%s of %s: already unlocked on every path here (double unlock or never locked)", method, key)
+						}
+					}
+					return true
+				})
+			}
+		}
+		// Explicit panic while definitely holding an undeferred lock.
+		if n.isPanic {
+			for key, state := range fact {
+				if state == lockMayHeld && !deferred[key] && !flow.poisoned[key] {
+					pass.Reportf(n.stmt.Pos(), "panics while holding %s with no deferred unlock", key)
+				}
+			}
+		}
+		// Exit state: join over non-panic predecessors of exit.
+		if !n.isPanic {
+			for _, s := range n.succs {
+				if s == g.exit {
+					out := flow.transfer(n, in[n]).(lockFact)
+					for key, state := range out {
+						if state&lockMayHeld != 0 && !deferred[key] && !flow.poisoned[key] {
+							exitHeld[key] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for key := range exitHeld {
+		site := lockSite[key]
+		if site == nil {
+			continue // lock inherited from the caller: not ours to pair
+		}
+		pass.Reportf(site.Pos(),
+			"%s may still be held when %s returns: some path misses the unlock (or use defer)", key, name)
+	}
+}
+
+// deferUnlockKeys returns the lock keys a function's defers release:
+// direct `defer mu.Unlock()` calls and deferred closures whose body
+// unlocks a key more often than it locks it.
+func deferUnlockKeys(pass *Pass, g *cfg) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range g.defers {
+		if key, method, ok := syncLockCall(pass, d.Call); ok {
+			if method == "Unlock" || method == "RUnlock" {
+				out[key] = true
+			}
+			continue
+		}
+		lit, ok := d.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		locks := make(map[string]int)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, method, ok := syncLockCall(pass, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						locks[key]++
+					case "Unlock", "RUnlock":
+						locks[key]--
+					}
+				}
+			}
+			return true
+		})
+		for key, n := range locks {
+			if n < 0 {
+				out[key] = true
+			}
+		}
+	}
+	return out
+}
+
+func nodePos(n *cfgNode) int {
+	if n.stmt != nil {
+		return int(n.stmt.Pos())
+	}
+	if n.cond != nil {
+		return int(n.cond.Pos())
+	}
+	return 1 << 30
+}
+
+// ---- lock copies (AST-level) ----
+
+// containsLockType reports whether t holds a sync.Mutex or sync.RWMutex
+// by value (directly, embedded, or in an array).
+func containsLockType(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if isPkgPath(obj, "sync") && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsLockType(u.Underlying(), depth+1)
+	case *types.Alias:
+		return containsLockType(types.Unalias(u), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockType(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockType(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value lock passing on a function signature and
+// lock-copying assignments in its body.
+func checkLockCopies(pass *Pass, fn *ast.FuncDecl) {
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t, ok := pass.Info().Types[f.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := t.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLockType(t.Type, 0) {
+				pass.Reportf(f.Pos(), "%s of %s passes a lock by value; use a pointer", what, fn.Name.Name)
+			}
+		}
+	}
+	checkFields(fn.Recv, "receiver")
+	if fn.Type.Params != nil {
+		checkFields(fn.Type.Params, "parameter")
+	}
+	if fn.Type.Results != nil {
+		checkFields(fn.Type.Results, "result")
+	}
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			switch rhs.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			default:
+				continue // fresh values (literals, calls) are not copies
+			}
+			if t, ok := pass.Info().Types[rhs]; ok && containsLockType(t.Type, 0) {
+				pass.Reportf(rhs.Pos(), "assignment copies a lock value (%s)", exprString(rhs))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,574 @@
+package analysis
+
+// memtraffic is the static twin of the paper's §III-B memory-traffic
+// model. The roofline argument there prices one fused D3Q19 collide+
+// stream update at ~380 bytes of main-memory traffic per cell (19 pulls
+// + 19 pushes of float64 populations plus the flag byte); SunwayLB's
+// measured 77% memory-bandwidth efficiency stands or falls with that
+// number. This rule keeps the host kernels honest against it: every
+// //lbm:hot function must declare a per-cell byte budget
+// (//lbm:traffic budget=N) and the analyzer's symbolic estimate of the
+// kernel's per-cell loads and stores must not exceed it.
+//
+// The model:
+//
+//   - A "cell" is one iteration of an innermost unbounded loop — a loop
+//     whose trip count loopTripCount cannot fold even after //lbm:traffic
+//     assume pins (the spatial z/x/y sweeps; direction loops pinned by
+//     assume q=19 are bounded and therefore priced inside the cell).
+//   - An index expression costs the element size of the indexed
+//     container iff the index depends on the cell: on an unbounded-loop
+//     variable, on a loop-carried accumulator (declared outside the
+//     candidate body, assigned inside it), or transitively through
+//     assignments. Scratch arrays indexed only by bounded direction
+//     loops (f[i], feq[i]) are register/LDM-class traffic and cost 0.
+//   - Bounded loops multiply their body by the folded trip count.
+//     Branches follow the bulk path: if-without-else prices the
+//     condition only, if/else prices the dearer arm, a switch prices
+//     its default arm (the Wall/MovingWall arms are boundary cells, not
+//     bulk traffic).
+//   - Calls to locally-defined closures are inlined with the argument
+//     dependence bound to the parameters (the copyCell/relax helper
+//     pattern); other calls price only their argument expressions.
+//   - Compound assignments (x[i] += v) and ++/-- on a dependent element
+//     price the element twice: a load and a store.
+//
+// The estimate is a model, not a measurement — it prices the bulk-path
+// bytes a cache-less CPE would move, which is exactly the quantity the
+// paper's §III-B budget is written in.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// trafficSizes prices element sizes like the 64-bit Sunway ABI.
+var trafficSizes = types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+// AnalyzerMemTraffic is the memtraffic rule.
+var AnalyzerMemTraffic = &Analyzer{
+	Name: "memtraffic",
+	Doc:  "//lbm:hot kernels must declare and meet a per-cell memory-traffic budget",
+	Run:  runMemTraffic,
+}
+
+func runMemTraffic(pass *Pass) {
+	for _, fn := range hotFuncs(pass.Pkg) {
+		dir := trafficDirective(fn)
+		assume, budget := parseTrafficDirective(pass, dir)
+		est, hasLoops := estimateTraffic(pass.Pkg, fn, assume)
+		if !hasLoops {
+			// No unbounded loop survives the assume pins: the body is
+			// O(1) per call and has no per-cell traffic to budget.
+			continue
+		}
+		if budget < 0 {
+			pass.Reportf(fn.Pos(),
+				"//lbm:hot kernel %s has no per-cell traffic budget (estimate: %d B/cell); declare //lbm:traffic budget=N (the paper's §III-B model prices the fused step at ~380 B/cell)",
+				fn.Name.Name, est)
+			continue
+		}
+		if est > budget {
+			pass.Reportf(fn.Pos(),
+				"%s: estimated per-cell traffic %d B exceeds the declared //lbm:traffic budget=%d B",
+				fn.Name.Name, est, budget)
+		}
+	}
+}
+
+// parseTrafficDirective extracts the assume pins and the budget from a
+// //lbm:traffic directive (or the traffic keys of a //lbm:hot line).
+// budget is -1 when absent. pass may be nil (the test/report hook), in
+// which case malformed values are skipped silently.
+func parseTrafficDirective(pass *Pass, dir *directive) (map[string]int64, int64) {
+	assume := make(map[string]int64)
+	budget := int64(-1)
+	if dir == nil {
+		return assume, budget
+	}
+	for k, v := range dir.Args {
+		if v == "true" {
+			continue // bare marker words (traffic, assume, ...)
+		}
+		n, ok := parseByteSize(v)
+		if !ok {
+			if pass != nil {
+				pass.Reportf(dir.keyPos(k),
+					"malformed //lbm:%s value %s=%s: want an integer or byte size like 64KiB", dir.Kind, k, v)
+			}
+			continue
+		}
+		if k == "budget" {
+			budget = n
+		} else {
+			assume[k] = n
+		}
+	}
+	return assume, budget
+}
+
+// TrafficEstimate pairs one //lbm:hot function's modelled per-cell bytes
+// with its declared budget (-1 when the function declares none).
+type TrafficEstimate struct {
+	Func   string
+	Bytes  int64
+	Budget int64
+}
+
+// trafficEstimates computes the per-cell estimate for every //lbm:hot
+// function of the package, in declaration order.
+func trafficEstimates(pkg *Package) []TrafficEstimate {
+	var out []TrafficEstimate
+	for _, fn := range hotFuncs(pkg) {
+		assume, budget := parseTrafficDirective(nil, trafficDirective(fn))
+		bytes, _ := estimateTraffic(pkg, fn, assume)
+		out = append(out, TrafficEstimate{Func: fn.Name.Name, Bytes: bytes, Budget: budget})
+	}
+	return out
+}
+
+// estimateTraffic models fn's per-cell traffic. The second result is
+// false when the body has no unbounded loop (nothing to price per cell).
+func estimateTraffic(pkg *Package, fn *ast.FuncDecl, assume map[string]int64) (int64, bool) {
+	if fn.Body == nil {
+		return 0, false
+	}
+	env := newEvalEnv(pkg.Info, fn, assume)
+	loops := unboundedLoops(env, fn.Body)
+	if len(loops) == 0 {
+		return 0, false
+	}
+	var best int64
+	for _, u := range loops {
+		body := loopBody(u)
+		if body == nil || containsUnbounded(loops, u, body) {
+			continue // not innermost: an inner unbounded loop defines the cell
+		}
+		w := &trafficWalker{
+			info:     pkg.Info,
+			env:      env,
+			deps:     cellDeps(pkg.Info, fn, loops, body),
+			visiting: make(map[*ast.FuncLit]bool),
+		}
+		best = max(best, w.candidateCost(u))
+	}
+	return best, true
+}
+
+// unboundedLoops collects the loops of body whose trip count does not
+// fold under env (range loops never fold: their extent is runtime data).
+func unboundedLoops(env *evalEnv, body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if _, ok := loopTripCount(env, s); !ok {
+				out = append(out, s)
+			}
+		case *ast.RangeStmt:
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// loopBody returns the block of a for or range statement.
+func loopBody(s ast.Stmt) *ast.BlockStmt {
+	switch l := s.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// containsUnbounded reports whether another unbounded loop sits inside
+// body.
+func containsUnbounded(loops []ast.Stmt, self ast.Stmt, body *ast.BlockStmt) bool {
+	for _, v := range loops {
+		if v != self && v.Pos() >= body.Pos() && v.End() <= body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// cellDeps computes the cell-dependence set for one candidate loop:
+// seeded by every unbounded-loop variable and by loop-carried
+// accumulators (objects declared outside the candidate body but
+// assigned inside it, like a pack cursor k++), then closed transitively
+// over the function's assignments.
+func cellDeps(info *types.Info, fn *ast.FuncDecl, loops []ast.Stmt, body *ast.BlockStmt) map[types.Object]bool {
+	deps := make(map[types.Object]bool)
+	seed := func(id *ast.Ident) {
+		if id == nil {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			deps[obj] = true
+		}
+	}
+	for _, l := range loops {
+		switch s := l.(type) {
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						seed(id)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := s.Key.(*ast.Ident); ok {
+				seed(id)
+			}
+			if id, ok := s.Value.(*ast.Ident); ok {
+				seed(id)
+			}
+		}
+	}
+	// Loop-carried accumulators of this candidate.
+	carried := func(id *ast.Ident) {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return
+		}
+		if obj.Pos() < body.Pos() || obj.Pos() >= body.End() {
+			deps[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					carried(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				carried(id)
+			}
+		}
+		return true
+	})
+	// Transitive closure over assignments anywhere in the function (a
+	// candidate's index often routes through values computed in the
+	// enclosing spatial loops: rowBase := l.Idx(x, y, 0)).
+	depExpr := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				if obj != nil && deps[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	mark := func(lhs, rhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || deps[obj] || !depExpr(rhs) {
+			return false
+		}
+		deps[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						if mark(s.Lhs[i], s.Rhs[i]) {
+							changed = true
+						}
+					}
+				} else if len(s.Rhs) == 1 {
+					for _, lhs := range s.Lhs {
+						if mark(lhs, s.Rhs[0]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) && mark(name, s.Values[i]) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return deps
+}
+
+// trafficWalker prices one candidate loop's per-iteration traffic.
+type trafficWalker struct {
+	info     *types.Info
+	env      *evalEnv
+	deps     map[types.Object]bool
+	visiting map[*ast.FuncLit]bool
+}
+
+// candidateCost prices one iteration of the candidate loop: condition,
+// post statement and body.
+func (t *trafficWalker) candidateCost(loop ast.Stmt) int64 {
+	switch s := loop.(type) {
+	case *ast.ForStmt:
+		return t.costExpr(s.Cond) + t.costStmt(s.Post) + t.costStmt(s.Body)
+	case *ast.RangeStmt:
+		var total int64
+		if s.Value != nil {
+			// `for _, v := range xs` loads one element per iteration.
+			total = t.elemSize(s.X)
+		}
+		return total + t.costStmt(s.Body)
+	}
+	return 0
+}
+
+func (t *trafficWalker) costStmts(list []ast.Stmt) int64 {
+	var total int64
+	for _, st := range list {
+		total += t.costStmt(st)
+	}
+	return total
+}
+
+func (t *trafficWalker) costStmt(st ast.Stmt) int64 {
+	switch s := st.(type) {
+	case nil:
+		return 0
+	case *ast.BlockStmt:
+		return t.costStmts(s.List)
+	case *ast.LabeledStmt:
+		return t.costStmt(s.Stmt)
+	case *ast.IfStmt:
+		total := t.costStmt(s.Init) + t.costExpr(s.Cond)
+		if s.Else != nil {
+			total += max(t.costStmt(s.Body), t.costStmt(s.Else))
+		}
+		return total
+	case *ast.SwitchStmt:
+		total := t.costStmt(s.Init) + t.costExpr(s.Tag)
+		return total + t.defaultArm(s.Body)
+	case *ast.TypeSwitchStmt:
+		return t.costStmt(s.Init) + t.costStmt(s.Assign) + t.defaultArm(s.Body)
+	case *ast.ForStmt:
+		trip, ok := loopTripCount(t.env, s)
+		if !ok {
+			trip = 1 // inner unbounded loops define their own candidate
+		}
+		return t.costStmt(s.Init) + trip*(t.costExpr(s.Cond)+t.costStmt(s.Body)+t.costStmt(s.Post))
+	case *ast.RangeStmt:
+		return t.costExpr(s.X) + t.costStmt(s.Body)
+	case *ast.AssignStmt:
+		var total int64
+		for _, e := range s.Rhs {
+			total += t.costExpr(e)
+		}
+		for _, e := range s.Lhs {
+			total += t.costExpr(e)
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				// Compound ops read before they write.
+				if ix, ok := e.(*ast.IndexExpr); ok && t.dep(ix.Index) {
+					total += t.elemSize(ix.X)
+				}
+			}
+		}
+		return total
+	case *ast.IncDecStmt:
+		total := t.costExpr(s.X)
+		if ix, ok := s.X.(*ast.IndexExpr); ok && t.dep(ix.Index) {
+			total += t.elemSize(ix.X)
+		}
+		return total
+	case *ast.ExprStmt:
+		return t.costExpr(s.X)
+	case *ast.ReturnStmt:
+		var total int64
+		for _, e := range s.Results {
+			total += t.costExpr(e)
+		}
+		return total
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return 0
+		}
+		var total int64
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					total += t.costExpr(v)
+				}
+			}
+		}
+		return total
+	case *ast.SendStmt:
+		return t.costExpr(s.Chan) + t.costExpr(s.Value)
+	case *ast.GoStmt:
+		return t.costExpr(s.Call)
+	case *ast.DeferStmt:
+		return t.costExpr(s.Call)
+	}
+	return 0
+}
+
+// defaultArm prices a switch's default clause — the bulk path; the
+// tagged arms handle boundary cells.
+func (t *trafficWalker) defaultArm(body *ast.BlockStmt) int64 {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return t.costStmts(cc.Body)
+		}
+	}
+	return 0
+}
+
+// costExpr prices the cell-dependent element accesses syntactically in
+// e, inlining calls to locally-defined closures.
+func (t *trafficWalker) costExpr(e ast.Expr) int64 {
+	if e == nil {
+		return 0
+	}
+	var total int64
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // priced at its call sites
+		case *ast.CallExpr:
+			if lit := t.closureFor(v.Fun); lit != nil {
+				total += t.inlineCall(lit, v.Args)
+				for _, a := range v.Args {
+					total += t.costExpr(a)
+				}
+				return false
+			}
+		case *ast.IndexExpr:
+			if t.dep(v.Index) {
+				total += t.elemSize(v.X)
+			}
+		}
+		return true
+	})
+	return total
+}
+
+// closureFor resolves an identifier with a unique function-literal
+// assignment (the relax/copyCell helper pattern), or nil.
+func (t *trafficWalker) closureFor(fun ast.Expr) *ast.FuncLit {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := t.info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	lit, _ := t.env.single[obj].(*ast.FuncLit)
+	return lit
+}
+
+// inlineCall prices a closure body with the parameters bound to the
+// arguments' cell-dependence.
+func (t *trafficWalker) inlineCall(lit *ast.FuncLit, args []ast.Expr) int64 {
+	if t.visiting[lit] {
+		return 0
+	}
+	t.visiting[lit] = true
+	defer delete(t.visiting, lit)
+	var params []types.Object
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				params = append(params, t.info.Defs[name])
+			}
+		}
+	}
+	saved := make(map[types.Object]bool, len(params))
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		saved[p] = t.deps[p]
+		t.deps[p] = i < len(args) && t.dep(args[i])
+	}
+	cost := t.costStmt(lit.Body)
+	for p, v := range saved {
+		t.deps[p] = v
+	}
+	return cost
+}
+
+// dep reports whether e references any cell-dependent object.
+func (t *trafficWalker) dep(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := t.info.Uses[id]
+			if obj == nil {
+				obj = t.info.Defs[id]
+			}
+			if obj != nil && t.deps[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// elemSize prices one element access of the container expression x.
+func (t *trafficWalker) elemSize(x ast.Expr) int64 {
+	tv, ok := t.info.Types[x]
+	if !ok || tv.Type == nil {
+		return 8
+	}
+	typ := tv.Type.Underlying()
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem().Underlying()
+	}
+	var elem types.Type
+	switch c := typ.(type) {
+	case *types.Slice:
+		elem = c.Elem()
+	case *types.Array:
+		elem = c.Elem()
+	case *types.Map:
+		elem = c.Elem()
+	case *types.Basic:
+		return 1 // string byte
+	default:
+		return 8
+	}
+	return trafficSizes.Sizeof(elem)
+}

@@ -1,0 +1,78 @@
+package analysis
+
+// TestTrafficEstimatesRepo pins the memtraffic model's per-cell byte
+// estimate for every //lbm:hot kernel in the lattice packages. The
+// numbers are the model's documented output — if a kernel change moves
+// one, the budget discussion in DESIGN.md should move with it. Bytes 0
+// with Budget -1 means no unbounded loop survives the assume pins
+// (nothing to price per cell).
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestTrafficEstimatesRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks repository packages; skipped in -short")
+	}
+	want := map[string]map[string]TrafficEstimate{
+		"../core": {
+			"stepRegionGeneric": {Bytes: 324, Budget: 380},
+			"smagorinskyTau":    {Bytes: 0, Budget: 0},
+			"CollideOnly":       {Bytes: 305, Budget: 380},
+			"StreamOnly":        {Bytes: 324, Budget: 380},
+			"stepRegionD3Q19":   {Bytes: 342, Budget: 380},
+			"PeriodicAxis":      {Bytes: 610, Budget: 616},
+			"PackFace":          {Bytes: 304, Budget: 320},
+			"UnpackFace":        {Bytes: 305, Budget: 320},
+		},
+		"../swlb": {
+			"Step": {Bytes: 4, Budget: 8},
+		},
+		"../resil": {
+			"fnvU64":      {Bytes: 0, Budget: -1},
+			"checksum":    {Bytes: 8, Budget: 8},
+			"captureInto": {Bytes: 306, Budget: 320},
+			"xorFloats":   {Bytes: 24, Budget: 24},
+			"xorBytes":    {Bytes: 3, Budget: 3},
+		},
+	}
+	l := newTestLoader(t)
+	for dir, kernels := range want {
+		dir, kernels := dir, kernels
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatalf("abs: %v", err)
+			}
+			pkg, err := l.LoadDir(abs)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			got := make(map[string]TrafficEstimate)
+			for _, e := range trafficEstimates(pkg) {
+				got[e.Func] = e
+			}
+			for fn, w := range kernels {
+				g, ok := got[fn]
+				if !ok {
+					t.Errorf("%s: hot kernel %s missing from estimates", dir, fn)
+					continue
+				}
+				if g.Bytes != w.Bytes || g.Budget != w.Budget {
+					t.Errorf("%s.%s = {Bytes:%d Budget:%d}, want {Bytes:%d Budget:%d}",
+						filepath.Base(dir), fn, g.Bytes, g.Budget, w.Bytes, w.Budget)
+				}
+			}
+			for fn, g := range got {
+				if _, ok := kernels[fn]; !ok {
+					t.Errorf("%s: unexpected hot kernel %s (estimate %d B, budget %d) — add it to the table", dir, fn, g.Bytes, g.Budget)
+				}
+				if g.Budget >= 0 && g.Bytes > g.Budget {
+					t.Errorf("%s.%s: estimate %d exceeds budget %d", filepath.Base(dir), fn, g.Bytes, g.Budget)
+				}
+			}
+		})
+	}
+}

@@ -8,23 +8,30 @@ func All() []*Analyzer {
 		AnalyzerSpanPair,
 		AnalyzerHotAlloc,
 		AnalyzerDetFloat,
+		AnalyzerGoLeak,
+		AnalyzerLockSafe,
+		AnalyzerChanProto,
+		AnalyzerMemTraffic,
 	}
 }
 
 // ByName resolves a comma-separated rule selection; empty selects all.
-func ByName(names []string) []*Analyzer {
+// Unknown names are returned rather than silently dropped — a typo in a
+// CI rule list must fail the build, not skip the check.
+func ByName(names []string) (selected []*Analyzer, unknown []string) {
 	if len(names) == 0 {
-		return All()
+		return All(), nil
 	}
 	byName := make(map[string]*Analyzer)
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
-	var out []*Analyzer
 	for _, n := range names {
 		if a, ok := byName[n]; ok {
-			out = append(out, a)
+			selected = append(selected, a)
+		} else {
+			unknown = append(unknown, n)
 		}
 	}
-	return out
+	return selected, unknown
 }

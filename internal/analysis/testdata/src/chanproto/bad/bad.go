@@ -1,0 +1,47 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted chanproto finding.
+package fixture
+
+func doubleClose(c chan int) {
+	close(c)
+	close(c) // want "double close of c: closed on every path here"
+}
+
+func maybeClosed(c chan int, early bool) {
+	if early {
+		close(c)
+	}
+	close(c) // want "c may already be closed on some path here"
+}
+
+func sendClosed(c chan int) {
+	close(c)
+	c <- 1 // want "send on c which is closed on every path here"
+}
+
+func sendBeforeReceiver() {
+	ready := make(chan struct{})
+	ready <- struct{}{} // want "send on unbuffered ready before any receiver can exist"
+	go func() {
+		<-ready
+	}()
+}
+
+func leakedConsumer(items []int) {
+	feed := make(chan int) // want "feed is ranged by a spawned goroutine but never closed"
+	go func() {
+		for v := range feed {
+			_ = v
+		}
+	}()
+	for _, v := range items {
+		feed <- v
+	}
+}
+
+// hotSend blocks the lattice step if the channel is full.
+//
+//lbm:hot
+func hotSend(out chan int, v int) {
+	out <- v // want "blocking send in //lbm:hot function hotSend"
+}

@@ -1,0 +1,62 @@
+// Package fixture holds channel protocols chanproto must accept.
+package fixture
+
+// orderedHandoff spawns the consumer before the first send and closes
+// the channel exactly once when done.
+func orderedHandoff(items []int, done chan struct{}) {
+	feed := make(chan int)
+	go func() {
+		for v := range feed {
+			_ = v
+		}
+		close(done)
+	}()
+	for _, v := range items {
+		feed <- v
+	}
+	close(feed)
+	<-done
+}
+
+// bufferedSend never blocks: the buffer provably holds the one value.
+func bufferedSend() int {
+	reply := make(chan int, 1)
+	reply <- 42
+	return <-reply
+}
+
+// remake is the restart-loop shape: each round closes the previous
+// generation's channel and makes a fresh one, so no close ever sees a
+// stale closed-state from an earlier generation.
+func remake(rounds int, run func(chan struct{})) {
+	var stop chan struct{}
+	for i := 0; i < rounds; i++ {
+		if stop != nil {
+			close(stop)
+		}
+		stop = make(chan struct{})
+		go run(stop)
+	}
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// hotSelectSend drops the sample instead of stalling the step.
+//
+//lbm:hot
+func hotSelectSend(out chan float64, v float64) {
+	select {
+	case out <- v:
+	default:
+	}
+}
+
+// hotBufferedSend is allowed: the channel is provably buffered.
+//
+//lbm:hot
+func hotBufferedSend(v float64) chan float64 {
+	out := make(chan float64, 4)
+	out <- v
+	return out
+}

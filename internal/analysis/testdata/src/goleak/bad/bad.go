@@ -1,0 +1,52 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted goleak finding. The package path contains /goleak/
+// so the rule's serve/patch/psolve scoping admits it.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+// spin can never return.
+func spin(work chan int) {
+	for {
+		v := <-work
+		_ = v
+	}
+}
+
+// spawnForever starts a loop with no return path at all.
+func spawnForever(work chan int) {
+	go func() { // want "goroutine can never terminate"
+		for {
+			v := <-work
+			_ = v
+		}
+	}()
+	go spin(work) // want "goroutine can never terminate"
+}
+
+// waitForever parks on a WaitGroup with no cancellation channel.
+func waitForever(wg *sync.WaitGroup) {
+	go func() { // want "goroutine blocks on wg.Wait with no channel receive or select"
+		wg.Wait()
+	}()
+}
+
+// watcherLeak spawns a watchdog on a local channel but returns early
+// without discharging it.
+func watcherLeak(fail bool, run func()) error {
+	done := make(chan struct{})
+	go func() { // want "watcher goroutine on done may leak"
+		select {
+		case <-done:
+		}
+	}()
+	if fail {
+		return errors.New("aborted before the watcher was signalled")
+	}
+	run()
+	close(done)
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package fixture holds goroutine-lifecycle shapes goleak must accept.
+package fixture
+
+import "context"
+
+// spawnLoop is the canonical cancellable worker: every loop iteration
+// can exit through the done channel.
+func spawnLoop(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// drainRange terminates when the producer closes the channel.
+func drainRange(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// watchDeferred discharges its watcher on every path via defer.
+func watchDeferred(run func()) {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		<-done
+	}()
+	run()
+}
+
+// watchGuarded is the psolve supervisor pattern: the watcher only
+// exists when the context does, and the nil guard on the close mirrors
+// the nil guard on the spawn. The nil-edge refinement must keep this
+// quiet.
+func watchGuarded(ctx context.Context, run func() error) error {
+	var stop chan struct{}
+	if ctx != nil {
+		stop = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+			case <-stop:
+			}
+		}()
+	}
+	err := run()
+	if stop != nil {
+		close(stop)
+	}
+	return err
+}
+
+// handoff passes the watched channel to another owner; the callee now
+// owes the close.
+func handoff(register func(chan struct{}), run func()) {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	register(done)
+	run()
+}

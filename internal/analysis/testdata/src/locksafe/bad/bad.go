@@ -1,0 +1,56 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted locksafe finding.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func doubleLock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Lock() // want "double lock of g.mu: already held on every path here"
+	g.mu.Unlock()
+}
+
+func doubleUnlock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Unlock() // want "Unlock of g.mu: already unlocked on every path here"
+}
+
+func missesUnlock(g *guarded, bad bool) error {
+	g.mu.Lock() // want "g.mu may still be held when missesUnlock returns"
+	if bad {
+		return errors.New("early return skips the unlock")
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+func panicsHolding(g *guarded) {
+	g.mu.Lock()
+	if g.n < 0 {
+		panic("negative count") // want "panics while holding g.mu with no deferred unlock"
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+func byValue(g guarded) int { // want "parameter of byValue passes a lock by value"
+	return g.n
+}
+
+func (g guarded) valueMethod() int { // want "receiver of valueMethod passes a lock by value"
+	return g.n
+}
+
+func copies(g *guarded) int {
+	snapshot := *g // want "assignment copies a lock value"
+	return snapshot.n
+}

@@ -1,0 +1,99 @@
+// Package fixture holds locking shapes locksafe must accept.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// deferred is the canonical pairing.
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// branchPaired unlocks on every path explicitly.
+func branchPaired(g *guarded, flip bool) {
+	g.mu.Lock()
+	if flip {
+		g.n++
+		g.mu.Unlock()
+		return
+	}
+	g.n--
+	g.mu.Unlock()
+}
+
+// readers pairs the reader lock; the /R key keeps it distinct from a
+// writer cycle in the same function.
+func readers(t *table, k string) int {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	t.mu.Lock()
+	t.m[k] = v + 1
+	t.mu.Unlock()
+	return v
+}
+
+// earlyExit is the mailbox pattern: unlock-then-return on the fast path.
+func earlyExit(g *guarded) bool {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return false
+	}
+	g.n--
+	g.mu.Unlock()
+	return true
+}
+
+// tryLock poisons the key: the lattice cannot see the conditional hold,
+// so the rule stays quiet rather than guessing.
+func tryLock(g *guarded) bool {
+	if g.mu.TryLock() {
+		g.n++
+		g.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// unlockBeforePanic releases before raising, so the panic check is
+// satisfied without a defer.
+func unlockBeforePanic(g *guarded) {
+	g.mu.Lock()
+	if g.n < 0 {
+		g.mu.Unlock()
+		panic("negative count")
+	}
+	g.mu.Unlock()
+}
+
+// closures lock and unlock within their own body and are checked as
+// functions of their own.
+func closures(g *guarded) func() int {
+	return func() int {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.n
+	}
+}
+
+// deferredClosure releases through a deferred closure body.
+func deferredClosure(g *guarded) int {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	return g.n
+}

@@ -1,0 +1,33 @@
+// Package fixture is an lbmvet test fixture: every marked line must
+// produce the quoted memtraffic finding.
+package fixture
+
+// missingBudget is hot and loops over cells but declares no budget; the
+// finding carries the model's estimate (8 B load + 8 B store).
+//
+//lbm:hot
+func missingBudget(dst, src []float64) { // want "kernel missingBudget has no per-cell traffic budget (estimate: 16 B/cell)"
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}
+
+// overBudget declares less than the copy loop moves.
+//
+//lbm:hot traffic budget=8
+func overBudget(dst, src []float64) { // want "overBudget: estimated per-cell traffic 16 B exceeds the declared //lbm:traffic budget=8 B"
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}
+
+// badAssume has a valid budget but a malformed assume pin; the
+// diagnostic points at the offending key, not the whole line.
+//
+//lbm:hot
+//lbm:traffic budget=16 assume q=lots // want "want an integer or byte size like 64KiB"
+func badAssume(dst, src []float64) {
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}

@@ -1,0 +1,66 @@
+// Package fixture holds hot kernels whose declared //lbm:traffic
+// budgets the memtraffic model must accept.
+package fixture
+
+// copyCells moves exactly one load and one store per cell.
+//
+//lbm:hot traffic budget=16
+func copyCells(dst, src []float64) {
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}
+
+// gather prices the q-direction pull inside the cell once the assume
+// pin folds the inner loops: 19 pulls of 8 B plus the 8 B store. The
+// scratch array f is indexed only by the bounded direction loop and is
+// register/LDM-class, so it costs nothing.
+//
+//lbm:hot traffic budget=160 assume q=19
+func gather(q int, dst, src []float64, offs []int) {
+	var f [32]float64
+	for cell := 0; cell < len(dst)/q; cell++ {
+		base := cell * q
+		for i := 0; i < q; i++ {
+			f[i] = src[base+offs[i]]
+		}
+		sum := 0.0
+		for i := 0; i < q; i++ {
+			sum += f[i]
+		}
+		dst[base] = sum
+	}
+}
+
+// stream prices the switch as tag (1 B flag) plus the default bulk arm
+// (8 B load + 8 B store); the boundary arm is not bulk traffic.
+//
+//lbm:hot traffic budget=17
+func stream(cells []float64, flags []byte) {
+	for i := range cells {
+		switch flags[i] {
+		case 1:
+			cells[i] = 0
+			cells[i] += 1
+		default:
+			cells[i] = cells[i] + 1
+		}
+	}
+}
+
+// lerp has no loops at all: O(1) per call, nothing to budget.
+//
+//lbm:hot
+func lerp(a, b, t float64) float64 {
+	return a + (b-a)*t
+}
+
+// relaxAll's only loop folds bounded under the assume pin, so no
+// per-cell candidate survives and no budget is required.
+//
+//lbm:hot traffic assume n=4
+func relaxAll(m *[4]float64, n int) {
+	for i := 0; i < n; i++ {
+		m[i] *= 0.5
+	}
+}

@@ -1,7 +1,10 @@
 // Package fixture exercises the //lint:ignore machinery: the first two
 // accumulations are suppressed (trailing and preceding comment forms),
-// the third survives, and the malformed comment is itself a finding.
+// the third survives, the malformed comment is itself a finding, and
+// the rand-based cases pin down the multi-line widening rules.
 package fixture
+
+import "math/rand"
 
 func accum(m map[string]float64) (float64, float64, float64) {
 	var a, b, c float64
@@ -17,4 +20,35 @@ func accum(m map[string]float64) (float64, float64, float64) {
 	}
 	//lint:ignore
 	return a, b, c
+}
+
+// wrapped's suppression sits above a statement that spans two lines; the
+// flagged call lands on the continuation line and is only silenced
+// because the suppression widens over the whole simple statement.
+func wrapped(scale float64) float64 {
+	//lint:ignore detfloat fixture exercises multi-line statement widening
+	v := scale * (1.0 +
+		rand.Float64())
+	return v
+}
+
+// branches suppresses one arm of the if and keeps the other: compound
+// statements are never widened, so the suppression stays on its line.
+func branches(hot bool) float64 {
+	if hot {
+		//lint:ignore detfloat fixture suppresses only this branch
+		return rand.Float64()
+	}
+	return rand.Float64() // want "auto-seeded global source"
+}
+
+// literals shows the function-literal carve-out: the assignment spans
+// several lines but contains a FuncLit, so the suppression does NOT
+// widen into the literal's body.
+func literals() float64 {
+	//lint:ignore detfloat the carve-out keeps function literals out of the widening
+	f := func() float64 {
+		return rand.Float64() // want "auto-seeded global source"
+	}
+	return f()
 }

@@ -48,7 +48,11 @@ func (l *Lattice) PeriodicAll() {
 // The copy spans the entire allocated extent of the other two axes so that
 // successive calls for different axes fill edges and corners correctly.
 //
-//lbm:hot
+// Each inner iteration copies TWO cells (the low and the high face), so
+// the budget is two cells' worth of copy traffic: 2 × (19 reads + 19
+// writes of float64 + the flag byte).
+//
+//lbm:hot traffic budget=616 assume q=19
 func (l *Lattice) PeriodicAxis(axis int) {
 	src := l.F[l.src]
 	n := l.N
@@ -151,7 +155,10 @@ func (l *Lattice) FaceCells(f Face) int {
 // ≥ Q*FaceCells(f) float64s. It returns the packed flags alongside so the
 // receiver can mirror obstacle cells that touch the subdomain boundary.
 //
-//lbm:hot
+// Per-cell traffic: 19 population reads + 19 buffer writes (the flag
+// copy rides on the nil-guard path).
+//
+//lbm:hot traffic budget=320 assume q=19
 func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
 	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 0)
 	src := l.F[l.src]
@@ -179,7 +186,10 @@ func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
 // classification (so walls spanning subdomain boundaries bounce correctly);
 // Ghost flags in the packed data are preserved as Ghost.
 //
-//lbm:hot
+// Per-cell traffic: 19 buffer reads + 19 population writes plus the
+// flag-guard byte.
+//
+//lbm:hot traffic budget=320 assume q=19
 func (l *Lattice) UnpackFace(f Face, buf []float64, flags []CellType) {
 	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 1)
 	src := l.F[l.src]

@@ -60,7 +60,11 @@ func (l *Lattice) stepRegion(x0, x1, y0, y1 int) {
 // stepRegionGeneric is the descriptor-generic fused pull collide–stream
 // kernel over an x/y sub-range.
 //
-//lbm:hot
+// Per-cell traffic (bulk path, D3Q19): 19 population pulls + 19 pushes
+// of float64 plus ~20 flag bytes — within the paper's §III-B ~380 B/cell
+// roofline budget for the fused step.
+//
+//lbm:hot traffic budget=380 assume q=19
 func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 	d := l.Desc
 	q := d.Q
@@ -159,7 +163,10 @@ func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 //
 // where Π is the non-equilibrium momentum flux tensor Σ c c (f − f^eq).
 //
-//lbm:hot
+// O(Q) over stack scratch only — no per-cell main-memory traffic of its
+// own (the caller's gather already paid for f/feq).
+//
+//lbm:hot traffic budget=0 assume d.Q=19
 func (l *Lattice) smagorinskyTau(f, feq []float64, rho float64) float64 {
 	d := l.Desc
 	var pxx, pyy, pzz, pxy, pxz, pyz float64
@@ -186,7 +193,11 @@ func (l *Lattice) smagorinskyTau(f, feq []float64, rho float64) float64 {
 // (Fig. 8); StepFused is exactly equivalent to StreamOnly followed by
 // CollideOnly (both conventions keep post-collision values in the buffer).
 //
-//lbm:hot
+// Per-cell traffic: 19 reads + 19 writes of the same buffer plus the
+// flag byte — cheaper than the fused step only because the gather needs
+// no neighbour flag checks.
+//
+//lbm:hot traffic budget=380 assume q=19
 func (l *Lattice) CollideOnly() {
 	d := l.Desc
 	q := d.Q
@@ -260,7 +271,11 @@ func (l *Lattice) CollideOnly() {
 // current buffer into the other A–B buffer and swaps. CollideOnly must run
 // afterwards to complete one unfused time step.
 //
-//lbm:hot
+// Per-cell traffic: 19 neighbour pulls + 19 pushes plus ~20 flag bytes,
+// the same roofline class as the fused step — which is exactly why the
+// two-pass baseline loses (Fig. 8): it pays this twice per time step.
+//
+//lbm:hot traffic budget=380 assume q=19
 func (l *Lattice) StreamOnly() {
 	d := l.Desc
 	q := d.Q

@@ -36,7 +36,11 @@ func (l *Lattice) useFastPath() bool {
 
 // stepRegionD3Q19 is the unrolled fused pull collide–stream kernel.
 //
-//lbm:hot
+// Per-cell traffic on the clean (all-fluid-neighbour) path: 19 pulls +
+// 19 pushes of float64 plus the ~20 flag bytes of the clean check — the
+// paper's §III-B ~380 B/cell fused-step budget.
+//
+//lbm:hot traffic budget=380
 func (l *Lattice) stepRegionD3Q19(x0, x1, y0, y1 int) {
 	src := l.F[l.src]
 	dst := l.F[1-l.src]

@@ -16,7 +16,9 @@ import (
 
 // xorFloats XORs src's float bit patterns into dst[:len(src)].
 //
-//lbm:hot
+// Per-element traffic: read dst and src, write dst — three float64s.
+//
+//lbm:hot traffic budget=24
 func xorFloats(dst, src []float64) {
 	for i, v := range src {
 		dst[i] = math.Float64frombits(math.Float64bits(dst[i]) ^ math.Float64bits(v))
@@ -25,7 +27,9 @@ func xorFloats(dst, src []float64) {
 
 // xorBytes XORs src into dst[:len(src)].
 //
-//lbm:hot
+// Per-element traffic: read dst and src, write dst — three bytes.
+//
+//lbm:hot traffic budget=3
 func xorBytes(dst, src []byte) {
 	for i, b := range src {
 		dst[i] ^= b

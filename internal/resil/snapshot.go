@@ -60,7 +60,9 @@ func fnvU64(h, v uint64) uint64 {
 
 // checksum computes the snapshot payload checksum.
 //
-//lbm:hot
+// Per-element traffic: one float64 read (the flag pass reads a byte).
+//
+//lbm:hot traffic budget=8
 func checksum(pops []float64, flags []byte) uint64 {
 	h := uint64(fnvOffset)
 	for _, v := range pops {
@@ -111,7 +113,10 @@ func Capture(s *Snapshot, lat *core.Lattice, b decomp.Block, rank int) {
 // per-step L1 capture loop: no allocation, no formatting, leaf calls
 // only.
 //
-//lbm:hot
+// Per-cell traffic: 19 population reads + 19 buffer writes plus the
+// flag byte in and out.
+//
+//lbm:hot traffic budget=320 assume q=19
 func captureInto(pops []float64, flags []byte, lat *core.Lattice, q int) uint64 {
 	src := lat.Src()
 	k := 0

@@ -212,7 +212,10 @@ func (e *Engine) mpeColumnTime(cells int) float64 {
 // caller, exactly as for core.StepFused. It returns the simulated step
 // time on the Sunway core group.
 //
-//lbm:hot
+// Step's own loops only dispatch columns (one int32 id per column);
+// the lattice traffic they trigger is budgeted on core's kernels.
+//
+//lbm:hot traffic budget=8
 func (e *Engine) Step() float64 {
 	l := e.Lat
 	if !e.Opt.UseCPEs {

@@ -16,7 +16,9 @@
 #             minimal replay string
 #   analyze — lbmvet, the domain-specific static-analysis suite: the
 #             whole module must be free of LDM-budget, mpi-error,
-#             span-pairing, hot-allocation and float-determinism findings
+#             span-pairing, hot-allocation, float-determinism,
+#             goroutine-leak, lock-safety, channel-protocol and
+#             memory-traffic findings, and go vet must be clean
 #   chaos   — race-checked chaos matrix: the supervisor must survive
 #             deterministic rank kills (single and per-group), link
 #             flaps under the phi detector, multi-loss escalation to
@@ -97,6 +99,11 @@ bench() {
 
 analyze() {
     echo "== analyze: lbmvet static-analysis suite =="
+    go vet ./...
+    # The command and library trees carry the full nine-rule contract:
+    # every //lbm:hot kernel inside them must also meet its declared
+    # //lbm:traffic per-cell byte budget.
+    go run ./cmd/lbmvet ./cmd/... ./internal/...
     go run ./cmd/lbmvet ./...
     # The -json mode must emit a well-formed (empty) array on a clean tree.
     out=$(go run ./cmd/lbmvet -json ./...)
@@ -134,8 +141,9 @@ serve() {
     # concurrent tenants and the daemon's memory must stay bounded.
     go test -race -count=1 -timeout 600s ./internal/serve
     # Static contracts on the service code: spans paired, no hot-loop
-    # allocation regressions in the scheduler.
-    go run ./cmd/lbmvet -rules spanpair,hotalloc ./internal/serve
+    # allocation regressions in the scheduler, every worker goroutine
+    # cancellable, locks released on all paths, channel protocol sound.
+    go run ./cmd/lbmvet -rules spanpair,hotalloc,goleak,locksafe,chanproto ./internal/serve
     # Daemon smoke: SIGTERM must drain cleanly (exit 0) and leave a
     # replayable journal behind.
     out=$(mktemp -d)
@@ -163,8 +171,9 @@ patch() {
     # bit-identical (MaxULP=0) to the serial kernel across seeds.
     go run ./cmd/conform -seed 3 -cases 8 -run 'patch/'
     # Static contracts on the patch code: spans paired, no hot-loop
-    # allocation regressions in the exchange/migration paths.
-    go run ./cmd/lbmvet -rules hotalloc,spanpair ./internal/patch
+    # allocation regressions in the exchange/migration paths, migration
+    # goroutines cancellable, locks and channel handoffs sound.
+    go run ./cmd/lbmvet -rules hotalloc,spanpair,goleak,locksafe,chanproto ./internal/patch
 }
 
 trace() {
