@@ -30,10 +30,11 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig8|fig11|fig13|fig14|fig15|fig16|fig17|roofline|ablation|all")
 	jsonOut := flag.String("json", "", "run the measured benchmark cases and write machine-readable results (e.g. BENCH_results.json)")
+	baseline := flag.String("baseline", "", "with -json: committed BENCH_results.json to gate against (fail if fused-kernel MLUPS regresses >10%)")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := runJSON(*jsonOut); err != nil {
+		if err := runJSON(*jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
 			os.Exit(1)
 		}

@@ -66,11 +66,31 @@ func benchLattice(nx, ny, nz int) (*core.Lattice, error) {
 	return l, nil
 }
 
+// kernelCounters annotates a kernel case with the parallelism actually
+// used, so throughput comparisons across machines (and the pool-vs-serial
+// acceptance check, which only applies on multi-core hosts) can be made
+// from the recorded document alone.
+func kernelCounters(cells int64, workers int) map[string]int64 {
+	return map[string]int64{
+		"cells":   cells,
+		"workers": int64(workers),
+		"num_cpu": int64(runtime.NumCPU()),
+	}
+}
+
 // runKernel times the single-rank fused kernel (sequential or parallel).
+// The parallel case always requests ≥ 2 workers — on a single-P runtime
+// StepFusedParallel(0) would silently fall back to the serial path and
+// the case would measure nothing new.
 func runKernel(parallel bool) (CaseResult, error) {
 	name := "kernel-fused"
+	workers := 1
 	if parallel {
 		name = "kernel-parallel"
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
 	}
 	l, err := benchLattice(benchN, benchN, benchN)
 	if err != nil {
@@ -82,7 +102,7 @@ func runKernel(parallel bool) (CaseResult, error) {
 		l.PeriodicAll()
 		mon.StepStart()
 		if parallel {
-			l.StepFusedParallel(0)
+			l.StepFusedParallel(workers)
 		} else {
 			l.StepFused()
 		}
@@ -91,7 +111,45 @@ func runKernel(parallel bool) (CaseResult, error) {
 	return CaseResult{
 		Name:     name,
 		Summary:  mon.SummaryStats(),
-		Counters: map[string]int64{"cells": cells},
+		Counters: kernelCounters(cells, workers),
+	}, nil
+}
+
+// runKernelAA times the in-place AA-pattern kernel: unblocked, with
+// cache-blocked tiles, or through the persistent worker pool.
+func runKernelAA(name string, ty, tz, workers int) (CaseResult, error) {
+	l, err := benchLattice(benchN, benchN, benchN)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	l.EnableAA()
+	if ty > 0 || tz > 0 {
+		l.SetAATiles(ty, tz)
+	}
+	var pool *core.Pool
+	if workers > 1 {
+		pool = core.NewPool(l, workers)
+		defer pool.Close()
+		workers = pool.Workers()
+	} else {
+		workers = 1
+	}
+	cells := int64(benchN) * benchN * benchN
+	mon := perf.NewMonitor(cells)
+	for s := 0; s < benchSteps; s++ {
+		l.PeriodicAll()
+		mon.StepStart()
+		if pool != nil {
+			pool.Step()
+		} else {
+			l.StepFused()
+		}
+		mon.StepEnd()
+	}
+	return CaseResult{
+		Name:     name,
+		Summary:  mon.SummaryStats(),
+		Counters: kernelCounters(cells, workers),
 	}, nil
 }
 
@@ -334,8 +392,51 @@ func sampleGoroutines() (stop func() int) {
 	}
 }
 
+// checkBaseline compares the fused-kernel throughput of this run against
+// a committed baseline document and fails on a regression of more than
+// 10%. Only the serial fused kernel is gated: it is the one deterministic,
+// machine-independent-ish case, whereas the concurrent and modelled cases
+// are too noisy for a hard threshold.
+func checkBaseline(res *BenchResults, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("benchsuite: reading baseline: %w", err)
+	}
+	var base BenchResults
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchsuite: parsing baseline %s: %w", baselinePath, err)
+	}
+	find := func(doc *BenchResults, name string) *CaseResult {
+		for i := range doc.Cases {
+			if doc.Cases[i].Name == name {
+				return &doc.Cases[i]
+			}
+		}
+		return nil
+	}
+	const gated = "kernel-fused"
+	b, n := find(&base, gated), find(res, gated)
+	if b == nil || b.Summary.MLUPS <= 0 {
+		fmt.Printf("baseline %s has no %s case; skipping regression gate\n", baselinePath, gated)
+		return nil
+	}
+	if n == nil {
+		return fmt.Errorf("benchsuite: run produced no %s case to gate", gated)
+	}
+	floor := 0.9 * b.Summary.MLUPS
+	if n.Summary.MLUPS < floor {
+		return fmt.Errorf("benchsuite: %s regressed >10%%: %.2f MLUPS vs baseline %.2f (floor %.2f)",
+			gated, n.Summary.MLUPS, b.Summary.MLUPS, floor)
+	}
+	fmt.Printf("baseline gate ok: %s %.2f MLUPS vs baseline %.2f (floor %.2f)\n",
+		gated, n.Summary.MLUPS, b.Summary.MLUPS, floor)
+	return nil
+}
+
 // runJSON executes every measured case and writes the results document.
-func runJSON(path string) error {
+// If baselinePath is non-empty the fused-kernel throughput is additionally
+// gated against that committed document.
+func runJSON(path, baselinePath string) error {
 	res := BenchResults{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -349,6 +450,9 @@ func runJSON(path string) error {
 	for _, s := range []step{
 		{"kernel-fused", func() (CaseResult, error) { return runKernel(false) }},
 		{"kernel-parallel", func() (CaseResult, error) { return runKernel(true) }},
+		{"kernel-aa", func() (CaseResult, error) { return runKernelAA("kernel-aa", 0, 0, 1) }},
+		{"kernel-aa-blocked", func() (CaseResult, error) { return runKernelAA("kernel-aa-blocked", 8, 40, 1) }},
+		{"kernel-aa-pool-4", func() (CaseResult, error) { return runKernelAA("kernel-aa-pool-4", 8, 40, 4) }},
 		{"sunway-sim-cg", runSunwayCG},
 		{"distributed-2x2", runDistributed},
 		{"supervised-hotswap", runSupervisedHotswap},
@@ -378,5 +482,8 @@ func runJSON(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d cases)\n", path, len(res.Cases))
+	if baselinePath != "" {
+		return checkBaseline(&res, baselinePath)
+	}
 	return nil
 }

@@ -10,6 +10,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -191,6 +192,16 @@ func isSourceFile(name string) bool {
 		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
+// matchesBuild reports whether a source file is selected by the host
+// build configuration — filename GOOS/GOARCH suffixes and //go:build
+// constraints both count. Without this filter, platform-variant pairs
+// (e.g. an _amd64.go file and its !amd64 fallback) would both load into
+// one package and fail type checking with bogus redeclaration errors.
+func matchesBuild(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
+}
+
 // LoadDir loads and type-checks the package in one directory (which must
 // lie inside the module).
 func (l *Loader) LoadDir(dir string) (*Package, error) {
@@ -240,7 +251,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range ents {
-		if !e.IsDir() && isSourceFile(e.Name()) {
+		if !e.IsDir() && isSourceFile(e.Name()) && matchesBuild(dir, e.Name()) {
 			names = append(names, e.Name())
 		}
 	}

@@ -107,14 +107,13 @@ func (v *VelocityInlet) Apply(l *core.Lattice) {
 		rho = 1
 	}
 	src := l.Src()
-	n := l.N
 	q := l.Desc.Q
 	feq := make([]float64, q)
 	if v.Profile == nil {
 		l.Desc.EquilibriumAll(feq, rho, v.U[0], v.U[1], v.U[2])
 		faceHalo(l, v.Face, func(halo, _ int) {
 			for i := 0; i < q; i++ {
-				src[i*n+halo] = feq[i]
+				src[l.PopIndex(i, halo)] = feq[i]
 			}
 			l.Flags[halo] = core.Ghost
 		})
@@ -134,7 +133,7 @@ func (v *VelocityInlet) Apply(l *core.Lattice) {
 		u := v.Profile(clamp(x, l.NX), clamp(y, l.NY), clamp(z, l.NZ))
 		l.Desc.EquilibriumAll(feq, rho, u[0], u[1], u[2])
 		for i := 0; i < q; i++ {
-			src[i*n+halo] = feq[i]
+			src[l.PopIndex(i, halo)] = feq[i]
 		}
 		l.Flags[halo] = core.Ghost
 	})
@@ -157,14 +156,13 @@ func (p *PressureOutlet) Apply(l *core.Lattice) {
 		rho = 1
 	}
 	src := l.Src()
-	n := l.N
 	q := l.Desc.Q
 	d := l.Desc
 	feq := make([]float64, q)
 	faceHalo(l, p.Face, func(halo, inner int) {
 		var r, jx, jy, jz float64
 		for i := 0; i < q; i++ {
-			fi := src[i*n+inner]
+			fi := src[l.PopIndex(i, inner)]
 			r += fi
 			c := d.C[i]
 			jx += fi * float64(c[0])
@@ -177,7 +175,7 @@ func (p *PressureOutlet) Apply(l *core.Lattice) {
 		}
 		d.EquilibriumAll(feq, rho, ux, uy, uz)
 		for i := 0; i < q; i++ {
-			src[i*n+halo] = feq[i]
+			src[l.PopIndex(i, halo)] = feq[i]
 		}
 		l.Flags[halo] = core.Ghost
 	})
@@ -195,11 +193,10 @@ func (o *Outflow) Name() string { return fmt.Sprintf("outflow(%v)", o.Face) }
 // Apply implements Condition.
 func (o *Outflow) Apply(l *core.Lattice) {
 	src := l.Src()
-	n := l.N
 	q := l.Desc.Q
 	faceHalo(l, o.Face, func(halo, inner int) {
 		for i := 0; i < q; i++ {
-			src[i*n+halo] = src[i*n+inner]
+			src[l.PopIndex(i, halo)] = src[l.PopIndex(i, inner)]
 		}
 		l.Flags[halo] = core.Ghost
 	})
@@ -262,11 +259,10 @@ func (fs *FreeSlip) Apply(l *core.Lattice) {
 	}
 	mirror := mirrorTable(l.Desc, axis)
 	src := l.Src()
-	n := l.N
 	q := l.Desc.Q
 	faceHalo(l, fs.Face, func(halo, inner int) {
 		for i := 0; i < q; i++ {
-			src[i*n+halo] = src[mirror[i]*n+inner]
+			src[l.PopIndex(i, halo)] = src[l.PopIndex(mirror[i], inner)]
 		}
 		l.Flags[halo] = core.Ghost
 	})

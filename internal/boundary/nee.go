@@ -30,7 +30,6 @@ func (v *NEEInlet) Name() string { return fmt.Sprintf("nee-inlet(%v)", v.Face) }
 // Apply implements Condition.
 func (v *NEEInlet) Apply(l *core.Lattice) {
 	src := l.Src()
-	n := l.N
 	d := l.Desc
 	q := d.Q
 	feqW := make([]float64, q)
@@ -48,7 +47,7 @@ func (v *NEEInlet) Apply(l *core.Lattice) {
 		// Neighbour macroscopic state.
 		var rho, jx, jy, jz float64
 		for i := 0; i < q; i++ {
-			fi := src[i*n+inner]
+			fi := src[l.PopIndex(i, inner)]
 			rho += fi
 			c := d.C[i]
 			jx += fi * float64(c[0])
@@ -70,7 +69,7 @@ func (v *NEEInlet) Apply(l *core.Lattice) {
 		d.EquilibriumAll(feqW, rho, uw[0], uw[1], uw[2])
 		d.EquilibriumAll(feqF, rho, ux, uy, uz)
 		for i := 0; i < q; i++ {
-			src[i*n+halo] = feqW[i] + (src[i*n+inner] - feqF[i])
+			src[l.PopIndex(i, halo)] = feqW[i] + (src[l.PopIndex(i, inner)] - feqF[i])
 		}
 		l.Flags[halo] = core.Ghost
 	})

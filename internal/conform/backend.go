@@ -204,6 +204,30 @@ func (c *Case) Reference() (*core.MacroField, error) {
 	return c.RunSerial((*core.Lattice).StepFused)
 }
 
+// RunSerialAA executes the case on a standalone AA-pattern (in-place)
+// lattice: tile sizes ty/tz select cache blocking (0,0 = unblocked) and
+// workers > 1 drives the steps through a persistent worker pool instead
+// of the serial sweep. All variants must match the double-buffer
+// reference bit-for-bit at every step parity.
+func (c *Case) RunSerialAA(ty, tz, workers int) (*core.MacroField, error) {
+	l, err := c.newLattice()
+	if err != nil {
+		return nil, err
+	}
+	l.EnableAA()
+	if ty > 0 || tz > 0 {
+		l.SetAATiles(ty, tz)
+	}
+	if workers > 1 {
+		p := core.NewPool(l, workers)
+		defer p.Close()
+		c.advance(l, c.conds(), c.Steps, func(*core.Lattice) { p.Step() })
+	} else {
+		c.advance(l, c.conds(), c.Steps, (*core.Lattice).StepFused)
+	}
+	return l.ComputeMacro(), nil
+}
+
 // funcStepper adapts a plain kernel function to psolve.Stepper.
 type funcStepper func()
 
@@ -241,13 +265,15 @@ func swlbStages() []struct {
 }
 
 // psolveBackend runs the case on a px×py rank grid through the in-process
-// mpi world.
-func psolveBackend(name string, px, py int, onTheFly bool) Backend {
+// mpi world. kernel selects the local compute kernel ("" = fused).
+func psolveBackend(name string, px, py int, onTheFly bool, kernel string) Backend {
 	return Backend{Name: name, Run: func(c *Case) (*core.MacroField, error) {
 		if c.NX < px || c.NY < py {
 			return nil, fmt.Errorf("conform: %s needs nx≥%d, ny≥%d", name, px, py)
 		}
-		return psolve.Run(c.Options(px, py, onTheFly), c.Steps)
+		opts := c.Options(px, py, onTheFly)
+		opts.Kernel = kernel
+		return psolve.Run(opts, c.Steps)
 	}}
 }
 
@@ -265,6 +291,8 @@ func stepperBackend(name string, stepper func(l *core.Lattice) (psolve.Stepper, 
 // the serial reference bit-for-bit):
 //
 //   - serial kernel variants (unfused two-pass, data-parallel fused),
+//   - the in-place AA-pattern kernel: plain, cache-blocked and through
+//     the persistent worker pool, plus a distributed run on AA ranks,
 //   - the single-rank distributed solver (validates the mpi plumbing),
 //   - every swlb optimization stage on a simulated Sunway core group,
 //   - the GPU node model,
@@ -280,14 +308,24 @@ func Backends() []Backend {
 		{Name: "core/parallel", Run: func(c *Case) (*core.MacroField, error) {
 			return c.RunSerial(func(l *core.Lattice) { l.StepFusedParallel(0) })
 		}},
-		psolveBackend("psolve/1x1", 1, 1, false),
-		psolveBackend("psolve/2x1", 2, 1, false),
-		psolveBackend("psolve/1x2", 1, 2, false),
-		psolveBackend("psolve/4x1", 4, 1, false),
-		psolveBackend("psolve/2x2", 2, 2, false),
-		psolveBackend("psolve/2x2-onthefly", 2, 2, true),
-		psolveBackend("psolve/8x1", 8, 1, false),
-		psolveBackend("psolve/4x2", 4, 2, false),
+		{Name: "core/aa", Run: func(c *Case) (*core.MacroField, error) {
+			return c.RunSerialAA(0, 0, 1)
+		}},
+		{Name: "core/aa-blocked", Run: func(c *Case) (*core.MacroField, error) {
+			return c.RunSerialAA(4, 8, 1)
+		}},
+		{Name: "core/aa-pool", Run: func(c *Case) (*core.MacroField, error) {
+			return c.RunSerialAA(2, 4, 3)
+		}},
+		psolveBackend("psolve/1x1", 1, 1, false, ""),
+		psolveBackend("psolve/2x1", 2, 1, false, ""),
+		psolveBackend("psolve/1x2", 1, 2, false, ""),
+		psolveBackend("psolve/4x1", 4, 1, false, ""),
+		psolveBackend("psolve/2x2", 2, 2, false, ""),
+		psolveBackend("psolve/2x2-onthefly", 2, 2, true, ""),
+		psolveBackend("psolve/2x2-aa", 2, 2, false, "aa"),
+		psolveBackend("psolve/8x1", 8, 1, false, ""),
+		psolveBackend("psolve/4x2", 4, 2, false, ""),
 		{Name: "block3d/1x1x2", Run: func(c *Case) (*core.MacroField, error) { return c.RunBlocks3D(1, 1, 2) }},
 		{Name: "block3d/1x2x2", Run: func(c *Case) (*core.MacroField, error) { return c.RunBlocks3D(1, 2, 2) }},
 		{Name: "block3d/2x2x2", Run: func(c *Case) (*core.MacroField, error) { return c.RunBlocks3D(2, 2, 2) }},

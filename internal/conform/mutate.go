@@ -26,6 +26,11 @@ type Mutation struct {
 	Detects string
 	// Step advances the lattice one (buggy) time step.
 	Step func(l *core.Lattice)
+	// Control, if non-nil, is the clean twin of Step — the same shadow
+	// kernel with no bug injected — used as the control arm instead of
+	// the default plain shadow kernel (e.g. the AA shadow kernel, whose
+	// stepping discipline differs from the double-buffer one).
+	Control func(l *core.Lattice)
 }
 
 // Mutations returns the injected-bug catalogue.
@@ -49,6 +54,15 @@ func Mutations() []Mutation {
 			Detects: "mass conservation (and differential oracle)",
 			Step:    func(l *core.Lattice) { shadowStep(l, bugDropPopulation) },
 		},
+		{
+			Name: "aa-swap",
+			// Scattering into slot i instead of Opp[i] parks populations
+			// in slots the odd-phase readers (kernel and diagnostics)
+			// never look at, so observable mass drifts immediately.
+			Detects: "mass oracle (and differential oracle): populations land where phase-aware readers never look",
+			Step:    func(l *core.Lattice) { shadowStepAA(l, bugAASwap) },
+			Control: func(l *core.Lattice) { shadowStepAA(l, bugNone) },
+		},
 	}
 }
 
@@ -63,6 +77,10 @@ const (
 	bugHaloOffByOne
 	// bugDropPopulation zeroes one gathered population.
 	bugDropPopulation
+	// bugAASwap scatters the even AA half-step into the natural slot i
+	// instead of the reversed slot Opp[i] — forgetting the direction
+	// reversal that makes the in-place AA pattern work.
+	bugAASwap
 )
 
 // shadowStep is the shadow kernel: a plain descriptor-generic BGK pull
@@ -124,17 +142,103 @@ func shadowStep(l *core.Lattice, bug shadowBug) {
 				invRho := 1.0 / rho
 				d.EquilibriumAll(feq, rho, jx*invRho, jy*invRho, jz*invRho)
 				for i := 0; i < q; i++ {
-					delta := (f[i] - feq[i]) * invTau
 					if bug == bugFlipRelax {
-						dst[i*n+idx] = f[i] + delta
+						dst[i*n+idx] = math.FMA(invTau, f[i]-feq[i], f[i])
 					} else {
-						dst[i*n+idx] = f[i] - delta
+						dst[i*n+idx] = math.FMA(-invTau, f[i]-feq[i], f[i])
 					}
 				}
 			}
 		}
 	}
 	l.SwapBuffers()
+}
+
+// shadowStepAA is the AA twin of the shadow kernel: the same BGK
+// arithmetic applied IN PLACE on a single array, alternating between the
+// two AA half-steps by step parity. Even steps gather like the pull
+// kernel and scatter each relaxed population into the reversed-shifted
+// slot (direction Opp[i] of the downstream neighbour); odd steps gather
+// from the reversed slots of the cell itself and write back naturally.
+// Written independently of core's AA kernels (own offsets, own slot
+// arithmetic) so a planted — or real — swap bug in one cannot mask the
+// same bug in the other. The per-cell gather-all-then-scatter order is
+// sufficient for correctness: at either parity a cell's writes are read
+// only by that cell until the next step.
+func shadowStepAA(l *core.Lattice, bug shadowBug) {
+	if !l.AA() {
+		l.EnableAA() // step 0 is even phase: the layout is unchanged
+	}
+	d := l.Desc
+	q := d.Q
+	n := l.N
+	src := l.Src()
+	invTau := 1.0 / l.Tau
+	var offs [core.MaxQ]int
+	for i := 0; i < q; i++ {
+		c := d.C[i]
+		offs[i] = c[1]*l.AX*l.AZ + c[0]*l.AZ + c[2]
+	}
+	odd := l.Step()%2 == 1
+	var fArr, feqArr [core.MaxQ]float64
+	f, feq := fArr[:q], feqArr[:q]
+
+	for y := 0; y < l.NY; y++ {
+		for x := 0; x < l.NX; x++ {
+			for z := 0; z < l.NZ; z++ {
+				idx := l.Idx(x, y, z)
+				if l.Flags[idx] != core.Fluid {
+					continue
+				}
+				for i := 0; i < q; i++ {
+					from := idx - offs[i]
+					wall := l.Flags[from] == core.Wall || l.Flags[from] == core.MovingWall
+					if !odd {
+						// Even phase stores naturally: pull from the
+						// upstream neighbour, bounce off walls in place.
+						if wall {
+							f[i] = src[d.Opp[i]*n+idx]
+						} else {
+							f[i] = src[i*n+from]
+						}
+					} else {
+						// Odd phase: the even step parked this cell's
+						// inbound populations in its own reversed slots
+						// (and bounce values in the wall's natural slot).
+						if wall {
+							f[i] = src[i*n+from]
+						} else {
+							f[i] = src[d.Opp[i]*n+idx]
+						}
+					}
+				}
+				var rho, jx, jy, jz float64
+				for i := 0; i < q; i++ {
+					fi := f[i]
+					rho += fi
+					c := d.C[i]
+					jx += fi * float64(c[0])
+					jy += fi * float64(c[1])
+					jz += fi * float64(c[2])
+				}
+				invRho := 1.0 / rho
+				d.EquilibriumAll(feq, rho, jx*invRho, jy*invRho, jz*invRho)
+				for i := 0; i < q; i++ {
+					out := math.FMA(-invTau, f[i]-feq[i], f[i])
+					if !odd {
+						slot := d.Opp[i]
+						if bug == bugAASwap {
+							slot = i // forgets the direction reversal
+						}
+						src[slot*n+idx+offs[i]] = out
+					} else {
+						src[i*n+idx] = out
+					}
+				}
+			}
+		}
+	}
+	l.SetStep(l.Step() + 1)
 }
 
 // Normalized projects the case into the shadow kernel's subset: periodic
@@ -257,9 +361,13 @@ func SelfTest(seed int64, maxCases int, logf func(format string, args ...any)) (
 func detectMutation(m Mutation, seed int64, maxCases int, logf func(string, ...any)) (Detection, error) {
 	name := "mutant/" + m.Name
 	rng := newCaseRNG(seed)
+	control := func(l *core.Lattice) { shadowStep(l, bugNone) }
+	if m.Control != nil {
+		control = m.Control
+	}
 	for i := 0; i < maxCases; i++ {
 		c := GenerateCase(rng).Normalized()
-		if err := ShadowControl(c); err != nil {
+		if err := checkShadow(c, control); err != nil {
 			return Detection{}, fmt.Errorf("conform: clean shadow kernel fails control on %s: %w", c, err)
 		}
 		err := checkShadow(c, m.Step)

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"sunwaylb/internal/core"
+	"sunwaylb/internal/decomp"
 	"sunwaylb/internal/fault"
 	"sunwaylb/internal/mpi"
 	"sunwaylb/internal/psolve"
@@ -81,6 +82,7 @@ func Oracles() []Oracle {
 		Oracle{Name: "prop/reflect", Check: checkReflect},
 		Oracle{Name: "prop/rotate", Check: checkRotate},
 		Oracle{Name: "prop/checkpoint", Check: checkCheckpoint},
+		Oracle{Name: "prop/aa-parity", Check: checkAAParity},
 		Oracle{Name: "prop/faultplan", Check: checkFaultPlan},
 		Oracle{Name: "prop/recover-hotswap", Check: checkRecoverHotswap},
 	)
@@ -407,6 +409,63 @@ func checkCheckpoint(x *Ctx) error {
 	}
 	if err := Compare(full, resumed, Exact); err != nil {
 		return fmt.Errorf("restore at step %d/%d diverges from uninterrupted run: %w", k, c.Steps, err)
+	}
+	return nil
+}
+
+// checkAAParity is the AA phase-parity metamorphic property: run the
+// case on an in-place AA lattice, stop at an ODD step (where the storage
+// layout is the reversed-shifted one), capture the state through the
+// resil L1 path, restore it into a fresh AA lattice placed at the same
+// parity, resume, and require the final field to match the uninterrupted
+// serial reference bit-for-bit. The restore must also REFUSE a
+// wrong-parity target with the typed resil.ErrPhaseMismatch — a restore
+// that silently scatters an odd-phase payload into an even-phase layout
+// would corrupt every population.
+func checkAAParity(x *Ctx) error {
+	c := x.Case
+	if c.Steps < 2 {
+		return skipf("aa-parity property needs ≥ 2 steps")
+	}
+	k := c.Steps / 2
+	if k%2 == 0 {
+		k-- // force an odd-parity stopping point (k ≥ 1 for Steps ≥ 2)
+	}
+	want, err := x.Reference()
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	l, err := c.newLattice()
+	if err != nil {
+		return err
+	}
+	l.EnableAA()
+	c.advance(l, c.conds(), k, (*core.Lattice).StepFused)
+	var snap resil.Snapshot
+	resil.Capture(&snap, l, decomp.Block{NX: c.NX, NY: c.NY, NZ: c.NZ}, 0)
+
+	wrong, err := c.newLattice()
+	if err != nil {
+		return err
+	}
+	wrong.EnableAA()
+	wrong.SetStep(k + 1)
+	if err := resil.RestoreInto(wrong, &snap); !errors.Is(err, resil.ErrPhaseMismatch) {
+		return fmt.Errorf("restore of an odd-parity snapshot into an even-phase lattice returned %v, want ErrPhaseMismatch", err)
+	}
+
+	fresh, err := c.newLattice()
+	if err != nil {
+		return err
+	}
+	fresh.EnableAA()
+	fresh.SetStep(k)
+	if err := resil.RestoreInto(fresh, &snap); err != nil {
+		return fmt.Errorf("restore at odd step %d: %w", k, err)
+	}
+	c.advance(fresh, c.conds(), c.Steps-k, (*core.Lattice).StepFused)
+	if err := Compare(want, fresh.ComputeMacro(), Exact); err != nil {
+		return fmt.Errorf("AA capture/restore at odd step %d/%d diverges from uninterrupted run: %w", k, c.Steps, err)
 	}
 	return nil
 }

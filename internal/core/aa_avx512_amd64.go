@@ -1,0 +1,52 @@
+//go:build amd64
+
+package core
+
+import "os"
+
+// aaKTab is the broadcast-constant table handed to the AVX-512 row
+// kernel. It is built in Go so every slot carries exactly the bit
+// pattern of the Go constant the scalar kernel uses.
+//
+// Layout (byte offsets the assembly reads): 0: 1.0, 8: 1.5, 16: 4.5,
+// 24: 3.0, 32: w0, 40: w1, 48: w2.
+var aaKTab = [7]float64{1, 1.5, 4.5, 3, w0, w1, w2}
+
+// useAVX512 gates the vector row kernel. LBM_NOAVX512 (any non-empty
+// value) is the kill switch forcing the scalar path; the conform and
+// bitwise-equivalence tests flip it directly.
+var useAVX512 = avx512Available() && os.Getenv("LBM_NOAVX512") == ""
+
+// avx512Available reports whether the CPU and OS support the AVX-512F
+// instructions aaRowD3Q19AVX512 uses: CPUID.1:ECX must advertise
+// OSXSAVE+AVX+FMA, XCR0 must enable x87/SSE/AVX and the opmask+ZMM
+// state (bits 0xE6), and CPUID.7:EBX must advertise AVX512F.
+func avx512Available() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx, _ := cpuidx(1, 0)
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	if ecx&osxsave == 0 || ecx&avx == 0 || ecx&fma == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx, _, _ := cpuidx(7, 0)
+	return ebx&(1<<16) != 0 // AVX512F
+}
+
+// aaRowD3Q19AVX512 collide-streams 8·blocks cells of one clean row in
+// place, bit-identically to aaRowD3Q19Scalar (see aa_avx512_amd64.s).
+//
+//go:noescape
+func aaRowD3Q19AVX512(gp *[19][]float64, blocks int, nTau float64, k *[7]float64)
+
+//go:noescape
+func cpuidx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)

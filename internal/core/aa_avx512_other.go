@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package core
+
+// Non-amd64 builds always take the scalar row kernel.
+var useAVX512 = false
+
+var aaKTab [7]float64
+
+func aaRowD3Q19AVX512(gp *[19][]float64, blocks int, nTau float64, k *[7]float64) {
+	panic("core: aaRowD3Q19AVX512 called without amd64 AVX-512 support")
+}

@@ -12,7 +12,11 @@ package core
 func (l *Lattice) WallForce() (fx, fy, fz float64) {
 	d := l.Desc
 	src := l.F[l.src]
-	n := l.N
+	var baseArr [MaxQ]int
+	base := baseArr[:d.Q]
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 	for y := 0; y < l.NY; y++ {
 		for x := 0; x < l.NX; x++ {
 			rowBase := l.Idx(x, y, 0)
@@ -26,12 +30,12 @@ func (l *Lattice) WallForce() (fx, fy, fz float64) {
 					var transfer float64
 					switch l.Flags[nb] {
 					case Wall:
-						transfer = 2 * src[i*n+idx]
+						transfer = 2 * src[base[i]+idx]
 					case MovingWall:
 						uw := l.WallVel[nb]
 						c := d.C[i]
 						cu := float64(c[0])*uw[0] + float64(c[1])*uw[1] + float64(c[2])*uw[2]
-						transfer = 2*src[i*n+idx] - 6*d.W[i]*cu
+						transfer = 2*src[base[i]+idx] - 6*d.W[i]*cu
 					default:
 						continue
 					}
@@ -53,7 +57,11 @@ func (l *Lattice) WallForce() (fx, fy, fz float64) {
 func (l *Lattice) WallForceWhere(pred func(x, y, z int) bool) (fx, fy, fz float64) {
 	d := l.Desc
 	src := l.F[l.src]
-	n := l.N
+	var baseArr [MaxQ]int
+	base := baseArr[:d.Q]
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 	for y := 0; y < l.NY; y++ {
 		for x := 0; x < l.NX; x++ {
 			rowBase := l.Idx(x, y, 0)
@@ -67,12 +75,12 @@ func (l *Lattice) WallForceWhere(pred func(x, y, z int) bool) (fx, fy, fz float6
 					var transfer float64
 					switch l.Flags[nb] {
 					case Wall:
-						transfer = 2 * src[i*n+idx]
+						transfer = 2 * src[base[i]+idx]
 					case MovingWall:
 						uw := l.WallVel[nb]
 						c := d.C[i]
 						cu := float64(c[0])*uw[0] + float64(c[1])*uw[1] + float64(c[2])*uw[2]
-						transfer = 2*src[i*n+idx] - 6*d.W[i]*cu
+						transfer = 2*src[base[i]+idx] - 6*d.W[i]*cu
 					default:
 						continue
 					}

@@ -94,6 +94,13 @@ type Lattice struct {
 	// offs[q] is the linear index offset of neighbour c_q.
 	offs []int
 
+	// aa selects single-array AA-pattern storage (see aa.go): F[0] is the
+	// only buffer and the in-array layout alternates with step parity.
+	aa bool
+	// aaTileY, aaTileZ are the cache-blocking tile extents of the AA
+	// stepper (0 = unblocked).
+	aaTileY, aaTileZ int
+
 	// noFastPath disables the unrolled D3Q19 kernel (testing hook).
 	noFastPath bool
 }
@@ -167,26 +174,47 @@ func (l *Lattice) Step() int { return l.step }
 func (l *Lattice) SetStep(s int) { l.step = s }
 
 // Src returns the buffer currently holding the lattice state (the
-// post-collision populations of the last completed step).
+// post-collision populations of the last completed step). For AA lattices
+// at an odd step count the in-array layout is the reversed-shifted one —
+// index logical populations through PopIndex/PopBase, not i*N+idx.
 func (l *Lattice) Src() []float64 { return l.F[l.src] }
 
-// Dst returns the buffer the next fused step will write into.
+// Dst returns the buffer the next fused step will write into (nil for AA
+// lattices, which update in place).
 func (l *Lattice) Dst() []float64 { return l.F[1-l.src] }
 
 // SwapBuffers flips the A–B buffers; used by kernels that run the update
-// out-of-place externally (e.g. the Sunway-simulated solver).
-func (l *Lattice) SwapBuffers() { l.src = 1 - l.src; l.step++ }
+// out-of-place externally (e.g. the Sunway-simulated solver). AA lattices
+// have a single buffer and panic here.
+func (l *Lattice) SwapBuffers() {
+	if l.aa {
+		panic("core: SwapBuffers on an AA-pattern lattice (single buffer; use StepFused)")
+	}
+	l.src = 1 - l.src
+	l.step++
+}
 
-// InitEquilibrium sets every allocated cell of both buffers to the
-// equilibrium distribution of the given uniform state.
+// InitEquilibrium sets every allocated cell of both buffers (or of the
+// single AA array, phase-aware) to the equilibrium distribution of the
+// given uniform state.
 func (l *Lattice) InitEquilibrium(rho, ux, uy, uz float64) {
 	feq := make([]float64, l.Desc.Q)
 	l.Desc.EquilibriumAll(feq, rho, ux, uy, uz)
+	if l.aaOddPhase() {
+		for idx := 0; idx < l.N; idx++ {
+			for q := 0; q < l.Desc.Q; q++ {
+				l.F[0][l.PopIndex(q, idx)] = feq[q]
+			}
+		}
+		return
+	}
 	for q := 0; q < l.Desc.Q; q++ {
 		base := q * l.N
 		for i := 0; i < l.N; i++ {
 			l.F[0][base+i] = feq[q]
-			l.F[1][base+i] = feq[q]
+			if l.F[1] != nil {
+				l.F[1][base+i] = feq[q]
+			}
 		}
 	}
 }
@@ -198,7 +226,7 @@ func (l *Lattice) SetCell(x, y, z int, rho, ux, uy, uz float64) {
 	l.Desc.EquilibriumAll(feq, rho, ux, uy, uz)
 	idx := l.Idx(x, y, z)
 	for q := 0; q < l.Desc.Q; q++ {
-		l.F[l.src][q*l.N+idx] = feq[q]
+		l.F[l.src][l.PopIndex(q, idx)] = feq[q]
 	}
 }
 
@@ -249,7 +277,7 @@ func (l *Lattice) Populations(x, y, z int, out []float64) []float64 {
 	}
 	idx := l.Idx(x, y, z)
 	for q := 0; q < l.Desc.Q; q++ {
-		out[q] = l.F[l.src][q*l.N+idx]
+		out[q] = l.F[l.src][l.PopIndex(q, idx)]
 	}
 	return out
 }
@@ -258,6 +286,6 @@ func (l *Lattice) Populations(x, y, z int, out []float64) []float64 {
 func (l *Lattice) SetPopulations(x, y, z int, f []float64) {
 	idx := l.Idx(x, y, z)
 	for q := 0; q < l.Desc.Q; q++ {
-		l.F[l.src][q*l.N+idx] = f[q]
+		l.F[l.src][l.PopIndex(q, idx)] = f[q]
 	}
 }

@@ -54,6 +54,10 @@ func (l *Lattice) PeriodicAll() {
 //
 //lbm:hot traffic budget=616 assume q=19
 func (l *Lattice) PeriodicAxis(axis int) {
+	if l.aaOddPhase() {
+		l.periodicAxisAA(axis)
+		return
+	}
 	src := l.F[l.src]
 	n := l.N
 	q := l.Desc.Q
@@ -160,6 +164,10 @@ func (l *Lattice) FaceCells(f Face) int {
 //
 //lbm:hot traffic budget=320 assume q=19
 func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
+	if l.aaOddPhase() {
+		l.packFaceAA(f, buf, flags)
+		return
+	}
 	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 0)
 	src := l.F[l.src]
 	q := l.Desc.Q
@@ -191,6 +199,10 @@ func (l *Lattice) PackFace(f Face, buf []float64, flags []CellType) {
 //
 //lbm:hot traffic budget=320 assume q=19
 func (l *Lattice) UnpackFace(f Face, buf []float64, flags []CellType) {
+	if l.aaOddPhase() {
+		l.unpackFaceAA(f, buf, flags)
+		return
+	}
 	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 1)
 	src := l.F[l.src]
 	q := l.Desc.Q
@@ -202,6 +214,115 @@ func (l *Lattice) UnpackFace(f Face, buf []float64, flags []CellType) {
 				idx := (ay*l.AX+ax)*l.AZ + az
 				for i := 0; i < q; i++ {
 					src[i*n+idx] = buf[k*q+i]
+				}
+				if flags != nil && flags[k] != Ghost {
+					l.Flags[idx] = flags[k]
+				}
+				k++
+			}
+		}
+	}
+}
+
+// periodicAxisAA is the odd-phase PeriodicAxis: the same wrap-around cell
+// copies, but addressing logical populations through the reversed-shifted
+// layout. PopIndex is a bijection on the slot space, so the logical
+// semantics (and thus the resumed even-phase state) match the natural
+// wrap exactly; the sources (interior boundary layers) are never earlier
+// destinations (halo layers) within one call, so the in-place copies are
+// order-safe.
+func (l *Lattice) periodicAxisAA(axis int) {
+	src := l.F[l.src]
+	q := l.Desc.Q
+	copyCell := func(dstIdx, srcIdx, dx, dy, dz, sx, sy, sz int) {
+		for i := 0; i < q; i++ {
+			src[l.popSlotAA(i, dstIdx, dx, dy, dz)] = src[l.popSlotAA(i, srcIdx, sx, sy, sz)]
+		}
+		if l.Flags[srcIdx] != Ghost {
+			l.Flags[dstIdx] = l.Flags[srcIdx]
+		}
+	}
+	switch axis {
+	case 0:
+		for ay := 0; ay < l.AY; ay++ {
+			y := ay - 1
+			for az := 0; az < l.AZ; az++ {
+				z := az - 1
+				lo := (ay*l.AX+0)*l.AZ + az
+				hi := (ay*l.AX+l.AX-1)*l.AZ + az
+				loSrc := (ay*l.AX+l.AX-2)*l.AZ + az
+				hiSrc := (ay*l.AX+1)*l.AZ + az
+				copyCell(lo, loSrc, -1, y, z, l.NX-1, y, z)
+				copyCell(hi, hiSrc, l.NX, y, z, 0, y, z)
+			}
+		}
+	case 1:
+		for ax := 0; ax < l.AX; ax++ {
+			x := ax - 1
+			for az := 0; az < l.AZ; az++ {
+				z := az - 1
+				lo := (0*l.AX+ax)*l.AZ + az
+				hi := ((l.AY-1)*l.AX+ax)*l.AZ + az
+				loSrc := ((l.AY-2)*l.AX+ax)*l.AZ + az
+				hiSrc := (1*l.AX+ax)*l.AZ + az
+				copyCell(lo, loSrc, x, -1, z, x, l.NY-1, z)
+				copyCell(hi, hiSrc, x, l.NY, z, x, 0, z)
+			}
+		}
+	case 2:
+		for ay := 0; ay < l.AY; ay++ {
+			y := ay - 1
+			for ax := 0; ax < l.AX; ax++ {
+				x := ax - 1
+				base := (ay*l.AX + ax) * l.AZ
+				copyCell(base+0, base+l.AZ-2, x, y, -1, x, y, l.NZ-1)
+				copyCell(base+l.AZ-1, base+1, x, y, l.NZ, x, y, 0)
+			}
+		}
+	}
+}
+
+// packFaceAA packs the interior boundary layer at odd AA parity: the same
+// logical populations as the natural pack, read through PopIndex, so the
+// wire format is phase-independent and pack/unpack pairs compose across
+// ranks at different storage phases.
+func (l *Lattice) packFaceAA(f Face, buf []float64, flags []CellType) {
+	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 0)
+	src := l.F[l.src]
+	q := l.Desc.Q
+	k := 0
+	for ay := y0; ay < y1; ay++ {
+		for ax := x0; ax < x1; ax++ {
+			for az := z0; az < z1; az++ {
+				idx := (ay*l.AX+ax)*l.AZ + az
+				for i := 0; i < q; i++ {
+					buf[k*q+i] = src[l.popSlotAA(i, idx, ax-1, ay-1, az-1)]
+				}
+				if flags != nil {
+					flags[k] = l.Flags[idx]
+				}
+				k++
+			}
+		}
+	}
+}
+
+// unpackFaceAA writes a packed face buffer into the halo layer at odd AA
+// parity, placing each logical population into its reversed-shifted slot
+// (or the natural fallback slot for populations whose shifted home leaves
+// the allocation — those park in place and feed the next odd-parity pack
+// or capture, never the kernel).
+func (l *Lattice) unpackFaceAA(f Face, buf []float64, flags []CellType) {
+	x0, x1, y0, y1, z0, z1 := l.faceRange(f, 1)
+	src := l.F[l.src]
+	q := l.Desc.Q
+	k := 0
+	for ay := y0; ay < y1; ay++ {
+		for ax := x0; ax < x1; ax++ {
+			for az := z0; az < z1; az++ {
+				idx := (ay*l.AX+ax)*l.AZ + az
+				for i := 0; i < q; i++ {
+					src[l.popSlotAA(i, idx, ax-1, ay-1, az-1)] = buf[k*q+i]
 				}
 				if flags != nil && flags[k] != Ghost {
 					l.Flags[idx] = flags[k]

@@ -25,6 +25,10 @@ func (l *Lattice) InitFromMacro(m *MacroField) error {
 	d := l.Desc
 	src := l.F[l.src]
 	feq := make([]float64, d.Q)
+	base := make([]int, d.Q)
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 
 	// Central-difference velocity gradient ∂u_a/∂x_b with one-sided
 	// stencils at domain edges.
@@ -83,7 +87,7 @@ func (l *Lattice) InitFromMacro(m *MacroField) error {
 						}
 					}
 					fneq := (1 - l.Tau) * d.W[i] * rho * InvCS2loc * cgu
-					src[i*l.N+idx] = feq[i] + fneq
+					src[base[i]+idx] = feq[i] + fneq
 				}
 			}
 		}

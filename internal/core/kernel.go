@@ -19,6 +19,11 @@ const MaxQ = 27
 // half-way bounce-back reflection, with the moving-wall momentum correction
 // where applicable.
 func (l *Lattice) StepFused() {
+	if l.aa {
+		l.stepAAYRange(0, l.NY)
+		l.step++
+		return
+	}
 	l.stepRange(0, l.NY)
 	l.src = 1 - l.src
 	l.step++
@@ -31,12 +36,21 @@ func (l *Lattice) StepFused() {
 // then the boundary strips, then CompleteStep. Regions must tile the
 // interior exactly once before CompleteStep is called.
 func (l *Lattice) StepRegion(x0, x1, y0, y1 int) {
+	if l.aa {
+		l.stepAARegionZ(x0, x1, y0, y1, 0, l.NZ)
+		return
+	}
 	l.stepRegion(x0, x1, y0, y1)
 }
 
 // CompleteStep swaps the A–B buffers after a set of StepRegion calls that
-// together covered the whole interior.
+// together covered the whole interior (for AA lattices there is nothing
+// to swap — the step counter advances, flipping the layout phase).
 func (l *Lattice) CompleteStep() {
+	if l.aa {
+		l.step++
+		return
+	}
 	l.src = 1 - l.src
 	l.step++
 }
@@ -125,11 +139,13 @@ func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 					uz += half * fz
 				}
 				// Equilibrium.
-				usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+				// Canonical FMA evaluation order (lattice.Equilibrium).
+				onem := 1 - 1.5*math.FMA(uz, uz, math.FMA(uy, uy, ux*ux))
 				for i := 0; i < q; i++ {
 					c := d.C[i]
 					cu := float64(c[0])*ux + float64(c[1])*uy + float64(c[2])*uz
-					feq[i] = d.W[i] * rho * (1 + 3*cu + 4.5*cu*cu - usq)
+					h := 4.5 * cu
+					feq[i] = d.W[i] * rho * (math.FMA(h, cu, onem) + 3*cu)
 				}
 				omega := invTau
 				if les {
@@ -144,11 +160,11 @@ func (l *Lattice) stepRegionGeneric(x0, x1, y0, y1 int) {
 						cu := cx*ux + cy*uy + cz*uz
 						si := d.W[i] * (3*((cx-ux)*fx+(cy-uy)*fy+(cz-uz)*fz) +
 							9*cu*(cx*fx+cy*fy+cz*fz))
-						dst[i*n+idx] = f[i] - omega*(f[i]-feq[i]) + fw*si
+						dst[i*n+idx] = math.FMA(-omega, f[i]-feq[i], f[i]) + fw*si
 					}
 				} else {
 					for i := 0; i < q; i++ {
-						dst[i*n+idx] = f[i] - omega*(f[i]-feq[i])
+						dst[i*n+idx] = math.FMA(-omega, f[i]-feq[i], f[i])
 					}
 				}
 			}
@@ -237,11 +253,13 @@ func (l *Lattice) CollideOnly() {
 					uy += half * fy
 					uz += half * fz
 				}
-				usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+				// Canonical FMA evaluation order (lattice.Equilibrium).
+				onem := 1 - 1.5*math.FMA(uz, uz, math.FMA(uy, uy, ux*ux))
 				for i := 0; i < q; i++ {
 					c := d.C[i]
 					cu := float64(c[0])*ux + float64(c[1])*uy + float64(c[2])*uz
-					feq[i] = d.W[i] * rho * (1 + 3*cu + 4.5*cu*cu - usq)
+					h := 4.5 * cu
+					feq[i] = d.W[i] * rho * (math.FMA(h, cu, onem) + 3*cu)
 				}
 				omega := invTau
 				if les {
@@ -255,11 +273,11 @@ func (l *Lattice) CollideOnly() {
 						cu := cx*ux + cy*uy + cz*uz
 						si := d.W[i] * (3*((cx-ux)*fx+(cy-uy)*fy+(cz-uz)*fz) +
 							9*cu*(cx*fx+cy*fy+cz*fz))
-						src[i*n+idx] = f[i] - omega*(f[i]-feq[i]) + fw*si
+						src[i*n+idx] = math.FMA(-omega, f[i]-feq[i], f[i]) + fw*si
 					}
 				} else {
 					for i := 0; i < q; i++ {
-						src[i*n+idx] = f[i] - omega*(f[i]-feq[i])
+						src[i*n+idx] = math.FMA(-omega, f[i]-feq[i], f[i])
 					}
 				}
 			}

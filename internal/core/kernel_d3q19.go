@@ -13,7 +13,11 @@ package core
 // The fast path covers the common DNS configuration (no LES, no body
 // force); other configurations fall back to the generic kernel.
 
-import "sunwaylb/internal/lattice"
+import (
+	"math"
+
+	"sunwaylb/internal/lattice"
+)
 
 // D3Q19 direction index map (see lattice.D3Q19):
 //
@@ -45,7 +49,7 @@ func (l *Lattice) stepRegionD3Q19(x0, x1, y0, y1 int) {
 	src := l.F[l.src]
 	dst := l.F[1-l.src]
 	n := l.N
-	invTau := 1.0 / l.Tau
+	nTau := -1.0 / l.Tau
 	flags := l.Flags
 	d := l.Desc
 
@@ -122,52 +126,33 @@ func (l *Lattice) stepRegionD3Q19(x0, x1, y0, y1 int) {
 				jz := f[5] - f[6] + f[11] - f[12] - f[13] + f[14] + f[15] - f[16] - f[17] + f[18]
 				invRho := 1.0 / rho
 				ux, uy, uz := jx*invRho, jy*invRho, jz*invRho
-				usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+				onem := 1 - 1.5*math.FMA(uz, uz, math.FMA(uy, uy, ux*ux))
+				wr1, wr2 := w1*rho, w2*rho
 
-				// Equilibria with the ±1 dot products folded; the
-				// expression keeps the generic kernel's exact
-				// operation order (1 + 3cu + 4.5cu² − usq) so the
-				// results are bit-identical.
-				relax := func(i int, feq float64) {
-					dst[i*n+idx] = f[i] - invTau*(f[i]-feq)
+				// Canonical FMA collide (see lattice.Equilibrium), with
+				// every ± direction pair sharing the symmetric part
+				// s = fma(4.5cu, cu, 1−1.5|u|²) of its two equilibria:
+				// feq_± = wr·(s ± 3cu). Negation, the 4.5cu·cu product
+				// and s are sign-symmetric, so this reproduces the
+				// per-direction canon — and the generic kernel — bit
+				// for bit.
+				dst[idx] = math.FMA(nTau, f[0]-w0*rho*onem, f[0])
+				pair := func(i, o int, cu, wr float64) {
+					h := 4.5 * cu
+					s := math.FMA(h, cu, onem)
+					c3 := 3 * cu
+					dst[i*n+idx] = math.FMA(nTau, f[i]-wr*(s+c3), f[i])
+					dst[o*n+idx] = math.FMA(nTau, f[o]-wr*(s-c3), f[o])
 				}
-				relax(0, w0*rho*(1-usq))
-				cu := ux
-				relax(1, w1*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -ux
-				relax(2, w1*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = uy
-				relax(3, w1*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -uy
-				relax(4, w1*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = uz
-				relax(5, w1*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -uz
-				relax(6, w1*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = ux + uy
-				relax(7, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -ux - uy
-				relax(8, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = ux - uy
-				relax(9, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -ux + uy
-				relax(10, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = ux + uz
-				relax(11, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -ux - uz
-				relax(12, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = ux - uz
-				relax(13, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -ux + uz
-				relax(14, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = uy + uz
-				relax(15, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -uy - uz
-				relax(16, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = uy - uz
-				relax(17, w2*rho*(1+3*cu+4.5*cu*cu-usq))
-				cu = -uy + uz
-				relax(18, w2*rho*(1+3*cu+4.5*cu*cu-usq))
+				pair(1, 2, ux, wr1)
+				pair(3, 4, uy, wr1)
+				pair(5, 6, uz, wr1)
+				pair(7, 8, ux+uy, wr2)
+				pair(9, 10, ux-uy, wr2)
+				pair(11, 12, ux+uz, wr2)
+				pair(13, 14, ux-uz, wr2)
+				pair(15, 16, uy+uz, wr2)
+				pair(17, 18, uy-uz, wr2)
 			}
 		}
 	}

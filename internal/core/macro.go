@@ -16,7 +16,7 @@ func (l *Lattice) MacroAt(x, y, z int) Macro {
 	src := l.F[l.src]
 	var rho, jx, jy, jz float64
 	for i := 0; i < d.Q; i++ {
-		fi := src[i*l.N+idx]
+		fi := src[l.PopBase(i)+idx]
 		rho += fi
 		c := d.C[i]
 		jx += fi * float64(c[0])
@@ -57,6 +57,11 @@ func (l *Lattice) ComputeMacro() *MacroField {
 	}
 	d := l.Desc
 	src := l.F[l.src]
+	var baseArr [MaxQ]int
+	base := baseArr[:d.Q]
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 	for y := 0; y < l.NY; y++ {
 		for x := 0; x < l.NX; x++ {
 			for z := 0; z < l.NZ; z++ {
@@ -66,7 +71,7 @@ func (l *Lattice) ComputeMacro() *MacroField {
 				}
 				var rho, jx, jy, jz float64
 				for i := 0; i < d.Q; i++ {
-					fi := src[i*l.N+idx]
+					fi := src[base[i]+idx]
 					rho += fi
 					c := d.C[i]
 					jx += fi * float64(c[0])
@@ -92,6 +97,11 @@ func (l *Lattice) ComputeMacro() *MacroField {
 func (l *Lattice) TotalMass() float64 {
 	d := l.Desc
 	src := l.F[l.src]
+	var baseArr [MaxQ]int
+	base := baseArr[:d.Q]
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 	total := 0.0
 	for y := 0; y < l.NY; y++ {
 		for x := 0; x < l.NX; x++ {
@@ -101,7 +111,7 @@ func (l *Lattice) TotalMass() float64 {
 					continue
 				}
 				for i := 0; i < d.Q; i++ {
-					total += src[i*l.N+idx]
+					total += src[base[i]+idx]
 				}
 			}
 		}
@@ -113,6 +123,11 @@ func (l *Lattice) TotalMass() float64 {
 func (l *Lattice) TotalMomentum() (jx, jy, jz float64) {
 	d := l.Desc
 	src := l.F[l.src]
+	var baseArr [MaxQ]int
+	base := baseArr[:d.Q]
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 	for y := 0; y < l.NY; y++ {
 		for x := 0; x < l.NX; x++ {
 			for z := 0; z < l.NZ; z++ {
@@ -121,7 +136,7 @@ func (l *Lattice) TotalMomentum() (jx, jy, jz float64) {
 					continue
 				}
 				for i := 0; i < d.Q; i++ {
-					fi := src[i*l.N+idx]
+					fi := src[base[i]+idx]
 					c := d.C[i]
 					jx += fi * float64(c[0])
 					jy += fi * float64(c[1])

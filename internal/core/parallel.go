@@ -8,8 +8,10 @@ import (
 // StepFusedParallel advances one time step with the fused kernel, splitting
 // the y rows across the given number of worker goroutines. workers ≤ 0
 // selects GOMAXPROCS. The pull scheme writes only into the destination
-// buffer and reads only the source buffer, so rows are embarrassingly
-// parallel; results are bit-identical to StepFused.
+// buffer and reads only the source buffer (and the AA kernels' write sets
+// are read only by the owning cell), so rows are embarrassingly parallel;
+// results are bit-identical to StepFused. This spawns goroutines per step;
+// long-running multi-core loops should prefer the persistent Pool.
 func (l *Lattice) StepFusedParallel(workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,10 +37,16 @@ func (l *Lattice) StepFusedParallel(workers int) {
 		wg.Add(1)
 		go func(a, b int) {
 			defer wg.Done()
-			l.stepRange(a, b)
+			if l.aa {
+				l.stepAAYRange(a, b)
+			} else {
+				l.stepRange(a, b)
+			}
 		}(y0, y1)
 	}
 	wg.Wait()
-	l.src = 1 - l.src
+	if !l.aa {
+		l.src = 1 - l.src
+	}
 	l.step++
 }

@@ -7,7 +7,10 @@
 // D2Q9, D3Q15 and D3Q27 are provided for completeness and testing.
 package lattice
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Descriptor describes a DnQm lattice: the dimension, the discrete velocity
 // set, the quadrature weights and the index of the opposite velocity for
@@ -150,21 +153,30 @@ func buildD3Q27() Descriptor {
 // rho and velocity (ux, uy, uz) in direction i:
 //
 //	f_i^eq = w_i ρ (1 + 3 c·u + 4.5 (c·u)² − 1.5 u²)
+//
+// The expression is evaluated in the repo's canonical fused-multiply-add
+// order — w_i·ρ · (fma(4.5·cu, cu, 1 − 1.5|u|²) + 3·cu) — which every
+// kernel (generic, unrolled, AA, vectorized) reproduces exactly, so any
+// two backends agree bit-for-bit. math.FMA is correctly rounded on every
+// platform, so the canon is portable-deterministic.
 func (d *Descriptor) Equilibrium(i int, rho, ux, uy, uz float64) float64 {
 	c := d.C[i]
 	cu := float64(c[0])*ux + float64(c[1])*uy + float64(c[2])*uz
-	usq := ux*ux + uy*uy + uz*uz
-	return d.W[i] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*usq)
+	onem := 1 - 1.5*math.FMA(uz, uz, math.FMA(uy, uy, ux*ux))
+	h := 4.5 * cu
+	return d.W[i] * rho * (math.FMA(h, cu, onem) + 3*cu)
 }
 
 // EquilibriumAll fills feq (length Q) with the equilibrium distribution for
-// the given macroscopic state. It allocates nothing.
+// the given macroscopic state, in the canonical FMA evaluation order (see
+// Equilibrium). It allocates nothing.
 func (d *Descriptor) EquilibriumAll(feq []float64, rho, ux, uy, uz float64) {
-	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+	onem := 1 - 1.5*math.FMA(uz, uz, math.FMA(uy, uy, ux*ux))
 	for i := 0; i < d.Q; i++ {
 		c := d.C[i]
 		cu := float64(c[0])*ux + float64(c[1])*uy + float64(c[2])*uz
-		feq[i] = d.W[i] * rho * (1 + 3*cu + 4.5*cu*cu - usq)
+		h := 4.5 * cu
+		feq[i] = d.W[i] * rho * (math.FMA(h, cu, onem) + 3*cu)
 	}
 }
 

@@ -26,6 +26,12 @@ func (s *Solver) GatherLattice(root int) (*core.Lattice, error) {
 		float64(b.NX), float64(b.NY), float64(b.NZ),
 		float64(l.Step()))
 	src := l.Src()
+	// Per-population bases resolve the AA storage phase, so the gathered
+	// payload is the logical state regardless of the local layout.
+	base := make([]int, q)
+	for i := range base {
+		base[i] = l.PopBase(i)
+	}
 	flags := make([]byte, interior)
 	k := 0
 	for y := 0; y < b.NY; y++ {
@@ -33,7 +39,7 @@ func (s *Solver) GatherLattice(root int) (*core.Lattice, error) {
 			for z := 0; z < b.NZ; z++ {
 				idx := l.Idx(x, y, z)
 				for i := 0; i < q; i++ {
-					payload = append(payload, src[i*l.N+idx])
+					payload = append(payload, src[base[i]+idx])
 				}
 				flags[k] = byte(l.Flags[idx])
 				k++
@@ -90,18 +96,27 @@ func (s *Solver) restoreFrom(g *core.Lattice) error {
 	q := g.Desc.Q
 	gsrc := g.Src()
 	lsrc := s.Lat.Src()
+	// Adopt the checkpoint's step BEFORE writing populations: on an AA
+	// lattice the step parity selects the storage layout, and the writes
+	// below must land in the slots the resumed stepper will read.
+	s.Lat.SetStep(g.Step())
+	gBase := make([]int, q)
+	lBase := make([]int, q)
+	for i := range gBase {
+		gBase[i] = g.PopBase(i)
+		lBase[i] = s.Lat.PopBase(i)
+	}
 	for y := 0; y < b.NY; y++ {
 		for x := 0; x < b.NX; x++ {
 			for z := 0; z < b.NZ; z++ {
 				gi := g.Idx(b.X0+x, b.Y0+y, b.Z0+z)
 				li := s.Lat.Idx(x, y, z)
 				for i := 0; i < q; i++ {
-					lsrc[i*s.Lat.N+li] = gsrc[i*g.N+gi]
+					lsrc[lBase[i]+li] = gsrc[gBase[i]+gi]
 				}
 				s.Lat.Flags[li] = g.Flags[gi]
 			}
 		}
 	}
-	s.Lat.SetStep(g.Step())
 	return nil
 }

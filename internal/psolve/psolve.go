@@ -52,6 +52,11 @@ type Options struct {
 	Init func(gx, gy, gz int) (rho, ux, uy, uz float64)
 	// OnTheFly selects the overlapped halo-exchange scheme.
 	OnTheFly bool
+	// Kernel selects the local compute kernel: "" or "fused" is the
+	// double-buffer pull kernel, "aa" the in-place AA-pattern kernel
+	// (single distribution array, both storage phases handled
+	// transparently by the halo exchange and checkpoint paths).
+	Kernel string
 	// Restore, if non-nil, initialises each rank's sub-block from this
 	// global lattice (e.g. one read back by swio.ReadCheckpoint),
 	// overriding Walls and Init.
@@ -150,6 +155,15 @@ func New(c *mpi.Comm, opts Options) (*Solver, error) {
 	}
 	lat.Smagorinsky = opts.Smagorinsky
 	lat.Force = opts.Force
+	switch opts.Kernel {
+	case "", "fused":
+	case "aa":
+		// Convert before any restore so the phase-aware writes land in
+		// the layout the stepper will read.
+		lat.EnableAA()
+	default:
+		return nil, fmt.Errorf("psolve: unknown kernel %q (want \"fused\" or \"aa\")", opts.Kernel)
+	}
 
 	s := &Solver{Opts: opts, Comm: c, Cart: cart, Block: blk, Lat: lat, tr: c.Trace()}
 	// Resume the modelled clock where a previous attempt (before a

@@ -111,7 +111,9 @@ func Capture(s *Snapshot, lat *core.Lattice, b decomp.Block, rank int) {
 // pre-sized buffers and returns the payload checksum (computed in the
 // same canonical pops-then-flags order Verify uses). This is the
 // per-step L1 capture loop: no allocation, no formatting, leaf calls
-// only.
+// only. Population slots are resolved through the lattice's per-pop
+// bases, so the serialised logical state is identical at both AA
+// storage phases (and on non-AA lattices).
 //
 // Per-cell traffic: 19 population reads + 19 buffer writes plus the
 // flag byte in and out.
@@ -119,13 +121,18 @@ func Capture(s *Snapshot, lat *core.Lattice, b decomp.Block, rank int) {
 //lbm:hot traffic budget=320 assume q=19
 func captureInto(pops []float64, flags []byte, lat *core.Lattice, q int) uint64 {
 	src := lat.Src()
+	var baseArr [core.MaxQ]int
+	base := baseArr[:q]
+	for i := range base {
+		base[i] = lat.PopBase(i)
+	}
 	k := 0
 	for y := 0; y < lat.NY; y++ {
 		for x := 0; x < lat.NX; x++ {
 			for z := 0; z < lat.NZ; z++ {
 				idx := lat.Idx(x, y, z)
 				for i := 0; i < q; i++ {
-					pops[k*q+i] = src[i*lat.N+idx]
+					pops[k*q+i] = src[base[i]+idx]
 				}
 				flags[k] = byte(lat.Flags[idx])
 				k++

@@ -131,11 +131,13 @@ func (e *Engine) cpeKernel() func(p *sunway.CPE) {
 					uy += half * fyF
 					uz += half * fzF
 				}
-				usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+				// Canonical FMA evaluation order (lattice.Equilibrium).
+				onem := 1 - 1.5*math.FMA(uz, uz, math.FMA(uy, uy, ux*ux))
 				for i := 0; i < nq; i++ {
 					c := d.C[i]
 					cu := float64(c[0])*ux + float64(c[1])*uy + float64(c[2])*uz
-					feq[i] = d.W[i] * rho * (1 + 3*cu + 4.5*cu*cu - usq)
+					h := 4.5 * cu
+					feq[i] = d.W[i] * rho * (math.FMA(h, cu, onem) + 3*cu)
 				}
 				omega := invTau
 				if les {
@@ -162,11 +164,11 @@ func (e *Engine) cpeKernel() func(p *sunway.CPE) {
 						cu := cx*ux + cy*uy + cz*uz
 						si := d.W[i] * (3*((cx-ux)*fxF+(cy-uy)*fyF+(cz-uz)*fzF) +
 							9*cu*(cx*fxF+cy*fyF+cz*fzF))
-						out[i][zi] = f[i] - omega*(f[i]-feq[i]) + fw*si
+						out[i][zi] = math.FMA(-omega, f[i]-feq[i], f[i]) + fw*si
 					}
 				} else {
 					for i := 0; i < nq; i++ {
-						out[i][zi] = f[i] - omega*(f[i]-feq[i])
+						out[i][zi] = math.FMA(-omega, f[i]-feq[i], f[i])
 					}
 				}
 			}

@@ -43,10 +43,18 @@
 #             kill owners mid-run), the mixed-backend conformance slice
 #             with mid-run migrations, and the hotalloc/spanpair static
 #             rules over the patch code
+#   perf    — AA-kernel performance-critical contracts: the AA conform
+#             slice (serial/blocked/pool backends MaxULP=0 against the
+#             reference at both storage parities), the race-checked
+#             worker-pool soak plus the AVX-512 row kernel's bitwise
+#             equivalence tests, and the memtraffic/hotalloc/goleak
+#             static budgets over the kernel and resilience code
 #   bench   — refresh BENCH_results.json from the measured benchmark
-#             cases so every CI run extends the perf trajectory
+#             cases so every CI run extends the perf trajectory; when a
+#             committed baseline exists, the fused-kernel MLUPS must not
+#             regress more than 10% against it
 #
-# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|chaos|serve|trace|patch|bench|all]
+# Usage: scripts/ci.sh [tier1|tier2|race|conform|analyze|perf|chaos|serve|trace|patch|bench|all]
 # (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -93,8 +101,34 @@ conform() {
 
 bench() {
     echo "== bench: refresh BENCH_results.json =="
-    go run ./cmd/benchsuite -json BENCH_results.json
+    # Gate against the committed baseline (if any) before overwriting it:
+    # a fused-kernel MLUPS regression beyond 10% fails the tier.
+    base=""
+    if git cat-file -e HEAD:BENCH_results.json 2>/dev/null; then
+        base=$(mktemp)
+        trap 'rm -f "$base"' RETURN
+        git show HEAD:BENCH_results.json > "$base"
+    fi
+    go run ./cmd/benchsuite -json BENCH_results.json ${base:+-baseline "$base"}
     test -s BENCH_results.json
+}
+
+perf() {
+    echo "== perf: AA kernel conformance + pool soak + static budgets =="
+    # AA backends (serial, cache-blocked, worker pool) must stay
+    # bit-identical (MaxULP=0) to the serial reference at every storage
+    # parity, and the parity metamorphic property must hold.
+    go run ./cmd/conform -seed 1 -cases 10 -run 'core/aa|psolve/2x2-aa|prop/aa-parity'
+    # Race-checked AA suite: pool soak, step/blocked/pool bit-identity,
+    # parity-aware halo pack/unpack, and (on capable hardware) the
+    # AVX-512 row kernel's bitwise equivalence to the scalar canon.
+    go test -race -count=1 -timeout 600s \
+        -run 'TestAA|TestPool|TestPack|TestPeriodic' ./internal/core
+    # Static budgets over the performance-critical code: per-cell memory
+    # traffic of every //lbm:hot kernel, no hot-loop allocations, no
+    # leaked worker goroutines.
+    go run ./cmd/lbmvet -rules memtraffic,hotalloc,goleak \
+        ./internal/core ./internal/resil
 }
 
 analyze() {
@@ -203,12 +237,13 @@ case "${1:-all}" in
     race) race ;;
     conform) conform ;;
     analyze) analyze ;;
+    perf) perf ;;
     chaos) chaos ;;
     serve) serve ;;
     trace) trace ;;
     patch) patch ;;
     bench) bench ;;
-    all)   tier1; tier2; race; conform; analyze; chaos; serve; trace; patch; bench ;;
-    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|chaos|serve|trace|patch|bench|all]" >&2; exit 2 ;;
+    all)   tier1; tier2; race; conform; analyze; perf; chaos; serve; trace; patch; bench ;;
+    *) echo "usage: $0 [tier1|tier2|race|conform|analyze|perf|chaos|serve|trace|patch|bench|all]" >&2; exit 2 ;;
 esac
 echo "ok"
